@@ -1,0 +1,381 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§V). Each experiment prints the same rows/series the paper
+    reports; EXPERIMENTS.md records paper-vs-measured shape.
+
+    Usage:  dune exec bench/main.exe              (all experiments)
+            dune exec bench/main.exe -- fig3 fig9 (a subset)
+            dune exec bench/main.exe -- micro     (bechamel operator suite)
+
+    Environment: PYTOND_SF     TPC-H scale factor   (default 0.02)
+                 PYTOND_RUNS   timed runs per point (default 3)
+                 PYTOND_WARMUP warmup runs          (default 1)
+
+    Thread counts > 1 use the engine's parallel runtime; on single-core
+    hosts the runtime models multicore execution as the measured critical
+    path of the partitioned work (see {!Sqldb.Parallel}). *)
+
+let sf = try float_of_string (Sys.getenv "PYTOND_SF") with Not_found -> 0.02
+let runs = try int_of_string (Sys.getenv "PYTOND_RUNS") with Not_found -> 3
+let warmups = try int_of_string (Sys.getenv "PYTOND_WARMUP") with Not_found -> 1
+
+(* Mean wall time over [runs], after [warmups]; parallel regions are
+   credited with their critical path (cf. Sqldb.Parallel.Simulated). *)
+let measure (f : unit -> unit) : float =
+  for _ = 1 to warmups do
+    f ()
+  done;
+  let total = ref 0. in
+  for _ = 1 to runs do
+    Sqldb.Parallel.reset_saved ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall = Unix.gettimeofday () -. t0 in
+    total := !total +. (wall -. Sqldb.Parallel.saved_time ())
+  done;
+  !total /. float_of_int runs
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | xs ->
+    exp
+      (List.fold_left (fun acc x -> acc +. log x) 0. xs
+      /. float_of_int (List.length xs))
+
+type alternative = {
+  label : string;
+  run : db:Sqldb.Db.t -> source:string -> threads:int -> unit;
+}
+
+let alt_python =
+  { label = "python";
+    run =
+      (fun ~db ~source ~threads:_ ->
+        ignore (Pytond.run_python ~db ~source ~fname:"query" ())) }
+
+let alt_pytond backend label =
+  { label;
+    run =
+      (fun ~db ~source ~threads ->
+        ignore
+          (Pytond.run ~level:Pytond.O4 ~backend ~threads ~db ~source
+             ~fname:"query" ())) }
+
+(* "Grizzly-simulated": identical pipeline with TondIR optimizations off
+   (paper §V-A). *)
+let alt_grizzly backend label =
+  { label;
+    run =
+      (fun ~db ~source ~threads ->
+        ignore
+          (Pytond.run ~level:Pytond.O0 ~backend ~threads ~db ~source
+             ~fname:"query" ())) }
+
+let standard_alternatives =
+  [ alt_python;
+    alt_grizzly Pytond.Vectorized "grizzly/duck";
+    alt_grizzly Pytond.Compiled "grizzly/hyper";
+    alt_pytond Pytond.Vectorized "pytond/duck";
+    alt_pytond Pytond.Compiled "pytond/hyper";
+    alt_pytond Pytond.Lingo "pytond/lingo" ]
+
+let header alts =
+  Printf.printf "%-22s %s\n" "workload"
+    (String.concat " " (List.map (fun a -> Printf.sprintf "%13s" a.label) alts))
+
+let run_row ~name ~db ~source ~threads alts =
+  let times =
+    List.map
+      (fun a ->
+        try Some (measure (fun () -> a.run ~db ~source ~threads))
+        with _ -> None)
+      alts
+  in
+  Printf.printf "%-22s %s\n%!" name
+    (String.concat " "
+       (List.map
+          (function
+            | Some t -> Printf.sprintf "%12.4fs" t
+            | None -> Printf.sprintf "%13s" "n/a")
+          times));
+  times
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3 / Fig. 4: TPC-H                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig_tpch ~threads ~figname () =
+  Printf.printf "\n== %s: TPC-H SF=%g, %d thread(s) ==\n" figname sf threads;
+  let db = Tpch.Dbgen.make_db sf in
+  header standard_alternatives;
+  let speedups_duck = ref [] and speedups_hyper = ref [] in
+  List.iter
+    (fun (name, source) ->
+      match run_row ~name ~db ~source ~threads standard_alternatives with
+      | [ Some py; _; _; Some duck; Some hyper; _ ] ->
+        speedups_duck := (py /. duck) :: !speedups_duck;
+        speedups_hyper := (py /. hyper) :: !speedups_hyper
+      | _ -> ())
+    Tpch.Queries.all;
+  Printf.printf
+    "geomean speedup vs python: pytond/duck %.2fx, pytond/hyper %.2fx\n"
+    (geomean !speedups_duck) (geomean !speedups_hyper)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 / Fig. 6: data-science workloads                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig_ds ~threads ~figname () =
+  Printf.printf "\n== %s: data-science workloads, %d thread(s) ==\n" figname
+    threads;
+  header standard_alternatives;
+  List.iter
+    (fun (name, load, source) ->
+      let db = Sqldb.Db.create () in
+      load db;
+      ignore (run_row ~name ~db ~source ~threads standard_alternatives))
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7 / Fig. 8: thread scalability                                *)
+(* ------------------------------------------------------------------ *)
+
+let scalability ~figname ~(cases : (string * Sqldb.Db.t * string) list) () =
+  Printf.printf "\n== %s: scalability (speedup over own 1-thread time) ==\n"
+    figname;
+  Printf.printf "%-22s %10s %10s %10s %10s\n" "workload" "1t" "2t" "3t" "4t";
+  List.iter
+    (fun (name, db, source) ->
+      let alt = alt_pytond Pytond.Compiled "pytond/hyper" in
+      let t at = measure (fun () -> alt.run ~db ~source ~threads:at) in
+      let t1 = t 1 in
+      let s n = t1 /. t n in
+      Printf.printf "%-22s %9.2fx %9.2fx %9.2fx %9.2fx\n%!" name 1.0 (s 2) (s 3)
+        (s 4))
+    cases
+
+let fig7 () =
+  let db = Tpch.Dbgen.make_db sf in
+  scalability ~figname:"fig7 (TPC-H Q4/Q6/Q13)"
+    ~cases:(List.map (fun q -> (q, db, Tpch.Queries.find q)) [ "q4"; "q6"; "q13" ])
+    ()
+
+let fig8 () =
+  let cases =
+    List.filter_map
+      (fun (name, load, source) ->
+        if List.mem name [ "crime_index"; "birth_analysis"; "n3"; "n9" ] then begin
+          let db = Sqldb.Db.create () in
+          load db;
+          Some (name, db, source)
+        end
+        else None)
+      Workloads.all
+  in
+  scalability ~figname:"fig8 (hybrid workloads)" ~cases ()
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: covariance matrix sweeps                                   *)
+(* ------------------------------------------------------------------ *)
+
+let covar_alternatives : (string * (Sqldb.Db.t -> unit)) list =
+  [ ( "numpy",
+      fun db ->
+        ignore
+          (Pytond.run_python ~db ~source:Workloads.covar_dense_src
+             ~fname:"query" ()) );
+    ( "pytond/duck-dense",
+      fun db ->
+        ignore
+          (Pytond.run ~backend:Pytond.Vectorized ~db
+             ~source:Workloads.covar_dense_src ~fname:"query" ()) );
+    ( "pytond/hyper-dense",
+      fun db ->
+        ignore
+          (Pytond.run ~backend:Pytond.Compiled ~db
+             ~source:Workloads.covar_dense_src ~fname:"query" ()) );
+    ( "pytond/duck-sparse",
+      fun db ->
+        ignore
+          (Pytond.run ~backend:Pytond.Vectorized ~db
+             ~source:Workloads.covar_sparse_src ~fname:"query" ()) ) ]
+
+let fig9 () =
+  Printf.printf "\n== fig9: covariance matrix (rows x cols x sparsity) ==\n";
+  Printf.printf "%-38s %s\n" "configuration"
+    (String.concat " "
+       (List.map (fun (l, _) -> Printf.sprintf "%19s" l) covar_alternatives));
+  (* The paper fixes 1M rows and 32 columns; scaled by SF here. *)
+  let base_rows = max 2000 (int_of_float (1_000_000. *. sf)) in
+  let point ~rows ~cols ~sparsity =
+    let db = Sqldb.Db.create () in
+    Workloads.load_covar db ~rows ~cols ~sparsity;
+    let times =
+      List.map
+        (fun (_, f) ->
+          try Printf.sprintf "%18.4fs" (measure (fun () -> f db))
+          with _ -> Printf.sprintf "%19s" "n/a")
+        covar_alternatives
+    in
+    Printf.printf "rows=%-8d cols=%-3d sparsity=%-5g  %s\n%!" rows cols
+      sparsity
+      (String.concat " " times)
+  in
+  List.iter
+    (fun sp -> point ~rows:base_rows ~cols:16 ~sparsity:sp)
+    [ 0.001; 0.01; 0.1; 0.5; 1.0 ];
+  List.iter
+    (fun r -> point ~rows:r ~cols:16 ~sparsity:1.0)
+    [ base_rows / 4; base_rows / 2; base_rows; base_rows * 2 ];
+  List.iter
+    (fun c -> point ~rows:base_rows ~cols:c ~sparsity:1.0)
+    [ 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: optimization break-down                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  Printf.printf
+    "\n== fig10: optimization break-down (O0=grizzly-sim .. O4=all) ==\n";
+  let levels =
+    [ (Pytond.O0, "O0"); (Pytond.O1, "O1"); (Pytond.O2, "O2");
+      (Pytond.O3, "O3"); (Pytond.O4, "O4") ]
+  in
+  let backends = [ (Pytond.Vectorized, "duck"); (Pytond.Compiled, "hyper") ] in
+  let tpch_db = Tpch.Dbgen.make_db sf in
+  let cases =
+    ("q9", tpch_db, Tpch.Queries.find "q9")
+    :: List.filter_map
+         (fun (name, load, source) ->
+           if List.mem name [ "crime_index"; "hybrid_covar"; "n3" ] then begin
+             let db = Sqldb.Db.create () in
+             load db;
+             Some (name, db, source)
+           end
+           else None)
+         Workloads.all
+  in
+  Printf.printf "%-22s %-6s %s\n" "workload" "engine"
+    (String.concat " " (List.map (fun (_, l) -> Printf.sprintf "%9s" l) levels));
+  List.iter
+    (fun (name, db, source) ->
+      List.iter
+        (fun (backend, blabel) ->
+          let times =
+            List.map
+              (fun (level, _) ->
+                try
+                  Printf.sprintf "%8.4fs"
+                    (measure (fun () ->
+                         ignore
+                           (Pytond.run ~level ~backend ~db ~source
+                              ~fname:"query" ())))
+                with _ -> Printf.sprintf "%9s" "n/a")
+              levels
+          in
+          Printf.printf "%-22s %-6s %s\n%!" name blabel
+            (String.concat " " times))
+        backends)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Table I: capability matrix                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Printf.printf "\n== table1: in-database Python execution approaches ==\n";
+  Printf.printf "%-22s %8s %8s %8s %12s %12s\n" "approach" "generic" "pandas"
+    "numpy" "multilayout" "sqlrewrite";
+  List.iter
+    (fun (n, a, b, c, d, e) ->
+      Printf.printf "%-22s %8s %8s %8s %12s %12s\n" n a b c d e)
+    [ ("ByePy", "yes", "no", "no", "yes", "no");
+      ("Blatcher et al.", "no", "no", "yes", "yes", "no");
+      ("Grizzly", "yes", "yes", "no", "yes", "no");
+      ("PyFroid", "no", "yes", "no", "yes", "yes");
+      ("PyTond (this repo)", "no", "yes", "yes", "yes", "yes") ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-suite: core engine operators                        *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Printf.printf "\n== micro: bechamel engine-operator suite ==\n%!";
+  let open Bechamel in
+  let db = Tpch.Dbgen.make_db (Float.min sf 0.01) in
+  let sql_scan = "SELECT l_orderkey FROM lineitem WHERE l_quantity < 10.0" in
+  let sql_agg =
+    "SELECT l_returnflag, SUM(l_extendedprice) AS s FROM lineitem GROUP BY \
+     l_returnflag"
+  in
+  let sql_join =
+    "SELECT o.o_orderkey FROM orders AS o, customer AS c WHERE o.o_custkey = \
+     c.c_custkey AND c.c_acctbal > 5000.0"
+  in
+  let mk name backend sql =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Sqldb.Db.execute ~backend db sql)))
+  in
+  let tests =
+    Test.make_grouped ~name:"engine"
+      [ mk "scan-filter/vectorized" Sqldb.Db.Vectorized sql_scan;
+        mk "scan-filter/compiled" Sqldb.Db.Compiled sql_scan;
+        mk "hash-agg/vectorized" Sqldb.Db.Vectorized sql_agg;
+        mk "hash-agg/compiled" Sqldb.Db.Compiled sql_agg;
+        mk "hash-join/vectorized" Sqldb.Db.Vectorized sql_join;
+        mk "hash-join/compiled" Sqldb.Db.Compiled sql_join ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%12.0f ns/run" e
+        | _ -> "(no estimate)"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %s\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * (unit -> unit)) list =
+  [ ("table1", table1);
+    ("fig3", fig_tpch ~threads:1 ~figname:"fig3");
+    ("fig4", fig_tpch ~threads:4 ~figname:"fig4");
+    ("fig5", fig_ds ~threads:1 ~figname:"fig5");
+    ("fig6", fig_ds ~threads:4 ~figname:"fig6");
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst (List.filter (fun (n, _) -> n <> "micro") experiments)
+  in
+  Printf.printf "PyTond benchmark harness (SF=%g, runs=%d, warmups=%d)\n" sf
+    runs warmups;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments)))
+    requested

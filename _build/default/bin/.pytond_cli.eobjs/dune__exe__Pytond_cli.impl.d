@@ -1,0 +1,1 @@
+bin/pytond_cli.ml: Arg Cmd Cmdliner List Printf Pytond Sqldb String Term Tpch Unix Workloads

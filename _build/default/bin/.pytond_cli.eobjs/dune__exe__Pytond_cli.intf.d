@@ -1,0 +1,1 @@
+bin/pytond_cli.mli:

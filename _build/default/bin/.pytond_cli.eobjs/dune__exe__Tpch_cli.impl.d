@@ -1,0 +1,1 @@
+bin/tpch_cli.ml: Arg Cmd Cmdliner List Printf Pytond Sqldb Term Tpch Unix

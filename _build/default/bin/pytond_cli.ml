@@ -1,0 +1,110 @@
+(* pytond_cli: compile and run @pytond Python files against a workload
+   database.
+
+   Examples:
+     dune exec bin/pytond_cli.exe -- explain --dataset tpch --sf 0.01 my.py
+     dune exec bin/pytond_cli.exe -- run --dataset crime_index my.py
+     dune exec bin/pytond_cli.exe -- run --dataset tpch --query q6   # built-in
+*)
+
+open Cmdliner
+
+let load_dataset name sf =
+  match name with
+  | "tpch" -> Tpch.Dbgen.make_db sf
+  | other -> (
+    let db = Sqldb.Db.create () in
+    match
+      List.find_opt (fun (n, _, _) -> String.equal n other) Workloads.all
+    with
+    | Some (_, load, _) ->
+      load db;
+      db
+    | None ->
+      prerr_endline
+        ("unknown dataset " ^ other
+        ^ " (available: tpch, "
+        ^ String.concat ", " (List.map (fun (n, _, _) -> n) Workloads.all)
+        ^ ")");
+      exit 1)
+
+let read_source file query =
+  match (file, query) with
+  | Some f, _ ->
+    let ic = open_in f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None, Some q -> Tpch.Queries.find q
+  | None, None ->
+    prerr_endline "provide a .py file or --query qN";
+    exit 1
+
+let dataset_arg =
+  Arg.(value & opt string "tpch" & info [ "dataset" ] ~doc:"tpch or a workload name")
+
+let sf_arg =
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"TPC-H scale factor")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("duckdb", Pytond.Vectorized); ("hyper", Pytond.Compiled);
+                  ("lingodb", Pytond.Lingo) ])
+        Pytond.Vectorized
+    & info [ "backend" ] ~doc:"duckdb | hyper | lingodb")
+
+let level_arg =
+  Arg.(
+    value
+    & opt (enum [ ("0", Pytond.O0); ("1", Pytond.O1); ("2", Pytond.O2);
+                  ("3", Pytond.O3); ("4", Pytond.O4) ])
+        Pytond.O4
+    & info [ "O" ] ~doc:"optimization level 0-4")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads" ] ~doc:"engine threads")
+
+let fname_arg =
+  Arg.(value & opt string "query" & info [ "function" ] ~doc:"decorated function name")
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.py")
+
+let query_arg =
+  Arg.(value & opt (some string) None & info [ "query" ] ~doc:"built-in TPC-H query (q1..q22)")
+
+let explain_cmd =
+  let run dataset sf file query fname level =
+    let db = load_dataset dataset sf in
+    let source = read_source file query in
+    print_endline (Pytond.explain ~level ~db ~source ~fname ())
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"show TondIR (before/after optimization) and SQL")
+    Term.(const run $ dataset_arg $ sf_arg $ file_arg $ query_arg $ fname_arg $ level_arg)
+
+let run_cmd =
+  let run dataset sf file query fname level backend threads baseline =
+    let db = load_dataset dataset sf in
+    let source = read_source file query in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      if baseline then Pytond.run_python ~db ~source ~fname ()
+      else Pytond.run ~level ~backend ~threads ~db ~source ~fname ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    print_string (Sqldb.Relation.to_string ~max_rows:40 r);
+    Printf.printf "(%d rows in %.3fs)\n" (Sqldb.Relation.n_rows r) dt
+  in
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"run the eager Python baseline instead")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"execute a @pytond function in-database")
+    Term.(
+      const run $ dataset_arg $ sf_arg $ file_arg $ query_arg $ fname_arg
+      $ level_arg $ backend_arg $ threads_arg $ baseline_arg)
+
+let () =
+  let info = Cmd.info "pytond" ~doc:"PyTond: Python data science on SQL engines" in
+  exit (Cmd.eval (Cmd.group info [ explain_cmd; run_cmd ]))

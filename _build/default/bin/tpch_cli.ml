@@ -1,0 +1,50 @@
+(* tpch_cli: run the bundled TPC-H suite on any backend.
+
+   Example: dune exec bin/tpch_cli.exe -- --sf 0.05 --backend hyper --threads 2 q1 q6
+*)
+
+open Cmdliner
+
+let run sf backend threads check queries =
+  let db = Tpch.Dbgen.make_db sf in
+  let queries = if queries = [] then List.map fst Tpch.Queries.all else queries in
+  List.iter
+    (fun q ->
+      let source = Tpch.Queries.find q in
+      let t0 = Unix.gettimeofday () in
+      let r = Pytond.run ~backend ~threads ~db ~source ~fname:"query" () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let status =
+        if not check then ""
+        else begin
+          let base = Pytond.run_python ~db ~source ~fname:"query" () in
+          if
+            Sqldb.Relation.canonical ~digits:3 base
+            = Sqldb.Relation.canonical ~digits:3 r
+          then "  [check: OK]"
+          else "  [check: MISMATCH]"
+        end
+      in
+      Printf.printf "%-4s %6d rows  %8.3fs%s\n%!" q (Sqldb.Relation.n_rows r)
+        dt status)
+    queries
+
+let () =
+  let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"scale factor") in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("duckdb", Pytond.Vectorized); ("hyper", Pytond.Compiled);
+                    ("lingodb", Pytond.Lingo) ]) Pytond.Compiled
+      & info [ "backend" ])
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ]) in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"verify against the Python baseline")
+  in
+  let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY") in
+  let cmd =
+    Cmd.v (Cmd.info "tpch" ~doc:"run TPC-H via PyTond")
+      Term.(const run $ sf $ backend $ threads $ check $ queries)
+  in
+  exit (Cmd.eval cmd)

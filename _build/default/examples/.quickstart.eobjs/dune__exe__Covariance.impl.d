@@ -1,0 +1,1 @@
+examples/covariance.ml: Printf Pytond Sqldb Workloads

@@ -1,0 +1,1 @@
+examples/crime_index.ml: Printf Pytond Sqldb Workloads

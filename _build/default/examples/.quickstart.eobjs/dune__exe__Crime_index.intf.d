@@ -1,0 +1,1 @@
+examples/crime_index.mli:

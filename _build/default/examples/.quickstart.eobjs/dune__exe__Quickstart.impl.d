@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Catalog Column Db Pytond Relation Sqldb Value

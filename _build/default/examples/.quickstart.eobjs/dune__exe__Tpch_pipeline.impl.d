@@ -1,0 +1,1 @@
+examples/tpch_pipeline.ml: Array Printf Pytond Sqldb Sys Tpch Unix

@@ -1,0 +1,23 @@
+(* The Crime Index hybrid workload (paper §V-A): a Pandas filter, a NumPy
+   einsum over the dense relational layout, and a final Pandas reduction —
+   all compiled to one SQL query.
+
+   Run with: dune exec examples/crime_index.exe *)
+
+let () =
+  let db = Sqldb.Db.create () in
+  Workloads.load_crime_index ~scale:5 db;
+  print_endline "source:";
+  print_endline Workloads.crime_index_src;
+  print_endline (Pytond.explain ~db ~source:Workloads.crime_index_src ~fname:"query" ());
+  let r =
+    Pytond.run ~backend:Pytond.Compiled ~db ~source:Workloads.crime_index_src
+      ~fname:"query" ()
+  in
+  Printf.printf "\ncrime index total (in-database): %s\n"
+    (Sqldb.Relation.to_string r);
+  let b =
+    Pytond.run_python ~db ~source:Workloads.crime_index_src ~fname:"query" ()
+  in
+  Printf.printf "crime index total (python baseline): %s\n"
+    (Sqldb.Relation.to_string b)

@@ -1,0 +1,40 @@
+(* TPC-H end to end: generate data with the bundled dbgen, compile the
+   Pandas version of a query (default Q3) with and without TondIR
+   optimizations, and compare runtimes across backends.
+
+   Run with: dune exec examples/tpch_pipeline.exe [-- q5 0.02] *)
+
+let () =
+  let qname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "q3" in
+  let sf =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.01
+  in
+  let source = Tpch.Queries.find qname in
+  Printf.printf "-- %s (SF=%g)\n%s\n" qname sf source;
+  let db = Tpch.Dbgen.make_db sf in
+  let sql = Pytond.compile ~db ~source ~fname:"query" () in
+  Printf.printf "-- optimized SQL:\n%s\n\n" sql;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let py, t_py =
+    time (fun () -> Pytond.run_python ~db ~source ~fname:"query" ())
+  in
+  let _, t_g =
+    time (fun () ->
+        Pytond.run ~level:Pytond.O0 ~backend:Pytond.Vectorized ~db ~source
+          ~fname:"query" ())
+  in
+  let r, t_o =
+    time (fun () ->
+        Pytond.run ~level:Pytond.O4 ~backend:Pytond.Compiled ~db ~source
+          ~fname:"query" ())
+  in
+  Printf.printf "python baseline: %.3fs\ngrizzly-sim:     %.3fs\npytond (O4):     %.3fs\n"
+    t_py t_g t_o;
+  Printf.printf "\nresult (%d rows):\n%s" (Sqldb.Relation.n_rows r)
+    (Sqldb.Relation.to_string ~max_rows:10 r);
+  assert (Sqldb.Relation.canonical ~digits:3 py
+          = Sqldb.Relation.canonical ~digits:3 r)

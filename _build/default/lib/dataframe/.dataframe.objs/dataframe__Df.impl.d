@@ -1,0 +1,1 @@
+lib/dataframe/df.ml: Array Column Eval Fun Hash_util Hashtbl List Option Printf Relation Sqldb String Tensor Value

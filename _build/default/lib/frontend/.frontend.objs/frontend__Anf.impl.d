@@ -1,0 +1,1 @@
+lib/frontend/anf.ml: Ast Hashtbl List Option Printf

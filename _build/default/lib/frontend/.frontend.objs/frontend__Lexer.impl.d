@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Buffer List Printf String

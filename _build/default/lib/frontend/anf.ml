@@ -1,0 +1,177 @@
+(** A-normal-form conversion (paper §III-B): every nested compound
+    expression is hoisted into an assignment to a fresh variable, so each
+    statement performs a single operation over atomic arguments.
+
+    Literal structures (strings, numbers, lists/dicts of literals, lambdas)
+    stay in place: they are arguments to Pandas/NumPy APIs, not dataflow. *)
+
+open Ast
+
+type state = { mutable counter : int; used : (string, unit) Hashtbl.t;
+               mutable out : stmt list }
+
+let fresh st =
+  let rec next () =
+    st.counter <- st.counter + 1;
+    let v = Printf.sprintf "v%d" st.counter in
+    if Hashtbl.mem st.used v then next () else v
+  in
+  let v = next () in
+  Hashtbl.replace st.used v ();
+  v
+
+let emit st s = st.out <- s :: st.out
+
+let is_atomic = function
+  | Name _ | Int _ | Float _ | Str _ | Bool _ | NoneLit -> true
+  | _ -> false
+
+(* Literal-ish values that should be preserved structurally: API arguments
+   like by=['a','b'], suffixes=('_x','_y'), lambdas, dicts of agg specs. *)
+let rec is_literal = function
+  | Name _ | Int _ | Float _ | Str _ | Bool _ | NoneLit -> true
+  | EList es | ETuple es -> List.for_all is_literal es
+  | EDict kvs -> List.for_all (fun (k, v) -> is_literal k && is_literal v) kvs
+  | Lambda _ -> true
+  | UnaryOp (Neg, e) -> is_literal e
+  | _ -> false
+
+(* Normalize [e] to an atomic expression, hoisting if needed. *)
+let rec atomize st (e : expr) : expr =
+  if is_atomic e then e
+  else begin
+    let e' = shallow st e in
+    let v = fresh st in
+    emit st (SAssign (TName v, e'));
+    Name v
+  end
+
+(* Arguments keep literal structure; anything compound is atomized. *)
+and normalize_arg st (e : expr) : expr =
+  if is_literal e then e else atomize st e
+
+(* Attribute chains in call position keep their spine; only the base is
+   atomized (e.g. [v1.str.contains(...)]). *)
+and normalize_func st (e : expr) : expr =
+  match e with
+  | Attr (base, a) -> (
+    match base with
+    | Name _ -> e
+    | Attr _ ->
+      (* normalize inner spine: find the innermost non-attr base *)
+      let rec rebuild = function
+        | Attr (b, x) -> Attr (rebuild b, x)
+        | other -> atomize st other
+      in
+      Attr (rebuild base, a)
+    | other -> Attr (atomize st other, a))
+  | other -> other
+
+(* Normalize one level: children become atoms/literals, the node remains. *)
+and shallow st (e : expr) : expr =
+  match e with
+  | Name _ | Int _ | Float _ | Str _ | Bool _ | NoneLit -> e
+  | EList es -> EList (List.map (normalize_arg st) es)
+  | ETuple es -> ETuple (List.map (normalize_arg st) es)
+  | EDict kvs ->
+    EDict (List.map (fun (k, v) -> (k, normalize_arg st v)) kvs)
+  | Attr (base, a) -> Attr (atomize st base, a)
+  | Call { func; args; kwargs } ->
+    Call
+      { func = normalize_func st func;
+        args = List.map (normalize_arg st) args;
+        kwargs = List.map (fun (k, v) -> (k, normalize_arg st v)) kwargs }
+  | Subscript (base, Index i) ->
+    Subscript (atomize st base, Index (normalize_arg st i))
+  | Subscript (base, Slice (a, b)) ->
+    Subscript
+      ( atomize st base,
+        Slice (Option.map (normalize_arg st) a, Option.map (normalize_arg st) b)
+      )
+  | BinOp (op, a, b) -> BinOp (op, normalize_arg st a, normalize_arg st b)
+  | UnaryOp (op, a) -> UnaryOp (op, normalize_arg st a)
+  | Compare (op, a, b) -> Compare (op, normalize_arg st a, normalize_arg st b)
+  | BoolOp (op, a, b) -> BoolOp (op, atomize st a, atomize st b)
+  | Lambda _ -> e
+  | IfExp { cond; then_; else_ } ->
+    IfExp
+      { cond = normalize_arg st cond;
+        then_ = normalize_arg st then_;
+        else_ = normalize_arg st else_ }
+
+let collect_names (body : stmt list) : (string, unit) Hashtbl.t =
+  let used = Hashtbl.create 32 in
+  let add n = Hashtbl.replace used n () in
+  let rec scan_expr = function
+    | Name n -> add n
+    | Int _ | Float _ | Str _ | Bool _ | NoneLit -> ()
+    | EList es | ETuple es -> List.iter scan_expr es
+    | EDict kvs ->
+      List.iter
+        (fun (k, v) ->
+          scan_expr k;
+          scan_expr v)
+        kvs
+    | Attr (e, _) -> scan_expr e
+    | Call { func; args; kwargs } ->
+      scan_expr func;
+      List.iter scan_expr args;
+      List.iter (fun (_, v) -> scan_expr v) kwargs
+    | Subscript (e, Index i) ->
+      scan_expr e;
+      scan_expr i
+    | Subscript (e, Slice (a, b)) ->
+      scan_expr e;
+      Option.iter scan_expr a;
+      Option.iter scan_expr b
+    | BinOp (_, a, b) | Compare (_, a, b) | BoolOp (_, a, b) ->
+      scan_expr a;
+      scan_expr b
+    | UnaryOp (_, a) -> scan_expr a
+    | Lambda (ps, body) ->
+      List.iter add ps;
+      scan_expr body
+    | IfExp { cond; then_; else_ } ->
+      scan_expr cond;
+      scan_expr then_;
+      scan_expr else_
+  in
+  List.iter
+    (function
+      | SAssign (TName n, e) ->
+        add n;
+        scan_expr e
+      | SAssign (TSubscript (b, i), e) ->
+        scan_expr b;
+        scan_expr i;
+        scan_expr e
+      | SAssign (TAttr (b, _), e) ->
+        scan_expr b;
+        scan_expr e
+      | SAssign (TTuple ns, e) ->
+        List.iter add ns;
+        scan_expr e
+      | SExpr e | SReturn e -> scan_expr e)
+    body;
+  used
+
+(* Convert a statement list to ANF. *)
+let normalize_body (body : stmt list) : stmt list =
+  let st = { counter = 0; used = collect_names body; out = [] } in
+  List.iter
+    (fun s ->
+      match s with
+      | SAssign (TName n, e) -> emit st (SAssign (TName n, shallow st e))
+      | SAssign (TSubscript (b, i), e) ->
+        emit st (SAssign (TSubscript (atomize st b, normalize_arg st i),
+                          shallow st e))
+      | SAssign (TAttr (b, a), e) ->
+        emit st (SAssign (TAttr (atomize st b, a), shallow st e))
+      | SAssign (TTuple ns, e) -> emit st (SAssign (TTuple ns, shallow st e))
+      | SExpr e -> emit st (SExpr (shallow st e))
+      | SReturn e -> emit st (SReturn (atomize st e)))
+    body;
+  List.rev st.out
+
+let normalize_func_def (f : func) : func =
+  { f with body = normalize_body f.body }

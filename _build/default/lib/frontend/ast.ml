@@ -1,0 +1,120 @@
+(** Abstract syntax for the Python subset PyTond analyses: straight-line
+    data-science functions over Pandas/NumPy (assignments, expressions,
+    method calls, subscripts, slices, lambdas, returns). *)
+
+type binop =
+  | Add | Sub | Mult | Div | FloorDiv | Mod | Pow
+  | BitAnd | BitOr (* pandas boolean masks *)
+
+type unop = Neg | Invert | NotOp
+
+type cmpop = Eq | NotEq | Lt | LtE | Gt | GtE | In | NotIn
+
+type boolop = LAnd | LOr
+
+type expr =
+  | Name of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | NoneLit
+  | EList of expr list
+  | ETuple of expr list
+  | EDict of (expr * expr) list
+  | Attr of expr * string
+  | Call of { func : expr; args : expr list; kwargs : (string * expr) list }
+  | Subscript of expr * index
+  | BinOp of binop * expr * expr
+  | UnaryOp of unop * expr
+  | Compare of cmpop * expr * expr
+  | BoolOp of boolop * expr * expr
+  | Lambda of string list * expr
+  | IfExp of { cond : expr; then_ : expr; else_ : expr }
+
+and index = Index of expr | Slice of expr option * expr option
+
+type target =
+  | TName of string
+  | TSubscript of expr * expr (* df['col'] = ... *)
+  | TAttr of expr * string
+  | TTuple of string list
+
+type stmt = SAssign of target * expr | SExpr of expr | SReturn of expr
+
+type decorator = { dec_name : string; dec_kwargs : (string * expr) list }
+
+type func = {
+  fname : string;
+  params : string list;
+  decorators : decorator list;
+  body : stmt list;
+}
+
+type module_ = { funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (round-trip-ish, for diagnostics and tests)        *)
+(* ------------------------------------------------------------------ *)
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mult -> "*" | Div -> "/" | FloorDiv -> "//"
+  | Mod -> "%" | Pow -> "**" | BitAnd -> "&" | BitOr -> "|"
+
+let cmpop_str = function
+  | Eq -> "==" | NotEq -> "!=" | Lt -> "<" | LtE -> "<=" | Gt -> ">"
+  | GtE -> ">=" | In -> "in" | NotIn -> "not in"
+
+let rec expr_str = function
+  | Name n -> n
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | NoneLit -> "None"
+  | EList es -> "[" ^ String.concat ", " (List.map expr_str es) ^ "]"
+  | ETuple es -> "(" ^ String.concat ", " (List.map expr_str es) ^ ")"
+  | EDict kvs ->
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> expr_str k ^ ": " ^ expr_str v) kvs)
+    ^ "}"
+  | Attr (e, a) -> expr_str e ^ "." ^ a
+  | Call { func; args; kwargs } ->
+    expr_str func ^ "("
+    ^ String.concat ", "
+        (List.map expr_str args
+        @ List.map (fun (k, v) -> k ^ "=" ^ expr_str v) kwargs)
+    ^ ")"
+  | Subscript (e, Index i) -> expr_str e ^ "[" ^ expr_str i ^ "]"
+  | Subscript (e, Slice (a, b)) ->
+    expr_str e ^ "["
+    ^ (match a with Some a -> expr_str a | None -> "")
+    ^ ":"
+    ^ (match b with Some b -> expr_str b | None -> "")
+    ^ "]"
+  | BinOp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | UnaryOp (Neg, a) -> "(-" ^ expr_str a ^ ")"
+  | UnaryOp (Invert, a) -> "(~" ^ expr_str a ^ ")"
+  | UnaryOp (NotOp, a) -> "(not " ^ expr_str a ^ ")"
+  | Compare (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (cmpop_str op) (expr_str b)
+  | BoolOp (LAnd, a, b) ->
+    Printf.sprintf "(%s and %s)" (expr_str a) (expr_str b)
+  | BoolOp (LOr, a, b) -> Printf.sprintf "(%s or %s)" (expr_str a) (expr_str b)
+  | Lambda (ps, body) ->
+    Printf.sprintf "lambda %s: %s" (String.concat ", " ps) (expr_str body)
+  | IfExp { cond; then_; else_ } ->
+    Printf.sprintf "(%s if %s else %s)" (expr_str then_) (expr_str cond)
+      (expr_str else_)
+
+let stmt_str = function
+  | SAssign (TName n, e) -> n ^ " = " ^ expr_str e
+  | SAssign (TSubscript (b, i), e) ->
+    expr_str b ^ "[" ^ expr_str i ^ "] = " ^ expr_str e
+  | SAssign (TAttr (b, a), e) -> expr_str b ^ "." ^ a ^ " = " ^ expr_str e
+  | SAssign (TTuple ns, e) -> String.concat ", " ns ^ " = " ^ expr_str e
+  | SExpr e -> expr_str e
+  | SReturn e -> "return " ^ expr_str e

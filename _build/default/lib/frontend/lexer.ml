@@ -1,0 +1,209 @@
+(** Tokenizer for the Python subset, with INDENT/DEDENT synthesis and
+    implicit line joining inside brackets. *)
+
+exception Lex_error of string
+
+type token =
+  | NAME of string
+  | KW of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | OP of string
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | EOF
+
+let keywords =
+  [ "def"; "return"; "lambda"; "if"; "else"; "and"; "or"; "not"; "in";
+    "True"; "False"; "None"; "import"; "as"; "from"; "pass" ]
+
+let token_str = function
+  | NAME s -> "NAME(" ^ s ^ ")"
+  | KW s -> "KW(" ^ s ^ ")"
+  | INT i -> "INT(" ^ string_of_int i ^ ")"
+  | FLOAT f -> Printf.sprintf "FLOAT(%g)" f
+  | STRING s -> Printf.sprintf "STRING(%S)" s
+  | OP s -> "OP(" ^ s ^ ")"
+  | NEWLINE -> "NEWLINE"
+  | INDENT -> "INDENT"
+  | DEDENT -> "DEDENT"
+  | EOF -> "EOF"
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let three_char_ops = [ "**="; "//=" ]
+let two_char_ops =
+  [ "=="; "!="; "<="; ">="; "//"; "**"; "->"; "+="; "-="; "*="; "/=" ]
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let indents = ref [ 0 ] in
+  let depth = ref 0 in (* bracket depth: () [] {} *)
+  let i = ref 0 in
+  let at_line_start = ref true in
+  let line_has_content = ref false in
+  let emit_newline () =
+    if !line_has_content && !depth = 0 then push NEWLINE;
+    line_has_content := false;
+    at_line_start := true
+  in
+  let handle_indent width =
+    let top () = match !indents with t :: _ -> t | [] -> 0 in
+    if width > top () then begin
+      indents := width :: !indents;
+      push INDENT
+    end
+    else
+      while width < top () do
+        (match !indents with
+        | _ :: rest -> indents := rest
+        | [] -> ());
+        push DEDENT;
+        if width > top () then raise (Lex_error "inconsistent dedent")
+      done
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if !at_line_start && !depth = 0 then begin
+      (* measure indentation *)
+      let start = !i in
+      while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+        incr i
+      done;
+      if !i < n && src.[!i] = '\n' then begin
+        (* blank line *)
+        incr i
+      end
+      else if !i < n && src.[!i] = '#' then begin
+        while !i < n && src.[!i] <> '\n' do incr i done
+      end
+      else if !i >= n then ()
+      else begin
+        handle_indent (!i - start);
+        at_line_start := false
+      end
+    end
+    else if c = '\n' then begin
+      incr i;
+      emit_newline ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '\\' && !i + 1 < n && src.[!i + 1] = '\n' then i := !i + 2
+    else begin
+      line_has_content := true;
+      at_line_start := false;
+      if is_name_start c then begin
+        let start = !i in
+        while !i < n && is_name_char src.[!i] do incr i done;
+        let s = String.sub src start (!i - start) in
+        if List.mem s keywords then push (KW s) else push (NAME s)
+      end
+      else if c >= '0' && c <= '9' then begin
+        let start = !i in
+        while
+          !i < n
+          && ((src.[!i] >= '0' && src.[!i] <= '9')
+             || src.[!i] = '.' || src.[!i] = '_'
+             || src.[!i] = 'e' || src.[!i] = 'E'
+             || ((src.[!i] = '+' || src.[!i] = '-')
+                && !i > start
+                && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+        do
+          incr i
+        done;
+        let s =
+          String.concat ""
+            (List.filter (fun x -> x <> "_")
+               (List.init (!i - start) (fun k ->
+                    String.make 1 src.[start + k])))
+        in
+        if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+        then push (FLOAT (float_of_string s))
+        else push (INT (int_of_string s))
+      end
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        incr i;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Lex_error "unterminated string")
+          else if src.[!i] = '\\' && !i + 1 < n then begin
+            (match src.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '\'' -> Buffer.add_char buf '\''
+            | '"' -> Buffer.add_char buf '"'
+            | other ->
+              Buffer.add_char buf '\\';
+              Buffer.add_char buf other);
+            i := !i + 2
+          end
+          else if src.[!i] = quote then begin
+            closed := true;
+            incr i
+          end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i
+          end
+        done;
+        push (STRING (Buffer.contents buf))
+      end
+      else begin
+        (* operators and punctuation *)
+        let try_op len =
+          if !i + len <= n then
+            let s = String.sub src !i len in
+            let ok =
+              match len with
+              | 3 -> List.mem s three_char_ops
+              | 2 -> List.mem s two_char_ops
+              | _ -> false
+            in
+            if ok then Some s else None
+          else None
+        in
+        match try_op 3 with
+        | Some s ->
+          push (OP s);
+          i := !i + 3
+        | None -> (
+          match try_op 2 with
+          | Some s ->
+            push (OP s);
+            i := !i + 2
+          | None ->
+            let s = String.make 1 c in
+            (match c with
+            | '(' | '[' | '{' -> incr depth
+            | ')' | ']' | '}' -> decr depth
+            | _ -> ());
+            (match c with
+            | '(' | ')' | '[' | ']' | '{' | '}' | ',' | ':' | '.' | '=' | '+'
+            | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '~' | '@' | ';' ->
+              push (OP s)
+            | other ->
+              raise (Lex_error (Printf.sprintf "unexpected character %c" other)));
+            incr i)
+      end
+    end
+  done;
+  emit_newline ();
+  (* close remaining indents *)
+  while (match !indents with t :: _ -> t > 0 | [] -> false) do
+    (match !indents with _ :: rest -> indents := rest | [] -> ());
+    push DEDENT
+  done;
+  push EOF;
+  List.rev !toks

@@ -1,0 +1,484 @@
+(** Recursive-descent parser for the Python subset (see {!Ast}), honoring
+    Python operator precedence (notably: [&]/[|] bind tighter than
+    comparisons, which is why Pandas masks are parenthesized). *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else EOF
+let advance st = st.pos <- st.pos + 1
+
+let error st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at token %d: %s)" msg st.pos
+          (token_str (peek st))))
+
+let expect_op st op =
+  match peek st with
+  | OP o when String.equal o op -> advance st
+  | _ -> error st (Printf.sprintf "expected '%s'" op)
+
+let accept_op st op =
+  match peek st with
+  | OP o when String.equal o op ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_kw st kw =
+  match peek st with
+  | KW k when String.equal k kw -> advance st
+  | _ -> error st (Printf.sprintf "expected keyword %s" kw)
+
+let accept_kw st kw =
+  match peek st with
+  | KW k when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+let name st =
+  match peek st with
+  | NAME n ->
+    advance st;
+    n
+  | _ -> error st "expected identifier"
+
+let skip_newlines st =
+  let continue = ref true in
+  while !continue do
+    match peek st with NEWLINE -> advance st | _ -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : expr =
+  match peek st with
+  | KW "lambda" ->
+    advance st;
+    let params =
+      if accept_op st ":" then []
+      else begin
+        let ps = ref [ name st ] in
+        while accept_op st "," do
+          ps := name st :: !ps
+        done;
+        expect_op st ":";
+        List.rev !ps
+      end
+    in
+    Lambda (params, parse_expr st)
+  | _ -> (
+    let e = parse_or st in
+    (* conditional expression: X if C else Y *)
+    if accept_kw st "if" then begin
+      let cond = parse_or st in
+      expect_kw st "else";
+      let else_ = parse_expr st in
+      IfExp { cond; then_ = e; else_ }
+    end
+    else e)
+
+and parse_or st =
+  let l = parse_and st in
+  if accept_kw st "or" then BoolOp (LOr, l, parse_or st) else l
+
+and parse_and st =
+  let l = parse_not st in
+  if accept_kw st "and" then BoolOp (LAnd, l, parse_and st) else l
+
+and parse_not st =
+  if accept_kw st "not" then UnaryOp (NotOp, parse_not st)
+  else parse_comparison st
+
+and parse_comparison st =
+  let l = parse_bitor st in
+  let cmp op =
+    advance st;
+    Compare (op, l, parse_bitor st)
+  in
+  match peek st with
+  | OP "==" -> cmp Eq
+  | OP "!=" -> cmp NotEq
+  | OP "<" -> cmp Lt
+  | OP "<=" -> cmp LtE
+  | OP ">" -> cmp Gt
+  | OP ">=" -> cmp GtE
+  | KW "in" ->
+    advance st;
+    Compare (In, l, parse_bitor st)
+  | KW "not" -> (
+    match peek2 st with
+    | KW "in" ->
+      advance st;
+      advance st;
+      Compare (NotIn, l, parse_bitor st)
+    | _ -> l)
+  | _ -> l
+
+and parse_bitor st =
+  let l = ref (parse_bitand st) in
+  while (match peek st with OP "|" -> true | _ -> false) do
+    advance st;
+    l := BinOp (BitOr, !l, parse_bitand st)
+  done;
+  !l
+
+and parse_bitand st =
+  let l = ref (parse_arith st) in
+  while (match peek st with OP "&" -> true | _ -> false) do
+    advance st;
+    l := BinOp (BitAnd, !l, parse_arith st)
+  done;
+  !l
+
+and parse_arith st =
+  let l = ref (parse_term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | OP "+" ->
+      advance st;
+      l := BinOp (Add, !l, parse_term st)
+    | OP "-" ->
+      advance st;
+      l := BinOp (Sub, !l, parse_term st)
+    | _ -> continue := false
+  done;
+  !l
+
+and parse_term st =
+  let l = ref (parse_factor st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | OP "*" ->
+      advance st;
+      l := BinOp (Mult, !l, parse_factor st)
+    | OP "/" ->
+      advance st;
+      l := BinOp (Div, !l, parse_factor st)
+    | OP "//" ->
+      advance st;
+      l := BinOp (FloorDiv, !l, parse_factor st)
+    | OP "%" ->
+      advance st;
+      l := BinOp (Mod, !l, parse_factor st)
+    | _ -> continue := false
+  done;
+  !l
+
+and parse_factor st =
+  match peek st with
+  | OP "-" ->
+    advance st;
+    UnaryOp (Neg, parse_factor st)
+  | OP "~" ->
+    advance st;
+    UnaryOp (Invert, parse_factor st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_postfix st in
+  if accept_op st "**" then BinOp (Pow, base, parse_factor st) else base
+
+and parse_postfix st =
+  let e = ref (parse_atom st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | OP "." ->
+      advance st;
+      e := Attr (!e, name st)
+    | OP "(" ->
+      advance st;
+      let args = ref [] and kwargs = ref [] in
+      if not (accept_op st ")") then begin
+        let arg () =
+          match (peek st, peek2 st) with
+          | NAME k, OP "=" ->
+            advance st;
+            advance st;
+            kwargs := (k, parse_expr st) :: !kwargs
+          | _ -> args := parse_expr st :: !args
+        in
+        arg ();
+        while accept_op st "," do
+          if not (match peek st with OP ")" -> true | _ -> false) then arg ()
+        done;
+        expect_op st ")"
+      end;
+      e := Call { func = !e; args = List.rev !args; kwargs = List.rev !kwargs }
+    | OP "[" ->
+      advance st;
+      let idx =
+        if accept_op st ":" then begin
+          (* [:stop] *)
+          let stop =
+            match peek st with
+            | OP "]" -> None
+            | _ -> Some (parse_expr st)
+          in
+          Slice (None, stop)
+        end
+        else begin
+          let first = parse_expr st in
+          if accept_op st ":" then
+            let stop =
+              match peek st with
+              | OP "]" -> None
+              | _ -> Some (parse_expr st)
+            in
+            Slice (Some first, stop)
+          else Index first
+        end
+      in
+      expect_op st "]";
+      e := Subscript (!e, idx)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_atom st =
+  match peek st with
+  | NAME n ->
+    advance st;
+    Name n
+  | INT i ->
+    advance st;
+    Int i
+  | FLOAT f ->
+    advance st;
+    Float f
+  | STRING s ->
+    advance st;
+    (* adjacent string literals concatenate *)
+    let acc = ref s in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | STRING s2 ->
+        advance st;
+        acc := !acc ^ s2
+      | _ -> continue := false
+    done;
+    Str !acc
+  | KW "True" ->
+    advance st;
+    Bool true
+  | KW "False" ->
+    advance st;
+    Bool false
+  | KW "None" ->
+    advance st;
+    NoneLit
+  | KW "lambda" -> parse_expr st
+  | OP "(" ->
+    advance st;
+    if accept_op st ")" then ETuple []
+    else begin
+      let first = parse_expr st in
+      if accept_op st "," then begin
+        let es = ref [ first ] in
+        if not (match peek st with OP ")" -> true | _ -> false) then begin
+          es := parse_expr st :: !es;
+          while accept_op st "," do
+            if not (match peek st with OP ")" -> true | _ -> false) then
+              es := parse_expr st :: !es
+          done
+        end;
+        expect_op st ")";
+        ETuple (List.rev !es)
+      end
+      else begin
+        expect_op st ")";
+        first
+      end
+    end
+  | OP "[" ->
+    advance st;
+    if accept_op st "]" then EList []
+    else begin
+      let es = ref [ parse_expr st ] in
+      while accept_op st "," do
+        if not (match peek st with OP "]" -> true | _ -> false) then
+          es := parse_expr st :: !es
+      done;
+      expect_op st "]";
+      EList (List.rev !es)
+    end
+  | OP "{" ->
+    advance st;
+    if accept_op st "}" then EDict []
+    else begin
+      let kv () =
+        let k = parse_expr st in
+        expect_op st ":";
+        let v = parse_expr st in
+        (k, v)
+      in
+      let kvs = ref [ kv () ] in
+      while accept_op st "," do
+        if not (match peek st with OP "}" -> true | _ -> false) then
+          kvs := kv () :: !kvs
+      done;
+      expect_op st "}";
+      EDict (List.rev !kvs)
+    end
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let expr_to_target st (e : expr) : target =
+  match e with
+  | Name n -> TName n
+  | Subscript (base, Index i) -> TSubscript (base, i)
+  | Attr (base, a) -> TAttr (base, a)
+  | ETuple es ->
+    TTuple
+      (List.map
+         (function Name n -> n | _ -> error st "bad tuple assignment target")
+         es)
+  | _ -> error st "invalid assignment target"
+
+let parse_stmt st : stmt =
+  if accept_kw st "return" then begin
+    let e = parse_expr st in
+    SReturn e
+  end
+  else if accept_kw st "pass" then SExpr NoneLit
+  else begin
+    let e = parse_expr st in
+    (* tuple target: a, b = ... *)
+    if (match peek st with OP "," -> true | _ -> false) then begin
+      let names = ref [ e ] in
+      while accept_op st "," do
+        names := parse_expr st :: !names
+      done;
+      expect_op st "=";
+      let rhs = parse_expr st in
+      SAssign (expr_to_target st (ETuple (List.rev !names)), rhs)
+    end
+    else if accept_op st "=" then SAssign (expr_to_target st e, parse_expr st)
+    else SExpr e
+  end
+
+let parse_block st : stmt list =
+  (match peek st with NEWLINE -> advance st | _ -> error st "expected newline");
+  (match peek st with
+  | INDENT -> advance st
+  | _ -> error st "expected indented block");
+  let stmts = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_newlines st;
+    match peek st with
+    | DEDENT ->
+      advance st;
+      continue := false
+    | EOF -> continue := false
+    | _ ->
+      let s = parse_stmt st in
+      stmts := s :: !stmts;
+      (match peek st with
+      | NEWLINE -> advance st
+      | DEDENT | EOF -> ()
+      | _ -> error st "expected end of statement")
+  done;
+  List.rev !stmts
+
+let parse_decorator st : decorator =
+  expect_op st "@";
+  let dec_name = name st in
+  (* dotted decorator names are flattened *)
+  let dec_name = ref dec_name in
+  while accept_op st "." do
+    dec_name := !dec_name ^ "." ^ name st
+  done;
+  let kwargs = ref [] in
+  if accept_op st "(" then begin
+    if not (accept_op st ")") then begin
+      let arg () =
+        match (peek st, peek2 st) with
+        | NAME k, OP "=" ->
+          advance st;
+          advance st;
+          kwargs := (k, parse_expr st) :: !kwargs
+        | _ ->
+          (* positional decorator args are ignored *)
+          ignore (parse_expr st)
+      in
+      arg ();
+      while accept_op st "," do
+        arg ()
+      done;
+      expect_op st ")"
+    end
+  end;
+  (match peek st with NEWLINE -> advance st | _ -> error st "expected newline");
+  { dec_name = !dec_name; dec_kwargs = List.rev !kwargs }
+
+let parse_func st (decorators : decorator list) : func =
+  expect_kw st "def";
+  let fname = name st in
+  expect_op st "(";
+  let params = ref [] in
+  if not (accept_op st ")") then begin
+    params := [ name st ];
+    while accept_op st "," do
+      if not (match peek st with OP ")" -> true | _ -> false) then
+        params := name st :: !params
+    done;
+    expect_op st ")"
+  end;
+  expect_op st ":";
+  let body = parse_block st in
+  { fname; params = List.rev !params; decorators; body }
+
+let skip_import st =
+  (* import x [as y] / from x import y [as z] — ignored *)
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | NEWLINE ->
+      advance st;
+      continue := false
+    | EOF -> continue := false
+    | _ -> advance st
+  done
+
+let parse_module (src : string) : module_ =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let funcs = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_newlines st;
+    match peek st with
+    | EOF -> continue := false
+    | KW "import" | KW "from" -> skip_import st
+    | OP "@" ->
+      let decs = ref [ parse_decorator st ] in
+      skip_newlines st;
+      while (match peek st with OP "@" -> true | _ -> false) do
+        decs := parse_decorator st :: !decs;
+        skip_newlines st
+      done;
+      funcs := parse_func st (List.rev !decs) :: !funcs
+    | KW "def" -> funcs := parse_func st [] :: !funcs
+    | _ ->
+      (* top-level statements outside functions are ignored *)
+      let _ = parse_stmt st in
+      (match peek st with NEWLINE -> advance st | _ -> ())
+  done;
+  { funcs = List.rev !funcs }

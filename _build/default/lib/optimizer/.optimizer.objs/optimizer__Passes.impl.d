@@ -1,0 +1,1 @@
+lib/optimizer/passes.ml: Array Fun Hashtbl List Option Printf String Tondir

@@ -1,0 +1,1 @@
+lib/sqldb/agg_util.ml: Array Column Hash_util Hashtbl Plan Sql_ast Value

@@ -1,0 +1,1 @@
+lib/sqldb/bitset.ml: Array Bytes Char

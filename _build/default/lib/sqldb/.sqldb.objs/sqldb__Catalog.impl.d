@@ -1,0 +1,1 @@
+lib/sqldb/catalog.ml: Hashtbl List Relation

@@ -1,0 +1,1 @@
+lib/sqldb/column.ml: Array Bitset List Value

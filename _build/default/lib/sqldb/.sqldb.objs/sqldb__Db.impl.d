@@ -1,0 +1,1 @@
+lib/sqldb/db.ml: Catalog Exec_compiled Exec_vectorized List Plan Planner Relation Sql_parse

@@ -1,0 +1,1 @@
+lib/sqldb/eval.ml: Array Bitset Column Float List Option Plan Printf Sql_ast String Value

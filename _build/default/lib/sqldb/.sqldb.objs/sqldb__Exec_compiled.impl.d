@@ -1,0 +1,1 @@
+lib/sqldb/exec_compiled.ml: Agg_util Array Catalog Column Eval Exec_vectorized Fun Hash_util Hashtbl List Option Parallel Plan Relation Value

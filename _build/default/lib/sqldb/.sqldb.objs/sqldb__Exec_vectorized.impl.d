@@ -1,0 +1,1 @@
+lib/sqldb/exec_vectorized.ml: Agg_util Array Catalog Column Eval Fun Hash_util Hashtbl List Parallel Plan Relation String Value

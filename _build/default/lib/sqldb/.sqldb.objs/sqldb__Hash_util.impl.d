@@ -1,0 +1,1 @@
+lib/sqldb/hash_util.ml: Array Bitset Buffer Column Hashtbl List Value

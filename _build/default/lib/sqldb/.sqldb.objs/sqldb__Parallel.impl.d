@@ -1,0 +1,1 @@
+lib/sqldb/parallel.ml: Atomic Domain Float List Unix

@@ -1,0 +1,1 @@
+lib/sqldb/plan.ml: Array Format List Option Sql_ast Value

@@ -1,0 +1,1 @@
+lib/sqldb/planner.ml: Array Catalog Either Float Fun Hashtbl List Option Plan Printf Relation Sql_ast Sql_print String Value

@@ -1,0 +1,1 @@
+lib/sqldb/relation.ml: Array Column Float Format Fun List Printf String Value

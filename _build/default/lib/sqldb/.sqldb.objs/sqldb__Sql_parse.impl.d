@@ -1,0 +1,1 @@
+lib/sqldb/sql_parse.ml: Array Buffer List Printf Sql_ast String Value

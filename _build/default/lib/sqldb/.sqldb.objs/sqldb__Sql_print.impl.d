@@ -1,0 +1,1 @@
+lib/sqldb/sql_print.ml: Buffer List Printf Sql_ast String Value

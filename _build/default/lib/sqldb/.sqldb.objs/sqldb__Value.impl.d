@@ -1,0 +1,1 @@
+lib/sqldb/value.ml: Float Printf String

@@ -1,0 +1,94 @@
+(** Aggregate accumulators shared by the vectorized and compiled executors. *)
+
+open Value
+
+type acc = {
+  mutable count : int; (* rows contributing (non-null for arg aggregates) *)
+  mutable sumi : int;
+  mutable sumf : float;
+  mutable minv : Value.t;
+  mutable maxv : Value.t;
+  mutable seen : (string, unit) Hashtbl.t option; (* DISTINCT tracking *)
+}
+
+let create (spec : Plan.agg_spec) : acc =
+  { count = 0; sumi = 0; sumf = 0.; minv = VNull; maxv = VNull;
+    seen = (if spec.distinct then Some (Hashtbl.create 16) else None) }
+
+let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
+  match spec.arg with
+  | None -> acc.count <- acc.count + 1 (* count star *)
+  | Some i ->
+    let c = cols.(i) in
+    if Column.is_null c row then ()
+    else begin
+      let proceed =
+        match acc.seen with
+        | None -> true
+        | Some seen ->
+          let k = Hash_util.pack_values [ Column.get c row ] in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end
+      in
+      if proceed then begin
+        acc.count <- acc.count + 1;
+        match spec.fn with
+        | Sql_ast.Count | Sql_ast.CountStar -> ()
+        | Sql_ast.Sum | Sql_ast.Avg -> (
+          match c.Column.data with
+          | Column.I a -> (
+            acc.sumi <- acc.sumi + a.(row);
+            match spec.fn with
+            | Sql_ast.Avg -> acc.sumf <- acc.sumf +. float_of_int a.(row)
+            | _ -> ())
+          | _ -> acc.sumf <- acc.sumf +. Column.float_at c row)
+        | Sql_ast.Min ->
+          let v = Column.get c row in
+          if Value.is_null acc.minv || Value.compare_values v acc.minv < 0 then
+            acc.minv <- v
+        | Sql_ast.Max ->
+          let v = Column.get c row in
+          if Value.is_null acc.maxv || Value.compare_values v acc.maxv > 0 then
+            acc.maxv <- v
+      end
+    end
+
+let merge (spec : Plan.agg_spec) (a : acc) (b : acc) =
+  (match (a.seen, b.seen) with
+  | Some sa, Some sb ->
+    (* Distinct accumulators merged across partitions: recount overlaps. *)
+    Hashtbl.iter
+      (fun k () -> if not (Hashtbl.mem sa k) then Hashtbl.add sa k ())
+      sb;
+    a.count <- Hashtbl.length sa
+  | _ ->
+    a.count <- a.count + b.count;
+    a.sumi <- a.sumi + b.sumi;
+    a.sumf <- a.sumf +. b.sumf);
+  (match spec.fn with
+  | Sql_ast.Min ->
+    if
+      Value.is_null a.minv
+      || ((not (Value.is_null b.minv)) && Value.compare_values b.minv a.minv < 0)
+    then a.minv <- b.minv
+  | Sql_ast.Max ->
+    if
+      Value.is_null a.maxv
+      || ((not (Value.is_null b.maxv)) && Value.compare_values b.maxv a.maxv > 0)
+    then a.maxv <- b.maxv
+  | _ -> ())
+
+let finish (spec : Plan.agg_spec) (acc : acc) : Value.t =
+  match spec.fn with
+  | Sql_ast.Count | Sql_ast.CountStar -> VInt acc.count
+  | Sql_ast.Avg ->
+    if acc.count = 0 then VNull else VFloat (acc.sumf /. float_of_int acc.count)
+  | Sql_ast.Sum ->
+    if acc.count = 0 then VNull
+    else if spec.out_ty = TInt then VInt acc.sumi
+    else VFloat acc.sumf
+  | Sql_ast.Min -> acc.minv
+  | Sql_ast.Max -> acc.maxv

@@ -1,0 +1,42 @@
+(** Database catalog: named base tables plus integrity constraints.
+
+    PyTond queries the catalog during translation for schema information and
+    uniqueness facts that drive group/aggregate and self-join elimination. *)
+
+type constraints = {
+  primary_key : string list; (* empty list = none *)
+  unique : string list list; (* each entry is a unique column set *)
+  foreign_keys : (string * string * string) list; (* col, table, col *)
+}
+
+let no_constraints = { primary_key = []; unique = []; foreign_keys = [] }
+
+type table = { rel : Relation.t; cons : constraints }
+type t = (string, table) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add ?(cons = no_constraints) t name rel =
+  Hashtbl.replace t name { rel; cons }
+
+let find_opt (t : t) name = Hashtbl.find_opt t name
+
+let find t name =
+  match find_opt t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Catalog.find: no table " ^ name)
+
+let relation t name = (find t name).rel
+let mem (t : t) name = Hashtbl.mem t name
+let names (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+(* Is [cols] (or a subset of it) known unique in [name]?  Grouping by a
+   superset of a unique key yields singleton groups. *)
+let is_unique t name cols =
+  match find_opt t name with
+  | None -> false
+  | Some { cons; _ } ->
+    let covered key = key <> [] && List.for_all (fun c -> List.mem c cols) key in
+    covered cons.primary_key || List.exists covered cons.unique
+
+let schema_of t name = Relation.schema (relation t name)

@@ -1,0 +1,210 @@
+(** Typed columnar vectors with optional null bitmap. *)
+
+open Value
+
+type data =
+  | I of int array (* TInt and TDate *)
+  | F of float array
+  | S of string array
+  | B of bool array
+
+type t = { ty : ty; data : data; nulls : Bitset.t option }
+
+let length c =
+  match c.data with
+  | I a -> Array.length a
+  | F a -> Array.length a
+  | S a -> Array.length a
+  | B a -> Array.length a
+
+let is_null c i =
+  match c.nulls with None -> false | Some m -> Bitset.get m i
+
+let has_nulls c =
+  match c.nulls with None -> false | Some m -> not (Bitset.is_empty m)
+
+let of_ints a = { ty = TInt; data = I a; nulls = None }
+let of_dates a = { ty = TDate; data = I a; nulls = None }
+let of_floats a = { ty = TFloat; data = F a; nulls = None }
+let of_strings a = { ty = TString; data = S a; nulls = None }
+let of_bools a = { ty = TBool; data = B a; nulls = None }
+
+let get c i =
+  if is_null c i then VNull
+  else
+    match (c.ty, c.data) with
+    | TDate, I a -> VDate a.(i)
+    | _, I a -> VInt a.(i)
+    | _, F a -> VFloat a.(i)
+    | _, S a -> VString a.(i)
+    | _, B a -> VBool a.(i)
+
+(* Raw accessors ignoring nulls; used in tight loops after null checks. *)
+let int_at c i =
+  match c.data with
+  | I a -> a.(i)
+  | B a -> if a.(i) then 1 else 0
+  | F a -> int_of_float a.(i)
+  | S _ -> invalid_arg "Column.int_at: string column"
+
+let float_at c i =
+  match c.data with
+  | F a -> a.(i)
+  | I a -> float_of_int a.(i)
+  | B a -> if a.(i) then 1. else 0.
+  | S _ -> invalid_arg "Column.float_at: string column"
+
+let string_at c i =
+  match c.data with
+  | S a -> a.(i)
+  | _ -> Value.to_string (get c i)
+
+let bool_at c i =
+  match c.data with
+  | B a -> a.(i)
+  | I a -> a.(i) <> 0
+  | F a -> a.(i) <> 0.
+  | S _ -> invalid_arg "Column.bool_at: string column"
+
+(* Build a column of type [ty] from boxed values (nulls allowed). *)
+let of_values ty (vs : Value.t array) =
+  let n = Array.length vs in
+  let nulls = ref None in
+  let mark_null i =
+    let m =
+      match !nulls with
+      | Some m -> m
+      | None ->
+        let m = Bitset.create n in
+        nulls := Some m;
+        m
+    in
+    Bitset.set m i
+  in
+  let data =
+    match ty with
+    | TInt | TDate ->
+      let a = Array.make n 0 in
+      Array.iteri
+        (fun i v ->
+          match v with VNull -> mark_null i | v -> a.(i) <- Value.as_int v)
+        vs;
+      I a
+    | TFloat ->
+      let a = Array.make n 0. in
+      Array.iteri
+        (fun i v ->
+          match v with VNull -> mark_null i | v -> a.(i) <- Value.as_float v)
+        vs;
+      F a
+    | TString ->
+      let a = Array.make n "" in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | VNull -> mark_null i
+          | VString s -> a.(i) <- s
+          | v -> a.(i) <- Value.to_string v)
+        vs;
+      S a
+    | TBool ->
+      let a = Array.make n false in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | VNull -> mark_null i
+          | VBool b -> a.(i) <- b
+          | v -> a.(i) <- Value.as_int v <> 0)
+        vs;
+      B a
+  in
+  { ty; data; nulls = !nulls }
+
+(* Gather rows [idx] into a new column. [idx.(k) = -1] produces null, which
+   outer joins use for unmatched rows. *)
+let take c idx =
+  let n = Array.length idx in
+  let any_missing = Array.exists (fun i -> i < 0) idx in
+  let src_nulls = c.nulls in
+  let nulls =
+    if any_missing || src_nulls <> None then begin
+      let m = Bitset.create n in
+      Array.iteri
+        (fun k i ->
+          if i < 0 then Bitset.set m k
+          else
+            match src_nulls with
+            | Some sm when Bitset.get sm i -> Bitset.set m k
+            | _ -> ())
+        idx;
+      if Bitset.is_empty m then None else Some m
+    end
+    else None
+  in
+  let data =
+    match c.data with
+    | I a -> I (Array.map (fun i -> if i < 0 then 0 else a.(i)) idx)
+    | F a -> F (Array.map (fun i -> if i < 0 then 0. else a.(i)) idx)
+    | S a -> S (Array.map (fun i -> if i < 0 then "" else a.(i)) idx)
+    | B a -> B (Array.map (fun i -> if i < 0 then false else a.(i)) idx)
+  in
+  { ty = c.ty; data; nulls }
+
+let concat cs =
+  match cs with
+  | [] -> invalid_arg "Column.concat: empty"
+  | [ c ] -> c
+  | first :: _ ->
+    let no_nulls = List.for_all (fun c -> c.nulls = None) cs in
+    let same_shape =
+      List.for_all
+        (fun c ->
+          match (first.data, c.data) with
+          | I _, I _ | F _, F _ | S _, S _ | B _, B _ -> true
+          | (I _ | F _ | S _ | B _), _ -> false)
+        cs
+    in
+    if no_nulls && same_shape then
+      let data =
+        match first.data with
+        | I _ ->
+          I (Array.concat
+               (List.map
+                  (fun c ->
+                    match c.data with I a -> a | _ -> assert false)
+                  cs))
+        | F _ ->
+          F (Array.concat
+               (List.map
+                  (fun c ->
+                    match c.data with F a -> a | _ -> assert false)
+                  cs))
+        | S _ ->
+          S (Array.concat
+               (List.map
+                  (fun c ->
+                    match c.data with S a -> a | _ -> assert false)
+                  cs))
+        | B _ ->
+          B (Array.concat
+               (List.map
+                  (fun c ->
+                    match c.data with B a -> a | _ -> assert false)
+                  cs))
+      in
+      { ty = first.ty; data; nulls = None }
+    else begin
+      let total = List.fold_left (fun acc c -> acc + length c) 0 cs in
+      let vs = Array.make total VNull in
+      let k = ref 0 in
+      List.iter
+        (fun c ->
+          for i = 0 to length c - 1 do
+            vs.(!k) <- get c i;
+            incr k
+          done)
+        cs;
+      of_values first.ty vs
+    end
+
+let const ty v n = of_values ty (Array.make n v)

@@ -1,0 +1,54 @@
+(** Engine facade: load tables, execute SQL text on a chosen backend.
+
+    Backends model the execution paradigms of the paper's engines:
+    - [Vectorized] — DuckDB-like operator-at-a-time columnar execution;
+    - [Compiled] — Hyper-like fused pipelines (morsel-driven);
+    - [Lingo] — the compiled engine with window functions disabled,
+      reproducing LingoDB's missing [row_number] support (paper §V-A). *)
+
+type backend = Vectorized | Compiled | Lingo
+
+exception Unsupported of string
+
+let backend_name = function
+  | Vectorized -> "duckdb-sim"
+  | Compiled -> "hyper-sim"
+  | Lingo -> "lingodb-sim"
+
+type t = { catalog : Catalog.t }
+
+let create () = { catalog = Catalog.create () }
+let load_table ?cons t name rel = Catalog.add ?cons t.catalog name rel
+let catalog t = t.catalog
+
+let rec plan_has_window (p : Plan.plan) =
+  match p.Plan.node with
+  | Plan.Window _ -> true
+  | Plan.Scan _ | Plan.PValues _ -> false
+  | Plan.Filter (s, _)
+  | Plan.Project (s, _)
+  | Plan.Aggregate (s, _, _)
+  | Plan.Sort (s, _)
+  | Plan.LimitN (s, _)
+  | Plan.Distinct s -> plan_has_window s
+  | Plan.Join { left; right; _ } | Plan.SemiJoin { left; right; _ } ->
+    plan_has_window left || plan_has_window right
+
+let plan t (sql : string) : Plan.bound_query =
+  let ast = Sql_parse.parse sql in
+  Planner.plan_query t.catalog ast
+
+let execute ?(threads = 1) ?(backend = Vectorized) t (sql : string) :
+    Relation.t =
+  let bq = plan t sql in
+  match backend with
+  | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
+  | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
+  | Lingo ->
+    if
+      plan_has_window bq.Plan.main
+      || List.exists (fun (_, p) -> plan_has_window p) bq.Plan.ctes
+    then
+      raise
+        (Unsupported "lingodb-sim: window functions (row_number) not supported")
+    else Exec_compiled.run_query ~threads t.catalog bq

@@ -1,0 +1,458 @@
+(** Expression evaluation: column-at-a-time (vectorized executor) and
+    row-at-a-time (compiled executor pipelines). *)
+
+open Value
+open Plan
+
+(* ------------------------------------------------------------------ *)
+(* LIKE                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* SQL LIKE with % (any run) and _ (any char). *)
+let like_match (pattern : string) (s : string) : bool =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si =
+    if pi = np then si = ns
+    else
+      match pattern.[pi] with
+      | '%' ->
+        if pi + 1 < np && pattern.[pi + 1] = '%' then go (pi + 1) si
+        else
+          let rec try_from k = k <= ns && (go (pi + 1) k || try_from (k + 1)) in
+          try_from si
+      | '_' -> si < ns && go (pi + 1) (si + 1)
+      | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+(* Fast paths for the dominant patterns: 'x%', '%x', '%x%'. *)
+let compile_like (pattern : string) : string -> bool =
+  let n = String.length pattern in
+  let plain = not (String.contains pattern '_') in
+  let starts_with p s =
+    String.length s >= String.length p
+    && String.equal (String.sub s 0 (String.length p)) p
+  in
+  let ends_with p s =
+    let lp = String.length p and ls = String.length s in
+    ls >= lp && String.equal (String.sub s (ls - lp) lp) p
+  in
+  let contains_sub p s =
+    let lp = String.length p and ls = String.length s in
+    if lp = 0 then true
+    else
+      let rec at i =
+        i + lp <= ls && (String.equal (String.sub s i lp) p || at (i + 1))
+      in
+      at 0
+  in
+  let inner = if n >= 2 then String.sub pattern 1 (n - 2 + 1) else "" in
+  ignore inner;
+  if plain && n >= 2 && pattern.[n - 1] = '%'
+     && not (String.contains (String.sub pattern 0 (n - 1)) '%')
+  then starts_with (String.sub pattern 0 (n - 1))
+  else if plain && n >= 2 && pattern.[0] = '%'
+          && not (String.contains (String.sub pattern 1 (n - 1)) '%')
+  then ends_with (String.sub pattern 1 (n - 1))
+  else if plain && n >= 3 && pattern.[0] = '%' && pattern.[n - 1] = '%'
+          && not (String.contains (String.sub pattern 1 (n - 2)) '%')
+  then contains_sub (String.sub pattern 1 (n - 2))
+  else fun s -> like_match pattern s
+
+(* ------------------------------------------------------------------ *)
+(* Scalar functions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let round_to f digits =
+  let scale = 10. ** float_of_int digits in
+  Float.round (f *. scale) /. scale
+
+let apply_func name (args : Value.t list) : Value.t =
+  if name <> "coalesce" && List.exists Value.is_null args then VNull
+  else
+    match (name, args) with
+    | "year", [ VDate d ] -> VInt (Value.year_of_days d)
+    | "month", [ VDate d ] -> VInt (Value.month_of_days d)
+    | "day", [ VDate d ] ->
+      let _, _, dd = Value.ymd_of_days d in
+      VInt dd
+    | "substring", [ VString s; start; len ] ->
+      let st = Value.as_int start - 1 and l = Value.as_int len in
+      let st = max 0 st in
+      let l = max 0 (min l (String.length s - st)) in
+      if st >= String.length s then VString "" else VString (String.sub s st l)
+    | "round", [ v ] -> VFloat (round_to (Value.as_float v) 0)
+    | "round", [ v; d ] -> VFloat (round_to (Value.as_float v) (Value.as_int d))
+    | "abs", [ VInt i ] -> VInt (abs i)
+    | "abs", [ v ] -> VFloat (Float.abs (Value.as_float v))
+    | "sqrt", [ v ] -> VFloat (Float.sqrt (Value.as_float v))
+    | "ln", [ v ] -> VFloat (Float.log (Value.as_float v))
+    | "exp", [ v ] -> VFloat (Float.exp (Value.as_float v))
+    | ("power" | "pow"), [ a; b ] ->
+      VFloat (Float.pow (Value.as_float a) (Value.as_float b))
+    | "floor", [ v ] -> VInt (int_of_float (Float.floor (Value.as_float v)))
+    | "ceil", [ v ] -> VInt (int_of_float (Float.ceil (Value.as_float v)))
+    | "upper", [ VString s ] -> VString (String.uppercase_ascii s)
+    | "lower", [ VString s ] -> VString (String.lowercase_ascii s)
+    | ("length" | "strlen"), [ VString s ] -> VInt (String.length s)
+    | "coalesce", args -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) args with
+      | Some v -> v
+      | None -> VNull)
+    | "concat", args ->
+      VString (String.concat "" (List.map Value.to_string args))
+    | name, args ->
+      invalid_arg
+        (Printf.sprintf "Eval.apply_func: %s/%d not supported" name
+           (List.length args))
+
+(* ------------------------------------------------------------------ *)
+(* Binary operations on boxed values (null-propagating)               *)
+(* ------------------------------------------------------------------ *)
+
+let apply_bin (op : Sql_ast.binop) (a : Value.t) (b : Value.t) : Value.t =
+  match op with
+  | Sql_ast.And -> (
+    match (a, b) with
+    | VBool x, VBool y -> VBool (x && y)
+    | VNull, _ | _, VNull -> VBool false
+    | _ -> invalid_arg "Eval.apply_bin: AND on non-bools")
+  | Sql_ast.Or -> (
+    match (a, b) with
+    | VBool x, VBool y -> VBool (x || y)
+    | VNull, VBool y -> VBool y
+    | VBool x, VNull -> VBool x
+    | VNull, VNull -> VBool false
+    | _ -> invalid_arg "Eval.apply_bin: OR on non-bools")
+  | _ when Value.is_null a || Value.is_null b -> VNull
+  | Sql_ast.Concat -> VString (Value.to_string a ^ Value.to_string b)
+  | Sql_ast.Eq -> VBool (Value.compare_values a b = 0)
+  | Sql_ast.Ne -> VBool (Value.compare_values a b <> 0)
+  | Sql_ast.Lt -> VBool (Value.compare_values a b < 0)
+  | Sql_ast.Le -> VBool (Value.compare_values a b <= 0)
+  | Sql_ast.Gt -> VBool (Value.compare_values a b > 0)
+  | Sql_ast.Ge -> VBool (Value.compare_values a b >= 0)
+  | Sql_ast.Div -> VFloat (Value.as_float a /. Value.as_float b)
+  | Sql_ast.Add | Sql_ast.Sub | Sql_ast.Mul | Sql_ast.Mod -> (
+    let int_op x y =
+      match op with
+      | Sql_ast.Add -> x + y
+      | Sql_ast.Sub -> x - y
+      | Sql_ast.Mul -> x * y
+      | Sql_ast.Mod -> if y = 0 then 0 else x mod y
+      | _ -> assert false
+    in
+    let float_op x y =
+      match op with
+      | Sql_ast.Add -> x +. y
+      | Sql_ast.Sub -> x -. y
+      | Sql_ast.Mul -> x *. y
+      | Sql_ast.Mod -> Float.rem x y
+      | _ -> assert false
+    in
+    match (a, b) with
+    | VInt x, VInt y -> VInt (int_op x y)
+    | VDate x, VInt y -> VDate (int_op x y)
+    | VInt x, VDate y -> VDate (int_op x y)
+    | VDate x, VDate y -> VInt (int_op x y)
+    | _ -> VFloat (float_op (Value.as_float a) (Value.as_float b)))
+
+(* ------------------------------------------------------------------ *)
+(* Row-at-a-time evaluation (compiled executor)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile [e] into a closure over row index for fixed input columns.
+   Column accessors are resolved once, ahead of the scan loop. *)
+let rec compile_row (cols : Column.t array) (e : pexpr) : int -> Value.t =
+  match e with
+  | PCol i ->
+    let c = cols.(i) in
+    fun row -> Column.get c row
+  | PLit v -> fun _ -> v
+  | PBin (op, a, b) ->
+    let fa = compile_row cols a and fb = compile_row cols b in
+    fun row -> apply_bin op (fa row) (fb row)
+  | PNeg a ->
+    let fa = compile_row cols a in
+    fun row -> (
+      match fa row with
+      | VInt i -> VInt (-i)
+      | VFloat f -> VFloat (-.f)
+      | VNull -> VNull
+      | v -> invalid_arg ("Eval: cannot negate " ^ Value.to_string v))
+  | PNot a ->
+    let fa = compile_row cols a in
+    fun row -> (
+      match fa row with
+      | VBool b -> VBool (not b)
+      | VNull -> VBool false
+      | v -> invalid_arg ("Eval: cannot NOT " ^ Value.to_string v))
+  | PCase (whens, els) ->
+    let whens =
+      List.map (fun (c, v) -> (compile_row cols c, compile_row cols v)) whens
+    in
+    let els = Option.map (compile_row cols) els in
+    fun row ->
+      let rec go = function
+        | [] -> ( match els with Some f -> f row | None -> VNull)
+        | (c, v) :: rest -> (
+          match c row with VBool true -> v row | _ -> go rest)
+      in
+      go whens
+  | PFunc (name, args) ->
+    let fargs = List.map (compile_row cols) args in
+    fun row -> apply_func name (List.map (fun f -> f row) fargs)
+  | PLike (a, pattern, negated) ->
+    let fa = compile_row cols a in
+    let matcher = compile_like pattern in
+    fun row -> (
+      match fa row with
+      | VString s -> VBool (matcher s <> negated)
+      | VNull -> VBool false
+      | v -> invalid_arg ("Eval: LIKE on " ^ Value.to_string v))
+  | PInList (a, items, negated) ->
+    let fa = compile_row cols a in
+    fun row ->
+      let v = fa row in
+      if Value.is_null v then VBool false
+      else VBool (List.exists (Value.equal_values v) items <> negated)
+  | PIsNull (a, negated) ->
+    let fa = compile_row cols a in
+    fun row -> VBool (Value.is_null (fa row) <> negated)
+  | PCast (a, ty) ->
+    let fa = compile_row cols a in
+    fun row -> (
+      match (fa row, ty) with
+      | VNull, _ -> VNull
+      | v, TInt -> VInt (Value.as_int v)
+      | v, TFloat -> VFloat (Value.as_float v)
+      | v, TString -> VString (Value.to_string v)
+      | v, TBool -> VBool (Value.as_int v <> 0)
+      | VString s, TDate -> VDate (Value.date_of_iso s)
+      | v, TDate -> VDate (Value.as_int v))
+
+let cmp_test (op : Sql_ast.binop) : int -> bool =
+  match op with
+  | Sql_ast.Eq -> fun c -> c = 0
+  | Sql_ast.Ne -> fun c -> c <> 0
+  | Sql_ast.Lt -> fun c -> c < 0
+  | Sql_ast.Le -> fun c -> c <= 0
+  | Sql_ast.Gt -> fun c -> c > 0
+  | Sql_ast.Ge -> fun c -> c >= 0
+  | _ -> invalid_arg "Eval.cmp_test: not a comparison"
+
+(* Compile a predicate into a fast boolean closure. *)
+let compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
+  match e with
+  | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), PCol i, PLit lit)
+    when not (Column.has_nulls cols.(i)) -> (
+    let c = cols.(i) in
+    let test = cmp_test op in
+    match (c.Column.data, lit) with
+    | Column.I a, (VInt k | VDate k) -> fun row -> test (compare a.(row) k)
+    | Column.F a, VFloat k -> fun row -> test (compare a.(row) k)
+    | Column.F a, VInt k ->
+      let k = float_of_int k in
+      fun row -> test (compare a.(row) k)
+    | Column.S a, VString k -> fun row -> test (String.compare a.(row) k)
+    | _ ->
+      let f = compile_row cols e in
+      fun row -> ( match f row with VBool b -> b | _ -> false))
+  | _ ->
+    let f = compile_row cols e in
+    fun row -> ( match f row with VBool b -> b | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Column-at-a-time evaluation (vectorized executor)                  *)
+(* ------------------------------------------------------------------ *)
+
+let merged_nulls (a : Column.t) (b : Column.t) =
+  match (a.Column.nulls, b.Column.nulls) with
+  | None, None -> None
+  | Some m, None | None, Some m -> Some (Bitset.copy m)
+  | Some x, Some y -> Some (Bitset.union x y)
+
+(* Evaluate [e] over all [n] rows of [cols], producing a new column.
+   Hot arithmetic/comparison shapes run as typed loops; the general case
+   falls back to the row compiler. *)
+let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
+  let schema = Array.map (fun (c : Column.t) -> ("", c.Column.ty)) cols in
+  let out_ty = type_of_pexpr schema e in
+  let rec eval (e : pexpr) : Column.t =
+    match e with
+    | PCol i -> cols.(i)
+    | PLit v -> Column.const (type_of_pexpr schema e) v n
+    | PBin (((Sql_ast.Add | Sub | Mul | Div) as op), a, b) -> arith op a b
+    | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) -> cmp op a b
+    | PBin (Sql_ast.And, a, b) -> boolean ( && ) a b
+    | PBin (Sql_ast.Or, a, b) -> boolean ( || ) a b
+    | PNot a -> (
+      let ca = eval a in
+      match ca.Column.data with
+      | Column.B x ->
+        let out = Array.make n false in
+        for i = 0 to n - 1 do
+          out.(i) <- (not x.(i)) && not (Column.is_null ca i)
+        done;
+        Column.of_bools out
+      | _ -> fallback e)
+    | PLike (a, pattern, negated) -> (
+      let ca = eval a in
+      match ca.Column.data with
+      | Column.S x ->
+        let matcher = compile_like pattern in
+        let out = Array.make n false in
+        for i = 0 to n - 1 do
+          out.(i) <- matcher x.(i) <> negated && not (Column.is_null ca i)
+        done;
+        Column.of_bools out
+      | _ -> fallback e)
+    | _ -> fallback e
+  and arith op a b =
+    let ca = eval a and cb = eval b in
+    let nulls = merged_nulls ca cb in
+    match (ca.Column.data, cb.Column.data, op) with
+    | Column.F x, Column.F y, _ ->
+      let f =
+        match op with
+        | Sql_ast.Add -> ( +. )
+        | Sql_ast.Sub -> ( -. )
+        | Sql_ast.Mul -> ( *. )
+        | _ -> ( /. )
+      in
+      let out = Array.make n 0. in
+      for i = 0 to n - 1 do
+        out.(i) <- f x.(i) y.(i)
+      done;
+      { Column.ty = TFloat; data = Column.F out; nulls }
+    | Column.I x, Column.I y, (Sql_ast.Add | Sub | Mul) ->
+      let f =
+        match op with
+        | Sql_ast.Add -> ( + )
+        | Sql_ast.Sub -> ( - )
+        | _ -> ( * )
+      in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        out.(i) <- f x.(i) y.(i)
+      done;
+      let ty =
+        match (ca.Column.ty, cb.Column.ty, op) with
+        | TDate, TInt, _ | TInt, TDate, Sql_ast.Add -> TDate
+        | _ -> TInt
+      in
+      { Column.ty; data = Column.I out; nulls }
+    | Column.I x, Column.I y, Sql_ast.Div ->
+      let out = Array.make n 0. in
+      for i = 0 to n - 1 do
+        out.(i) <- float_of_int x.(i) /. float_of_int y.(i)
+      done;
+      { Column.ty = TFloat; data = Column.F out; nulls }
+    | Column.I x, Column.F y, _ ->
+      let f =
+        match op with
+        | Sql_ast.Add -> ( +. )
+        | Sql_ast.Sub -> ( -. )
+        | Sql_ast.Mul -> ( *. )
+        | _ -> ( /. )
+      in
+      let out = Array.make n 0. in
+      for i = 0 to n - 1 do
+        out.(i) <- f (float_of_int x.(i)) y.(i)
+      done;
+      { Column.ty = TFloat; data = Column.F out; nulls }
+    | Column.F x, Column.I y, _ ->
+      let f =
+        match op with
+        | Sql_ast.Add -> ( +. )
+        | Sql_ast.Sub -> ( -. )
+        | Sql_ast.Mul -> ( *. )
+        | _ -> ( /. )
+      in
+      let out = Array.make n 0. in
+      for i = 0 to n - 1 do
+        out.(i) <- f x.(i) (float_of_int y.(i))
+      done;
+      { Column.ty = TFloat; data = Column.F out; nulls }
+    | _ -> fallback (PBin (op, a, b))
+  and cmp op a b =
+    let ca = eval a and cb = eval b in
+    let nulls = merged_nulls ca cb in
+    let test = cmp_test op in
+    let out = Array.make n false in
+    (match (ca.Column.data, cb.Column.data) with
+    | Column.I x, Column.I y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare x.(i) y.(i))
+      done
+    | Column.F x, Column.F y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare x.(i) y.(i))
+      done
+    | Column.S x, Column.S y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (String.compare x.(i) y.(i))
+      done
+    | Column.B x, Column.B y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare x.(i) y.(i))
+      done
+    | Column.I x, Column.F y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare (float_of_int x.(i)) y.(i))
+      done
+    | Column.F x, Column.I y ->
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare x.(i) (float_of_int y.(i)))
+      done
+    | _ ->
+      for i = 0 to n - 1 do
+        out.(i) <-
+          (match apply_bin op (Column.get ca i) (Column.get cb i) with
+          | VBool b -> b
+          | _ -> false)
+      done);
+    (* Null in either operand makes the comparison false. *)
+    (match nulls with
+    | None -> ()
+    | Some m -> Bitset.iter_set (fun i -> out.(i) <- false) m);
+    Column.of_bools out
+  and boolean f a b =
+    let ca = eval a and cb = eval b in
+    match (ca.Column.data, cb.Column.data) with
+    | Column.B x, Column.B y ->
+      let out = Array.make n false in
+      for i = 0 to n - 1 do
+        let xv = x.(i) && not (Column.is_null ca i) in
+        let yv = y.(i) && not (Column.is_null cb i) in
+        out.(i) <- f xv yv
+      done;
+      Column.of_bools out
+    | _ -> fallback (PBin ((if f true false then Sql_ast.Or else Sql_ast.And), a, b))
+  and fallback e =
+    let f = compile_row cols e in
+    let vs = Array.init n f in
+    Column.of_values (type_of_pexpr schema e) vs
+  in
+  ignore out_ty;
+  eval e
+
+(* Evaluate a predicate over all rows, returning the selected row indices. *)
+let eval_filter (cols : Column.t array) ~(n : int) (e : pexpr) : int array =
+  let c = eval_col cols ~n e in
+  match c.Column.data with
+  | Column.B flags ->
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if flags.(i) && not (Column.is_null c i) then incr count
+    done;
+    let out = Array.make !count 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if flags.(i) && not (Column.is_null c i) then begin
+        out.(!k) <- i;
+        incr k
+      end
+    done;
+    out
+  | _ -> invalid_arg "Eval.eval_filter: predicate is not boolean"

@@ -1,0 +1,564 @@
+(** Compiled (Hyper-style) executor: morsel-driven fused pipelines.
+
+    Plans are compiled into pipeline segments — a source relation plus a fused
+    chunk transformer (filters, projections, join probes, semi-join probes) —
+    separated by pipeline breakers (aggregation, sorting, distinct, windows,
+    build sides of joins). A segment never materializes more than one morsel
+    (~4K rows), in contrast to the vectorized executor which materializes
+    every operator's full output. Morsels are processed in parallel across
+    domains with domain-local sinks. *)
+
+open Plan
+
+let morsel_size = 4096
+
+type ctx = {
+  catalog : Catalog.t;
+  ctes : (string, Relation.t) Hashtbl.t;
+  threads : int;
+}
+
+type chunk = Relation.t
+
+(* ------------------------------------------------------------------ *)
+(* Chunk operators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunk operators return [Some empty] for empty inputs so segment schemas
+   stay derivable; non-empty inputs filtered to nothing return [None]. *)
+let chunk_filter pred (c : chunk) : chunk option =
+  let n = Relation.n_rows c in
+  if n = 0 then Some c
+  else
+    let idx = Eval.eval_filter c.Relation.cols ~n pred in
+    if Array.length idx = 0 then None
+    else if Array.length idx = n then Some c
+    else Some (Relation.take c idx)
+
+let chunk_project items (c : chunk) : chunk =
+  let n = Relation.n_rows c in
+  let cols =
+    List.map (fun (e, _) -> Eval.eval_col c.Relation.cols ~n e) items
+  in
+  { Relation.names = Array.of_list (List.map snd items);
+    cols = Array.of_list cols }
+
+(* Inner/left probe of a pre-built hash table on the right relation. *)
+let chunk_probe ~left_outer (r : Relation.t)
+    (tbl : (Hash_util.key, int list) Hashtbl.t) (lkeys : int list)
+    (residual : pexpr option) (c : chunk) : chunk option =
+  let n = Relation.n_rows c in
+  let lkf = Hash_util.key_fn ~null_as_key:false c.Relation.cols lkeys in
+  let li = ref [] and ri = ref [] and count = ref 0 in
+  for row = n - 1 downto 0 do
+    let matches =
+      match lkf row with
+      | None -> []
+      | Some k -> (
+        match Hashtbl.find_opt tbl k with Some rows -> rows | None -> [])
+    in
+    match matches with
+    | [] ->
+      if left_outer then begin
+        li := row :: !li;
+        ri := -1 :: !ri;
+        incr count
+      end
+    | rows ->
+      List.iter
+        (fun rrow ->
+          li := row :: !li;
+          ri := rrow :: !ri;
+          incr count)
+        rows
+  done;
+  if !count = 0 && n > 0 then None
+  else begin
+    let li = Array.of_list !li and ri = Array.of_list !ri in
+    let lc = Array.map (fun col -> Column.take col li) c.Relation.cols in
+    let rc = Array.map (fun col -> Column.take col ri) r.Relation.cols in
+    let joined =
+      { Relation.names = Array.append c.Relation.names r.Relation.names;
+        cols = Array.append lc rc }
+    in
+    match residual with
+    | None -> Some joined
+    | Some pred -> chunk_filter pred joined
+  end
+
+let chunk_semi ~anti (r : Relation.t)
+    (tbl : (Hash_util.key, int list) Hashtbl.t option) (lkeys : int list)
+    (residual_check : (chunk -> int -> int -> bool) option) (c : chunk) :
+    chunk option =
+  let n = Relation.n_rows c in
+  let nr = Relation.n_rows r in
+  let lkf = Hash_util.key_fn ~null_as_key:false c.Relation.cols lkeys in
+  let keep = ref [] and count = ref 0 in
+  for row = n - 1 downto 0 do
+    let candidates =
+      match tbl with
+      | Some tbl -> (
+        match lkf row with
+        | None -> []
+        | Some k -> (
+          match Hashtbl.find_opt tbl k with Some rows -> rows | None -> []))
+      | None -> List.init nr Fun.id
+    in
+    let matched =
+      match residual_check with
+      | None -> candidates <> []
+      | Some check -> List.exists (fun rrow -> check c row rrow) candidates
+    in
+    if matched <> anti then begin
+      keep := row :: !keep;
+      incr count
+    end
+  done;
+  if !count = 0 && n > 0 then None
+  else Some (Relation.take c (Array.of_list !keep))
+
+(* ------------------------------------------------------------------ *)
+(* Pair-wise residual evaluation (chunk row vs build row)             *)
+(* ------------------------------------------------------------------ *)
+
+let make_residual_check (r : Relation.t) (pred : pexpr) :
+    chunk -> int -> int -> bool =
+ fun c lrow rrow ->
+  let nlc = Array.length c.Relation.cols in
+  let get col =
+    if col < nlc then Column.get c.Relation.cols.(col) lrow
+    else Column.get r.Relation.cols.(col - nlc) rrow
+  in
+  let rec ev (e : pexpr) : Value.t =
+    match e with
+    | PCol i -> get i
+    | PLit v -> v
+    | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
+    | PNeg a -> (
+      match ev a with
+      | Value.VInt i -> Value.VInt (-i)
+      | Value.VFloat f -> Value.VFloat (-.f)
+      | _ -> Value.VNull)
+    | PNot a -> (
+      match ev a with
+      | Value.VBool b -> Value.VBool (not b)
+      | _ -> Value.VBool false)
+    | PCase (whens, els) ->
+      let rec go = function
+        | [] -> ( match els with Some e -> ev e | None -> Value.VNull)
+        | (cond, v) :: rest -> (
+          match ev cond with Value.VBool true -> ev v | _ -> go rest)
+      in
+      go whens
+    | PFunc (name, args) -> Eval.apply_func name (List.map ev args)
+    | PLike (a, pat, neg) -> (
+      match ev a with
+      | Value.VString s -> Value.VBool (Eval.like_match pat s <> neg)
+      | _ -> Value.VBool false)
+    | PInList (a, items, neg) ->
+      let v = ev a in
+      if Value.is_null v then Value.VBool false
+      else Value.VBool (List.exists (Value.equal_values v) items <> neg)
+    | PIsNull (a, neg) -> Value.VBool (Value.is_null (ev a) <> neg)
+    | PCast (a, ty) -> (
+      match (ev a, ty) with
+      | Value.VNull, _ -> Value.VNull
+      | v, Value.TInt -> Value.VInt (Value.as_int v)
+      | v, Value.TFloat -> Value.VFloat (Value.as_float v)
+      | v, Value.TString -> Value.VString (Value.to_string v)
+      | v, Value.TBool -> Value.VBool (Value.as_int v <> 0)
+      | v, Value.TDate -> Value.VDate (Value.as_int v))
+  in
+  match ev pred with Value.VBool b -> b | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Segments                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A fused pipeline segment: source relation, predicates evaluated directly
+   on the source columns (scan-filter fusion: only surviving rows are ever
+   gathered into a morsel), and a chunk transformer for the rest of the
+   pipeline. [transform] returns None when a chunk dies entirely. *)
+type segment = {
+  source : Relation.t;
+  prefilter : pexpr list; (* conjuncts over the source schema *)
+  transform : (chunk -> chunk option) option; (* None = identity *)
+}
+
+let seg_transform seg : chunk -> chunk option =
+  match seg.transform with None -> fun c -> Some c | Some f -> f
+
+(* Compose a further chunk operation onto a segment. *)
+let seg_then seg (f : chunk -> chunk option) : segment =
+  match seg.transform with
+  | None -> { seg with transform = Some f }
+  | Some g ->
+    { seg with
+      transform = Some (fun c -> match g c with None -> None | Some c -> f c) }
+
+let rec compile_segment ctx (p : plan) : segment =
+  match p.node with
+  | Scan name ->
+    { source = lookup ctx name; prefilter = []; transform = None }
+  | Filter (sub, pred) ->
+    let seg = compile_segment ctx sub in
+    if seg.transform = None then
+      (* still at the scan: fuse into the source predicate *)
+      { seg with prefilter = seg.prefilter @ [ pred ] }
+    else seg_then seg (chunk_filter pred)
+  | Project (sub, items) ->
+    let seg = compile_segment ctx sub in
+    seg_then seg (fun c -> Some (chunk_project items c))
+  | Join { kind = (JInner | JLeft) as kind; left; right; keys; residual } ->
+    (* The build side is a pipeline breaker: materialize it fully. *)
+    let r = stream ctx right in
+    let seg = compile_segment ctx left in
+    let tbl =
+      Hash_util.build_table ~null_as_key:false r.Relation.cols
+        (List.map snd keys) ~n:(Relation.n_rows r)
+    in
+    let lkeys = List.map fst keys in
+    let left_outer = kind = JLeft in
+    if keys = [] then begin
+      (* Cross join: pair every chunk row with every build row. *)
+      let nr = Relation.n_rows r in
+      seg_then seg
+          (fun c ->
+              let n = Relation.n_rows c in
+              if n * nr = 0 then None
+              else begin
+                let li = Array.make (n * nr) 0 and ri = Array.make (n * nr) 0 in
+                let k = ref 0 in
+                for i = 0 to n - 1 do
+                  for j = 0 to nr - 1 do
+                    li.(!k) <- i;
+                    ri.(!k) <- j;
+                    incr k
+                  done
+                done;
+                let lc =
+                  Array.map (fun col -> Column.take col li) c.Relation.cols
+                in
+                let rc =
+                  Array.map (fun col -> Column.take col ri) r.Relation.cols
+                in
+                let joined =
+                  { Relation.names =
+                      Array.append c.Relation.names r.Relation.names;
+                    cols = Array.append lc rc }
+                in
+                match residual with
+                | None -> Some joined
+                | Some pred -> chunk_filter pred joined
+              end)
+    end
+    else seg_then seg (chunk_probe ~left_outer r tbl lkeys residual)
+  | SemiJoin { anti; left; right; keys; residual } ->
+    let r = stream ctx right in
+    let seg = compile_segment ctx left in
+    let tbl =
+      match keys with
+      | [] -> None
+      | keys ->
+        Some
+          (Hash_util.build_table ~null_as_key:false r.Relation.cols
+             (List.map snd keys) ~n:(Relation.n_rows r))
+    in
+    let lkeys = List.map fst keys in
+    let residual_check = Option.map (make_residual_check r) residual in
+    seg_then seg (chunk_semi ~anti r tbl lkeys residual_check)
+  | Join { kind = JRight | JFull; _ }
+  | PValues _ | Aggregate _ | Sort _ | LimitN _ | Distinct _ | Window _ ->
+    (* Pipeline breaker: materialize and start a fresh segment. *)
+    { source = materialize ctx p; prefilter = []; transform = None }
+
+and lookup ctx name =
+  match Hashtbl.find_opt ctx.ctes name with
+  | Some r -> r
+  | None -> (
+    match Catalog.find_opt ctx.catalog name with
+    | Some t -> t.Catalog.rel
+    | None -> invalid_arg ("Exec_compiled: unknown relation " ^ name))
+
+(* Iterate the morsels of [seg] over rows [start, start+len), invoking
+   [consume] with each surviving non-empty chunk. The fused prefilter runs on
+   the source columns so only surviving rows are gathered. *)
+and iter_morsels (seg : segment) start len (consume : chunk -> unit) : unit =
+  let transform = seg_transform seg in
+  let preds =
+    List.map (Eval.compile_pred seg.source.Relation.cols) seg.prefilter
+  in
+  let passes row = List.for_all (fun p -> p row) preds in
+  let pos = ref start in
+  while !pos < start + len do
+    let step = min morsel_size (start + len - !pos) in
+    let idx =
+      match preds with
+      | [] -> Array.init step (fun i -> !pos + i)
+      | _ ->
+        let buf = ref [] and count = ref 0 in
+        for row = !pos + step - 1 downto !pos do
+          if passes row then begin
+            buf := row :: !buf;
+            incr count
+          end
+        done;
+        Array.of_list !buf
+    in
+    if Array.length idx > 0 then begin
+      let chunk = Relation.take seg.source idx in
+      match transform chunk with
+      | Some c when Relation.n_rows c > 0 -> consume c
+      | _ -> ()
+    end;
+    pos := !pos + step
+  done
+
+(* Run a segment over its source, morsel-parallel, collecting all chunks. *)
+and run_segment ctx (seg : segment) : Relation.t =
+  let n = Relation.n_rows seg.source in
+  let run_range start len =
+    let out = ref [] in
+    iter_morsels seg start len (fun c -> out := c :: !out);
+    List.rev !out
+  in
+  let chunk_lists =
+    if n = 0 then []
+    else Parallel.map_chunks ~threads:ctx.threads n run_range
+  in
+  let chunks = List.concat chunk_lists in
+  match chunks with
+  | [] -> (
+    (* Empty result: derive the output schema by pushing an empty chunk
+       through the transformer (chunk operators pass empty chunks through). *)
+    let empty = Relation.take seg.source [||] in
+    match (seg_transform seg) empty with
+    | Some c -> c
+    | None -> empty)
+  | chunks -> Relation.concat chunks
+
+(* Materialize any plan to a full relation. *)
+and materialize ctx (p : plan) : Relation.t =
+  match p.node with
+  | PValues (schema, rows) ->
+    let cols =
+      Array.mapi
+        (fun i (_, ty) ->
+          Column.of_values ty
+            (Array.of_list (List.map (fun row -> List.nth row i) rows)))
+        schema
+    in
+    if Array.length schema = 0 then
+      { Relation.names = [| "dummy" |];
+        cols = [| Column.of_ints (Array.make (List.length rows) 0) |] }
+    else { Relation.names = Array.map fst schema; cols }
+  | Aggregate (sub, groups, specs) -> run_aggregate ctx p sub groups specs
+  | Sort (sub, keys) ->
+    let r = stream ctx sub in
+    Relation.take r (Exec_vectorized.sort_indices r keys)
+  | LimitN (sub, n) ->
+    let r = stream ctx sub in
+    let n = min n (Relation.n_rows r) in
+    Relation.take r (Array.init n Fun.id)
+  | Distinct sub ->
+    let r = stream ctx sub in
+    let n = Relation.n_rows r in
+    let all_cols = List.init (Array.length r.Relation.cols) Fun.id in
+    let kf = Hash_util.key_fn ~null_as_key:true r.Relation.cols all_cols in
+    let seen = Hashtbl.create (max 16 n) in
+    let keep = ref [] in
+    for row = 0 to n - 1 do
+      match kf row with
+      | None -> ()
+      | Some k ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          keep := row :: !keep
+        end
+    done;
+    Relation.take r (Array.of_list (List.rev !keep))
+  | Window (sub, keys, name) ->
+    let r = stream ctx sub in
+    let n = Relation.n_rows r in
+    let order =
+      if keys = [] then Array.init n Fun.id
+      else Exec_vectorized.sort_indices r keys
+    in
+    let ranks = Array.make n 0 in
+    Array.iteri (fun pos row -> ranks.(row) <- pos + 1) order;
+    { Relation.names = Array.append r.Relation.names [| name |];
+      cols = Array.append r.Relation.cols [| Column.of_ints ranks |] }
+  | Join { kind = JRight | JFull; _ } ->
+    (* Rare in generated SQL; reuse the vectorized implementation. *)
+    let vctx =
+      { Exec_vectorized.catalog = ctx.catalog; ctes = ctx.ctes;
+        threads = ctx.threads }
+    in
+    Exec_vectorized.run vctx p
+  | Scan name -> lookup ctx name
+  | Filter _ | Project _ | Join _ | SemiJoin _ ->
+    run_segment ctx (compile_segment ctx p)
+
+and stream ctx (p : plan) : Relation.t = materialize ctx p
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation sink                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
+  let specs_arr = Array.of_list specs in
+  let has_distinct = List.exists (fun s -> s.distinct) specs in
+  let seg = compile_segment ctx sub in
+  let n = Relation.n_rows seg.source in
+  match groups with
+  | [] ->
+    let fold_range start len =
+      let accs = Array.map Agg_util.create specs_arr in
+      (match seg.transform with
+      | None ->
+        (* fused scan→filter→aggregate: no morsel materialization at all *)
+        let cols = seg.source.Relation.cols in
+        let preds = List.map (Eval.compile_pred cols) seg.prefilter in
+        for row = start to start + len - 1 do
+          if List.for_all (fun p -> p row) preds then
+            Array.iteri
+              (fun i spec -> Agg_util.update spec accs.(i) cols row)
+              specs_arr
+        done
+      | Some _ ->
+        iter_morsels seg start len (fun c ->
+            let cols = c.Relation.cols in
+            for row = 0 to Relation.n_rows c - 1 do
+              Array.iteri
+                (fun i spec -> Agg_util.update spec accs.(i) cols row)
+                specs_arr
+            done));
+      accs
+    in
+    let partials =
+      if n = 0 then [ fold_range 0 0 ]
+      else
+        Parallel.map_chunks
+          ~threads:(if has_distinct then 1 else ctx.threads)
+          n fold_range
+    in
+    let accs =
+      match partials with
+      | [] -> Array.map Agg_util.create specs_arr
+      | first :: rest ->
+        List.iter
+          (fun part ->
+            Array.iteri
+              (fun i spec -> Agg_util.merge spec first.(i) part.(i))
+              specs_arr)
+          rest;
+        first
+    in
+    let out_vals =
+      Array.mapi (fun i spec -> Agg_util.finish spec accs.(i)) specs_arr
+    in
+    { Relation.names = Array.map fst p.schema;
+      cols =
+        Array.mapi
+          (fun i (_, ty) -> Column.of_values ty [| out_vals.(i) |])
+          p.schema }
+  | groups ->
+    let n_groups = List.length groups in
+    let fold_range start len =
+      let tbl : (Hash_util.key, Value.t array * Agg_util.acc array) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      let consume_rows cols kf lo hi passes =
+        for row = lo to hi do
+          if passes row then
+            match kf row with
+            | None -> ()
+            | Some k ->
+              let _, accs =
+                match Hashtbl.find_opt tbl k with
+                | Some entry -> entry
+                | None ->
+                  let gvals =
+                    Array.of_list
+                      (List.map (fun g -> Column.get cols.(g) row) groups)
+                  in
+                  let entry = (gvals, Array.map Agg_util.create specs_arr) in
+                  Hashtbl.add tbl k entry;
+                  entry
+              in
+              Array.iteri
+                (fun i spec -> Agg_util.update spec accs.(i) cols row)
+                specs_arr
+        done
+      in
+      (match seg.transform with
+      | None ->
+        let cols = seg.source.Relation.cols in
+        let preds = List.map (Eval.compile_pred cols) seg.prefilter in
+        let kf = Hash_util.key_fn ~null_as_key:true cols groups in
+        consume_rows cols kf start (start + len - 1) (fun row ->
+            List.for_all (fun p -> p row) preds)
+      | Some _ ->
+        iter_morsels seg start len (fun c ->
+            let cols = c.Relation.cols in
+            let kf = Hash_util.key_fn ~null_as_key:true cols groups in
+            consume_rows cols kf 0 (Relation.n_rows c - 1) (fun _ -> true)));
+      tbl
+    in
+    let partials =
+      if n = 0 then [ fold_range 0 0 ]
+      else
+        Parallel.map_chunks
+          ~threads:(if has_distinct then 1 else ctx.threads)
+          n fold_range
+    in
+    let tbl =
+      match partials with
+      | [] -> Hashtbl.create 1
+      | first :: rest ->
+        List.iter
+          (fun part ->
+            Hashtbl.iter
+              (fun k (gvals, accs) ->
+                match Hashtbl.find_opt first k with
+                | Some (_, main_accs) ->
+                  Array.iteri
+                    (fun i spec -> Agg_util.merge spec main_accs.(i) accs.(i))
+                    specs_arr
+                | None -> Hashtbl.add first k (gvals, accs))
+              part)
+          rest;
+        first
+    in
+    let n_out = Hashtbl.length tbl in
+    let out =
+      Array.make_matrix (n_groups + Array.length specs_arr) n_out Value.VNull
+    in
+    let k = ref 0 in
+    Hashtbl.iter
+      (fun _ (gvals, accs) ->
+        Array.iteri (fun g v -> out.(g).(!k) <- v) gvals;
+        Array.iteri
+          (fun i spec ->
+            out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(i))
+          specs_arr;
+        incr k)
+      tbl;
+    { Relation.names = Array.map fst p.schema;
+      cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_query ?(threads = 1) (catalog : Catalog.t) (bq : bound_query) :
+    Relation.t =
+  let ctx = { catalog; ctes = Hashtbl.create 8; threads } in
+  List.iter
+    (fun (name, plan) ->
+      let r = stream ctx plan in
+      let r = Relation.rename r (Array.map fst plan.Plan.schema) in
+      Hashtbl.replace ctx.ctes name r)
+    bq.ctes;
+  let r = stream ctx bq.main in
+  Relation.rename r (Array.map fst bq.main.Plan.schema)

@@ -1,0 +1,524 @@
+(** Vectorized (DuckDB-style) executor: operator-at-a-time over full columns,
+    materializing every intermediate relation. Scans, filters, join probes
+    and aggregation are morsel-parallel over domains. *)
+
+open Value
+open Plan
+
+type ctx = {
+  catalog : Catalog.t;
+  ctes : (string, Relation.t) Hashtbl.t;
+  threads : int;
+}
+
+let relation_cols (r : Relation.t) = r.Relation.cols
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let take_rows (r : Relation.t) idx = Relation.take r idx
+
+let filter_indices ~threads cols ~n pred =
+  if threads <= 1 || n < 4096 then Eval.eval_filter cols ~n pred
+  else begin
+    let parts =
+      Parallel.map_chunks ~threads n (fun start len ->
+          (* evaluate predicate row-at-a-time per chunk *)
+          let test = Eval.compile_pred cols pred in
+          let out = ref [] and count = ref 0 in
+          for row = start + len - 1 downto start do
+            if test row then begin
+              out := row :: !out;
+              incr count
+            end
+          done;
+          (!out, !count))
+    in
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 parts in
+    let idx = Array.make total 0 in
+    let k = ref 0 in
+    List.iter
+      (fun (rows, _) ->
+        List.iter
+          (fun row ->
+            idx.(!k) <- row;
+            incr k)
+          rows)
+      parts;
+    idx
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sorting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sort_indices (r : Relation.t) (keys : (int * bool) list) : int array =
+  let n = Relation.n_rows r in
+  let idx = Array.init n Fun.id in
+  let comparators =
+    List.map
+      (fun (i, asc) ->
+        let c = r.Relation.cols.(i) in
+        let cmp =
+          match c.Column.data with
+          | Column.I a -> fun x y -> compare a.(x) a.(y)
+          | Column.F a -> fun x y -> compare a.(x) a.(y)
+          | Column.S a -> fun x y -> String.compare a.(x) a.(y)
+          | Column.B a -> fun x y -> compare a.(x) a.(y)
+        in
+        let cmp =
+          if Column.has_nulls c then fun x y ->
+            (* nulls last *)
+            let nx = Column.is_null c x and ny = Column.is_null c y in
+            if nx && ny then 0
+            else if nx then 1
+            else if ny then -1
+            else cmp x y
+          else cmp
+        in
+        if asc then cmp else fun x y -> cmp y x)
+      keys
+  in
+  let compare_rows x y =
+    let rec go = function
+      | [] -> compare x y (* stable tiebreak on original order *)
+      | cmp :: rest ->
+        let c = cmp x y in
+        if c <> 0 then c else go rest
+    in
+    go comparators
+  in
+  Array.sort compare_rows idx;
+  idx
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Gather matching (left_row, right_row) pairs for an equi-join; residual is
+   applied afterwards over the concatenated relation. *)
+let hash_join_pairs ~threads (l : Relation.t) (r : Relation.t)
+    (keys : (int * int) list) : (int array * int array) =
+  let nl = Relation.n_rows l and nr = Relation.n_rows r in
+  match keys with
+  | [] ->
+    (* cross join *)
+    let li = Array.make (nl * nr) 0 and ri = Array.make (nl * nr) 0 in
+    let k = ref 0 in
+    for i = 0 to nl - 1 do
+      for j = 0 to nr - 1 do
+        li.(!k) <- i;
+        ri.(!k) <- j;
+        incr k
+      done
+    done;
+    (li, ri)
+  | keys ->
+    let rkeys = List.map snd keys and lkeys = List.map fst keys in
+    let tbl =
+      Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys ~n:nr
+    in
+    let lkf = Hash_util.key_fn ~null_as_key:false (relation_cols l) lkeys in
+    let probe start len =
+      let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
+      for row = start + len - 1 downto start do
+        match lkf row with
+        | None -> ()
+        | Some k -> (
+          match Hashtbl.find_opt tbl k with
+          | None -> ()
+          | Some rows ->
+            List.iter
+              (fun rrow ->
+                lbuf := row :: !lbuf;
+                rbuf := rrow :: !rbuf;
+                incr count)
+              rows)
+      done;
+      (!lbuf, !rbuf, !count)
+    in
+    let parts = Parallel.map_chunks ~threads nl probe in
+    let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 parts in
+    let li = Array.make total 0 and ri = Array.make total 0 in
+    let k = ref 0 in
+    List.iter
+      (fun (ls, rs, _) ->
+        List.iter2
+          (fun a b ->
+            li.(!k) <- a;
+            ri.(!k) <- b;
+            incr k)
+          ls rs)
+      parts;
+    (li, ri)
+
+let concat_relations (l : Relation.t) (r : Relation.t) li ri : Relation.t =
+  let lc = Array.map (fun c -> Column.take c li) l.Relation.cols in
+  let rc = Array.map (fun c -> Column.take c ri) r.Relation.cols in
+  { Relation.names = Array.append l.Relation.names r.Relation.names;
+    cols = Array.append lc rc }
+
+(* ------------------------------------------------------------------ *)
+(* Executor                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec run (ctx : ctx) (p : plan) : Relation.t =
+  match p.node with
+  | Scan name -> (
+    match Hashtbl.find_opt ctx.ctes name with
+    | Some r -> r
+    | None -> (
+      match Catalog.find_opt ctx.catalog name with
+      | Some t -> t.Catalog.rel
+      | None -> invalid_arg ("Exec: unknown relation " ^ name)))
+  | PValues (schema, rows) ->
+    let n = List.length rows in
+    let cols =
+      Array.mapi
+        (fun i (_, ty) ->
+          Column.of_values ty
+            (Array.of_list (List.map (fun row -> List.nth row i) rows)))
+        schema
+    in
+    { Relation.names = Array.map fst schema;
+      cols = (if Array.length schema = 0 then [||] else cols) }
+    |> fun r -> if Array.length schema = 0 then
+        (* zero-column relation with [n] rows is modelled as one int col *)
+        { Relation.names = [| "dummy" |];
+          cols = [| Column.of_ints (Array.make n 0) |] }
+      else r
+  | Filter (sub, pred) ->
+    let r = run ctx sub in
+    let n = Relation.n_rows r in
+    let idx = filter_indices ~threads:ctx.threads (relation_cols r) ~n pred in
+    take_rows r idx
+  | Project (sub, items) ->
+    let r = run ctx sub in
+    let n = Relation.n_rows r in
+    let cols = relation_cols r in
+    let eval_item (e, _) = Eval.eval_col cols ~n e in
+    let out_cols =
+      if ctx.threads > 1 && List.length items > 1 && n > 4096 then
+        Parallel.map_list ~threads:ctx.threads
+          (List.map (fun item () -> eval_item item) items)
+      else List.map eval_item items
+    in
+    { Relation.names = Array.of_list (List.map snd items);
+      cols = Array.of_list out_cols }
+  | Join { kind; left; right; keys; residual } ->
+    run_join ctx kind left right keys residual
+  | SemiJoin { anti; left; right; keys; residual } ->
+    run_semijoin ctx anti left right keys residual
+  | Aggregate (sub, groups, specs) -> run_aggregate ctx p sub groups specs
+  | Sort (sub, keys) ->
+    let r = run ctx sub in
+    take_rows r (sort_indices r keys)
+  | LimitN (sub, n) ->
+    let r = run ctx sub in
+    let n = min n (Relation.n_rows r) in
+    take_rows r (Array.init n Fun.id)
+  | Distinct sub ->
+    let r = run ctx sub in
+    let n = Relation.n_rows r in
+    let all_cols = List.init (Array.length r.Relation.cols) Fun.id in
+    let kf = Hash_util.key_fn ~null_as_key:true (relation_cols r) all_cols in
+    let seen = Hashtbl.create (max 16 n) in
+    let keep = ref [] and count = ref 0 in
+    for row = 0 to n - 1 do
+      match kf row with
+      | None -> ()
+      | Some k ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          keep := row :: !keep;
+          incr count
+        end
+    done;
+    take_rows r (Array.of_list (List.rev !keep))
+  | Window (sub, keys, _name) ->
+    let r = run ctx sub in
+    let n = Relation.n_rows r in
+    let order = if keys = [] then Array.init n Fun.id else sort_indices r keys in
+    let ranks = Array.make n 0 in
+    Array.iteri (fun pos row -> ranks.(row) <- pos + 1) order;
+    { Relation.names = Array.append r.Relation.names [| snd3 p |];
+      cols = Array.append r.Relation.cols [| Column.of_ints ranks |] }
+
+and snd3 (p : plan) =
+  match p.node with Window (_, _, name) -> name | _ -> "id"
+
+and run_join ctx kind left right keys residual =
+  let l = run ctx left and r = run ctx right in
+  let li, ri = hash_join_pairs ~threads:ctx.threads l r keys in
+  (* Apply residual predicate to candidate pairs. *)
+  let li, ri =
+    match residual with
+    | None -> (li, ri)
+    | Some pred ->
+      let cand = concat_relations l r li ri in
+      let n = Relation.n_rows cand in
+      let sel = Eval.eval_filter (relation_cols cand) ~n pred in
+      (Array.map (fun k -> li.(k)) sel, Array.map (fun k -> ri.(k)) sel)
+  in
+  let nl = Relation.n_rows l and nr = Relation.n_rows r in
+  match kind with
+  | JInner -> concat_relations l r li ri
+  | JLeft ->
+    let matched = Array.make nl false in
+    Array.iter (fun i -> matched.(i) <- true) li;
+    let extra = ref [] in
+    for i = nl - 1 downto 0 do
+      if not matched.(i) then extra := i :: !extra
+    done;
+    let extra = Array.of_list !extra in
+    let li = Array.append li extra in
+    let ri = Array.append ri (Array.map (fun _ -> -1) extra) in
+    concat_relations l r li ri
+  | JRight ->
+    let matched = Array.make nr false in
+    Array.iter (fun i -> matched.(i) <- true) ri;
+    let extra = ref [] in
+    for i = nr - 1 downto 0 do
+      if not matched.(i) then extra := i :: !extra
+    done;
+    let extra = Array.of_list !extra in
+    let li = Array.append li (Array.map (fun _ -> -1) extra) in
+    let ri = Array.append ri extra in
+    concat_relations l r li ri
+  | JFull ->
+    let lmatched = Array.make nl false and rmatched = Array.make nr false in
+    Array.iter (fun i -> lmatched.(i) <- true) li;
+    Array.iter (fun i -> rmatched.(i) <- true) ri;
+    let lextra = ref [] and rextra = ref [] in
+    for i = nl - 1 downto 0 do
+      if not lmatched.(i) then lextra := i :: !lextra
+    done;
+    for i = nr - 1 downto 0 do
+      if not rmatched.(i) then rextra := i :: !rextra
+    done;
+    let lextra = Array.of_list !lextra and rextra = Array.of_list !rextra in
+    let li =
+      Array.concat [ li; lextra; Array.map (fun _ -> -1) rextra ]
+    in
+    let ri =
+      Array.concat [ ri; Array.map (fun _ -> -1) lextra; rextra ]
+    in
+    concat_relations l r li ri
+
+and run_semijoin ctx anti left right keys residual =
+  let l = run ctx left and r = run ctx right in
+  let nl = Relation.n_rows l and nr = Relation.n_rows r in
+  let keep =
+    match (keys, residual) with
+    | [], None ->
+      (* EXISTS over an uncorrelated subquery *)
+      let nonempty = nr > 0 in
+      Array.init nl (fun _ -> nonempty <> anti)
+    | _ ->
+      let rkeys = List.map snd keys and lkeys = List.map fst keys in
+      let tbl =
+        match keys with
+        | [] -> None
+        | _ ->
+          Some
+            (Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys
+               ~n:nr)
+      in
+      let lkf = Hash_util.key_fn ~null_as_key:false (relation_cols l) lkeys in
+      let residual_check =
+        match residual with
+        | None -> fun _ _ -> true
+        | Some pred ->
+          (* Evaluate over left row ++ right row. *)
+          let combined_cols =
+            Array.append (relation_cols l)
+              (Array.map
+                 (fun (c : Column.t) -> c)
+                 (relation_cols r))
+          in
+          ignore combined_cols;
+          let nlc = Array.length l.Relation.cols in
+          fun lrow rrow ->
+            (* build a 1-row pair context lazily via boxed eval *)
+            let get col =
+              if col < nlc then Column.get l.Relation.cols.(col) lrow
+              else Column.get r.Relation.cols.(col - nlc) rrow
+            in
+            let rec ev (e : pexpr) : Value.t =
+              match e with
+              | PCol i -> get i
+              | PLit v -> v
+              | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
+              | PNeg a -> (
+                match ev a with
+                | VInt i -> VInt (-i)
+                | VFloat f -> VFloat (-.f)
+                | _ -> VNull)
+              | PNot a -> (
+                match ev a with VBool b -> VBool (not b) | _ -> VBool false)
+              | PCase (whens, els) ->
+                let rec go = function
+                  | [] -> (
+                    match els with Some e -> ev e | None -> VNull)
+                  | (c, v) :: rest -> (
+                    match ev c with VBool true -> ev v | _ -> go rest)
+                in
+                go whens
+              | PFunc (name, args) -> Eval.apply_func name (List.map ev args)
+              | PLike (a, pat, neg) -> (
+                match ev a with
+                | VString s -> VBool (Eval.like_match pat s <> neg)
+                | _ -> VBool false)
+              | PInList (a, items, neg) ->
+                let v = ev a in
+                if Value.is_null v then VBool false
+                else VBool (List.exists (Value.equal_values v) items <> neg)
+              | PIsNull (a, neg) -> VBool (Value.is_null (ev a) <> neg)
+              | PCast (a, ty) -> (
+                match (ev a, ty) with
+                | VNull, _ -> VNull
+                | v, TInt -> VInt (Value.as_int v)
+                | v, TFloat -> VFloat (Value.as_float v)
+                | v, TString -> VString (Value.to_string v)
+                | v, TBool -> VBool (Value.as_int v <> 0)
+                | v, TDate -> VDate (Value.as_int v))
+            in
+            match ev pred with VBool b -> b | _ -> false
+      in
+      let probe lrow =
+        let candidates =
+          match tbl with
+          | Some tbl -> (
+            match lkf lrow with
+            | None -> []
+            | Some k -> (
+              match Hashtbl.find_opt tbl k with Some rows -> rows | None -> []))
+          | None -> List.init nr Fun.id
+        in
+        List.exists (fun rrow -> residual_check lrow rrow) candidates
+      in
+      Array.init nl (fun lrow -> probe lrow <> anti)
+  in
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
+  let idx = Array.make count 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        idx.(!k) <- i;
+        incr k
+      end)
+    keep;
+  take_rows l idx
+
+and run_aggregate ctx (p : plan) sub groups specs =
+  let r = run ctx sub in
+  let n = Relation.n_rows r in
+  let cols = relation_cols r in
+  let has_distinct = List.exists (fun s -> s.distinct) specs in
+  let specs_arr = Array.of_list specs in
+  match groups with
+  | [] ->
+    (* Global aggregation: one output row even for empty input. *)
+    let accs = Array.map Agg_util.create specs_arr in
+    let partials =
+      Parallel.map_chunks
+        ~threads:(if has_distinct then 1 else ctx.threads)
+        n
+        (fun start len ->
+          let local = Array.map Agg_util.create specs_arr in
+          for row = start to start + len - 1 do
+            Array.iteri
+              (fun i spec -> Agg_util.update spec local.(i) cols row)
+              specs_arr
+          done;
+          local)
+    in
+    List.iter
+      (fun local ->
+        Array.iteri (fun i spec -> Agg_util.merge spec accs.(i) local.(i)) specs_arr)
+      partials;
+    let out_vals = Array.mapi (fun i spec -> Agg_util.finish spec accs.(i)) specs_arr in
+    { Relation.names = Array.map fst p.schema;
+      cols =
+        Array.mapi
+          (fun i (_, ty) -> Column.of_values ty [| out_vals.(i) |])
+          p.schema }
+  | groups ->
+    let kf = Hash_util.key_fn ~null_as_key:true cols groups in
+    let run_range start len =
+      let tbl : (Hash_util.key, int * Agg_util.acc array) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      for row = start to start + len - 1 do
+        match kf row with
+        | None -> ()
+        | Some k ->
+          let _, accs =
+            match Hashtbl.find_opt tbl k with
+            | Some entry -> entry
+            | None ->
+              let entry = (row, Array.map Agg_util.create specs_arr) in
+              Hashtbl.add tbl k entry;
+              entry
+          in
+          Array.iteri
+            (fun i spec -> Agg_util.update spec accs.(i) cols row)
+            specs_arr
+      done;
+      tbl
+    in
+    let tbl =
+      if ctx.threads <= 1 || has_distinct || n < 8192 then run_range 0 n
+      else begin
+        let partials = Parallel.map_chunks ~threads:ctx.threads n run_range in
+        match partials with
+        | [] -> Hashtbl.create 1
+        | first :: rest ->
+          List.iter
+            (fun part ->
+              Hashtbl.iter
+                (fun k (row, accs) ->
+                  match Hashtbl.find_opt first k with
+                  | Some (_, main_accs) ->
+                    Array.iteri
+                      (fun i spec -> Agg_util.merge spec main_accs.(i) accs.(i))
+                      specs_arr
+                  | None -> Hashtbl.add first k (row, accs))
+                part)
+            rest;
+          first
+      end
+    in
+    let n_out = Hashtbl.length tbl in
+    let n_groups = List.length groups in
+    let group_cols = Array.of_list (List.map (fun g -> cols.(g)) groups) in
+    let out = Array.make_matrix (n_groups + Array.length specs_arr) n_out VNull in
+    let k = ref 0 in
+    Hashtbl.iter
+      (fun _ (row, accs) ->
+        Array.iteri (fun g c -> out.(g).(!k) <- Column.get c row) group_cols;
+        Array.iteri
+          (fun i spec -> out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(i))
+          specs_arr;
+        incr k)
+      tbl;
+    { Relation.names = Array.map fst p.schema;
+      cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_query ?(threads = 1) (catalog : Catalog.t) (bq : bound_query) :
+    Relation.t =
+  let ctx = { catalog; ctes = Hashtbl.create 8; threads } in
+  List.iter
+    (fun (name, plan) ->
+      let r = run ctx plan in
+      (* apply CTE column renames from the plan schema *)
+      let r = Relation.rename r (Array.map fst plan.schema) in
+      Hashtbl.replace ctx.ctes name r)
+    bq.ctes;
+  run ctx bq.main

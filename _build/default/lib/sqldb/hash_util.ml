@@ -1,0 +1,71 @@
+(** Hash keys over one or more columns, shared by joins, grouping and
+    distinct. *)
+
+open Value
+
+type key = KInt of int | KStr of string
+
+(* Serialize a multi-column key into bytes: ints as decimal text, strings
+   raw; unit separator avoids ambiguity. *)
+let pack_values (vs : Value.t list) : string =
+  let buf = Buffer.create 24 in
+  List.iter
+    (fun v ->
+      (match v with
+      | VInt i | VDate i -> Buffer.add_string buf (string_of_int i)
+      | VFloat f -> Buffer.add_string buf (string_of_float f)
+      | VString s -> Buffer.add_string buf s
+      | VBool b -> Buffer.add_char buf (if b then 't' else 'f')
+      | VNull -> Buffer.add_string buf "\x00N");
+      Buffer.add_char buf '\x1f')
+    vs;
+  Buffer.contents buf
+
+(* Key extractor over [cols] at positions [idxs].
+   [null_as_key]: grouping treats null as a regular key; joins return None so
+   the row never matches. *)
+let key_fn ~(null_as_key : bool) (cols : Column.t array) (idxs : int list) :
+    int -> key option =
+  match idxs with
+  | [ i ] -> (
+    let c = cols.(i) in
+    match (c.Column.data, c.Column.nulls) with
+    | Column.I a, None -> fun row -> Some (KInt a.(row))
+    | Column.S a, None -> fun row -> Some (KStr a.(row))
+    | Column.I a, Some m ->
+      fun row ->
+        if Bitset.get m row then
+          if null_as_key then Some (KStr "\x00N") else None
+        else Some (KInt a.(row))
+    | Column.S a, Some m ->
+      fun row ->
+        if Bitset.get m row then
+          if null_as_key then Some (KStr "\x00N") else None
+        else Some (KStr a.(row))
+    | _ ->
+      fun row ->
+        let v = Column.get c row in
+        if Value.is_null v then
+          if null_as_key then Some (KStr "\x00N") else None
+        else Some (KStr (pack_values [ v ])))
+  | idxs ->
+    let cs = List.map (fun i -> cols.(i)) idxs in
+    fun row ->
+      let vs = List.map (fun c -> Column.get c row) cs in
+      if (not null_as_key) && List.exists Value.is_null vs then None
+      else Some (KStr (pack_values vs))
+
+(* Build a key -> row-index-list table over all [n] rows. *)
+let build_table ~null_as_key (cols : Column.t array) (idxs : int list) ~(n : int)
+    : (key, int list) Hashtbl.t =
+  let kf = key_fn ~null_as_key cols idxs in
+  let tbl = Hashtbl.create (max 16 n) in
+  for row = 0 to n - 1 do
+    match kf row with
+    | None -> ()
+    | Some k -> (
+      match Hashtbl.find_opt tbl k with
+      | Some rows -> Hashtbl.replace tbl k (row :: rows)
+      | None -> Hashtbl.add tbl k [ row ])
+  done;
+  tbl

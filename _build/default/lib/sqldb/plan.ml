@@ -1,0 +1,216 @@
+(** Bound physical query plans.
+
+    Column references are positional indices into the input schema, so the
+    executors never resolve names at runtime. Aggregates and sort keys take
+    plain column indices; the planner inserts projections below them to
+    compute any needed expressions. *)
+
+open Value
+
+type binop = Sql_ast.binop
+
+type pexpr =
+  | PCol of int
+  | PLit of Value.t
+  | PBin of binop * pexpr * pexpr
+  | PNeg of pexpr
+  | PNot of pexpr
+  | PCase of (pexpr * pexpr) list * pexpr option
+  | PFunc of string * pexpr list
+  | PLike of pexpr * string * bool (* pattern, negated *)
+  | PInList of pexpr * Value.t list * bool
+  | PIsNull of pexpr * bool
+  | PCast of pexpr * ty
+
+type agg_fn = Sql_ast.agg_fn
+
+type agg_spec = {
+  fn : agg_fn;
+  arg : int option; (* None only for CountStar *)
+  distinct : bool;
+  out_name : string;
+  out_ty : ty;
+}
+
+type join_kind = JInner | JLeft | JRight | JFull
+
+type schema = (string * ty) array
+
+type plan = { node : node; schema : schema; mutable est : float }
+
+and node =
+  | Scan of string (* base table or CTE result *)
+  | PValues of schema * Value.t list list
+  | Filter of plan * pexpr
+  | Project of plan * (pexpr * string) list
+  | Join of {
+      kind : join_kind;
+      left : plan;
+      right : plan;
+      keys : (int * int) list; (* left idx, right idx *)
+      residual : pexpr option; (* over concatenated schema *)
+    }
+  | SemiJoin of {
+      anti : bool;
+      left : plan;
+      right : plan;
+      keys : (int * int) list;
+      residual : pexpr option; (* over left ++ right concatenated schema *)
+    }
+  | Aggregate of plan * int list * agg_spec list
+  | Sort of plan * (int * bool) list
+  | LimitN of plan * int
+  | Distinct of plan
+  | Window of plan * (int * bool) list * string (* row_number out column *)
+
+type bound_query = { ctes : (string * plan) list; main : plan }
+
+let mk node schema = { node; schema; est = 0. }
+
+(* ------------------------------------------------------------------ *)
+(* Type inference over pexpr                                          *)
+(* ------------------------------------------------------------------ *)
+
+let func_return_type name (arg_tys : ty list) =
+  match (name, arg_tys) with
+  | ("year" | "month" | "day" | "length" | "strlen"), _ -> TInt
+  | "substring", _ -> TString
+  | ("upper" | "lower" | "trim" | "concat"), _ -> TString
+  | "round", (t :: _) -> t
+  | ("sqrt" | "ln" | "exp" | "power" | "pow"), _ -> TFloat
+  | "abs", [ t ] -> t
+  | "coalesce", (t :: _) -> t
+  | ("uid" | "floor" | "ceil"), _ -> TInt
+  | "if", [ _; t; _ ] -> t
+  | _, (t :: _) -> t
+  | _, [] -> TInt
+
+let rec type_of_pexpr (schema : schema) e : ty =
+  match e with
+  | PCol i -> snd schema.(i)
+  | PLit v -> (
+    match v with
+    | VInt _ -> TInt
+    | VFloat _ -> TFloat
+    | VString _ -> TString
+    | VBool _ -> TBool
+    | VDate _ -> TDate
+    | VNull -> TInt)
+  | PBin (op, a, b) -> (
+    let ta = type_of_pexpr schema a and tb = type_of_pexpr schema b in
+    match op with
+    | Sql_ast.Eq | Ne | Lt | Le | Gt | Ge | And | Or -> TBool
+    | Concat -> TString
+    | Div -> TFloat
+    | Add | Sub | Mul | Mod -> (
+      match (ta, tb) with
+      | TDate, TInt | TInt, TDate -> TDate
+      | TDate, TDate -> TInt
+      | TFloat, _ | _, TFloat -> TFloat
+      | _ -> TInt))
+  | PNeg a -> type_of_pexpr schema a
+  | PNot _ -> TBool
+  | PCase (whens, els) -> (
+    match (whens, els) with
+    | (_, v) :: rest, els ->
+      (* prefer float if any branch is float *)
+      let tys =
+        type_of_pexpr schema v
+        :: List.map (fun (_, v) -> type_of_pexpr schema v) rest
+        @ (match els with Some e -> [ type_of_pexpr schema e ] | None -> [])
+      in
+      if List.mem TFloat tys then TFloat else List.hd tys
+    | [], Some e -> type_of_pexpr schema e
+    | [], None -> TInt)
+  | PFunc (name, args) ->
+    func_return_type name (List.map (type_of_pexpr schema) args)
+  | PLike _ -> TBool
+  | PInList _ -> TBool
+  | PIsNull _ -> TBool
+  | PCast (_, ty) -> ty
+
+let agg_output_type (fn : agg_fn) (arg_ty : ty option) =
+  match (fn, arg_ty) with
+  | Sql_ast.Count, _ | Sql_ast.CountStar, _ -> TInt
+  | Sql_ast.Avg, _ -> TFloat
+  | Sql_ast.Sum, Some TFloat -> TFloat
+  | Sql_ast.Sum, _ -> TInt
+  | (Sql_ast.Min | Sql_ast.Max), Some t -> t
+  | (Sql_ast.Min | Sql_ast.Max), None -> TInt
+
+(* ------------------------------------------------------------------ *)
+(* Utilities                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec pexpr_cols acc = function
+  | PCol i -> i :: acc
+  | PLit _ -> acc
+  | PBin (_, a, b) -> pexpr_cols (pexpr_cols acc a) b
+  | PNeg a | PNot a | PCast (a, _) -> pexpr_cols acc a
+  | PCase (whens, els) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> pexpr_cols (pexpr_cols acc c) v)
+        acc whens
+    in
+    (match els with Some e -> pexpr_cols acc e | None -> acc)
+  | PFunc (_, args) -> List.fold_left pexpr_cols acc args
+  | PLike (a, _, _) -> pexpr_cols acc a
+  | PInList (a, _, _) -> pexpr_cols acc a
+  | PIsNull (a, _) -> pexpr_cols acc a
+
+(* Shift all column references by [k] (used when moving an expression onto a
+   concatenated schema). *)
+let rec shift_cols k = function
+  | PCol i -> PCol (i + k)
+  | PLit v -> PLit v
+  | PBin (op, a, b) -> PBin (op, shift_cols k a, shift_cols k b)
+  | PNeg a -> PNeg (shift_cols k a)
+  | PNot a -> PNot (shift_cols k a)
+  | PCase (whens, els) ->
+    PCase
+      ( List.map (fun (c, v) -> (shift_cols k c, shift_cols k v)) whens,
+        Option.map (shift_cols k) els )
+  | PFunc (f, args) -> PFunc (f, List.map (shift_cols k) args)
+  | PLike (a, p, n) -> PLike (shift_cols k a, p, n)
+  | PInList (a, items, n) -> PInList (shift_cols k a, items, n)
+  | PIsNull (a, n) -> PIsNull (shift_cols k a, n)
+  | PCast (a, ty) -> PCast (shift_cols k a, ty)
+
+let conj = function
+  | [] -> None
+  | e :: rest ->
+    Some (List.fold_left (fun acc e -> PBin (Sql_ast.And, acc, e)) e rest)
+
+(* Pretty-printer used by tests and the CLI's EXPLAIN. *)
+let rec pp_node fmt (p : plan) =
+  let open Format in
+  match p.node with
+  | Scan name -> fprintf fmt "Scan(%s)" name
+  | PValues (_, rows) -> fprintf fmt "Values(%d rows)" (List.length rows)
+  | Filter (p, _) -> fprintf fmt "Filter(@[%a@])" pp_node p
+  | Project (p, items) ->
+    fprintf fmt "Project[%d](@[%a@])" (List.length items) pp_node p
+  | Join { kind; left; right; keys; _ } ->
+    let k =
+      match kind with
+      | JInner -> "Inner"
+      | JLeft -> "Left"
+      | JRight -> "Right"
+      | JFull -> "Full"
+    in
+    fprintf fmt "%sJoin[%d keys](@[%a@], @[%a@])" k (List.length keys)
+      pp_node left pp_node right
+  | SemiJoin { anti; left; right; _ } ->
+    fprintf fmt "%s(@[%a@], @[%a@])"
+      (if anti then "AntiJoin" else "SemiJoin")
+      pp_node left pp_node right
+  | Aggregate (p, groups, aggs) ->
+    fprintf fmt "Aggregate[%d groups, %d aggs](@[%a@])" (List.length groups)
+      (List.length aggs) pp_node p
+  | Sort (p, _) -> fprintf fmt "Sort(@[%a@])" pp_node p
+  | LimitN (p, n) -> fprintf fmt "Limit[%d](@[%a@])" n pp_node p
+  | Distinct p -> fprintf fmt "Distinct(@[%a@])" pp_node p
+  | Window (p, _, name) -> fprintf fmt "Window[%s](@[%a@])" name pp_node p
+
+let plan_to_string p = Format.asprintf "%a" pp_node p

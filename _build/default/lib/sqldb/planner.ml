@@ -1,0 +1,990 @@
+(** Query planner: bind {!Sql_ast} queries against a catalog into
+    {!Plan.bound_query} physical plans.
+
+    Applies the classical rewrites a query optimizer performs on the SQL
+    PyTond generates: predicate pushdown, equi-join extraction from comma
+    joins, greedy join ordering (cheapest estimated pair first), semi/anti
+    join conversion of [EXISTS]/[IN] subqueries, and projection of aggregate
+    arguments below grouping. *)
+
+open Value
+open Plan
+
+exception Bind_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+(* Correlated references to the outer query's virtual schema are encoded as
+   PCol indices offset by this base while the inner query is being planned. *)
+let outer_base = 100_000_000
+
+(* A named source visible to name resolution, occupying a contiguous range
+   of the query's virtual schema starting at [vbase]. *)
+type src = { alias : string; names : string array; tys : ty array; vbase : int }
+
+(* A join-forest component: a plan covering one or more sources; [vmap] maps
+   virtual column index -> column index in [plan]. *)
+type comp = { srcs : src list; plan : plan; vmap : (int, int) Hashtbl.t }
+
+type env = {
+  catalog : Catalog.t;
+  mutable cte_schemas : (string * schema) list;
+}
+
+let with_est est p =
+  p.est <- est;
+  p
+
+let estimate_scan env name =
+  match List.assoc_opt name env.cte_schemas with
+  | Some _ -> 1000. (* CTE cardinality unknown at bind time *)
+  | None -> (
+    match Catalog.find_opt env.catalog name with
+    | Some t -> float_of_int (max 1 (Relation.n_rows t.rel))
+    | None -> 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_col (s : src) name =
+  let rec go i =
+    if i >= Array.length s.names then None
+    else if String.equal s.names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let resolve (srcs : src list) qualifier name : (src * int) option =
+  match qualifier with
+  | Some q -> (
+    match List.find_opt (fun s -> String.equal s.alias q) srcs with
+    | None -> None
+    | Some s -> (
+      match find_col s name with Some i -> Some (s, i) | None -> None))
+  | None -> (
+    (* Generated SQL is unambiguous; take the first hit. *)
+    let rec first = function
+      | [] -> None
+      | s :: rest -> (
+        match find_col s name with
+        | Some i -> Some (s, i)
+        | None -> first rest)
+    in
+    first srcs)
+
+(* ------------------------------------------------------------------ *)
+(* Generic pexpr rewriting                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_cols f = function
+  | PCol v -> f v
+  | PLit v -> PLit v
+  | PBin (op, a, b) -> PBin (op, map_cols f a, map_cols f b)
+  | PNeg a -> PNeg (map_cols f a)
+  | PNot a -> PNot (map_cols f a)
+  | PCase (whens, els) ->
+    PCase
+      ( List.map (fun (c, v) -> (map_cols f c, map_cols f v)) whens,
+        Option.map (map_cols f) els )
+  | PFunc (fn, args) -> PFunc (fn, List.map (map_cols f) args)
+  | PLike (a, p, n) -> PLike (map_cols f a, p, n)
+  | PInList (a, items, n) -> PInList (map_cols f a, items, n)
+  | PIsNull (a, n) -> PIsNull (map_cols f a, n)
+  | PCast (a, ty) -> PCast (map_cols f a, ty)
+
+let rewrite_via (vmap : (int, int) Hashtbl.t) e =
+  map_cols
+    (fun v ->
+      match Hashtbl.find_opt vmap v with
+      | Some i -> PCol i
+      | None -> err "internal: unmapped virtual column %d" v)
+    e
+
+(* ------------------------------------------------------------------ *)
+(* Expression binding (to the virtual schema)                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec bind_expr env ~(srcs : src list) ~(outer : src list) (e : Sql_ast.expr)
+    : pexpr =
+  let recur e = bind_expr env ~srcs ~outer e in
+  match e with
+  | Sql_ast.Col (q, name) -> (
+    match resolve srcs q name with
+    | Some (s, i) -> PCol (s.vbase + i)
+    | None -> (
+      match resolve outer q name with
+      | Some (s, i) -> PCol (outer_base + s.vbase + i)
+      | None ->
+        err "unresolved column %s%s"
+          (match q with Some q -> q ^ "." | None -> "")
+          name))
+  | Sql_ast.Lit v -> PLit v
+  | Sql_ast.Bin (op, a, b) -> PBin (op, recur a, recur b)
+  | Sql_ast.Neg a -> PNeg (recur a)
+  | Sql_ast.Not a -> PNot (recur a)
+  | Sql_ast.Case (whens, els) ->
+    PCase
+      (List.map (fun (c, v) -> (recur c, recur v)) whens, Option.map recur els)
+  | Sql_ast.Func (name, args) -> PFunc (name, List.map recur args)
+  | Sql_ast.Like { arg; pattern; negated } -> PLike (recur arg, pattern, negated)
+  | Sql_ast.InList { arg; items; negated } ->
+    let lits =
+      List.map
+        (function
+          | Sql_ast.Lit v -> v
+          | Sql_ast.Neg (Sql_ast.Lit (VInt i)) -> VInt (-i)
+          | Sql_ast.Neg (Sql_ast.Lit (VFloat f)) -> VFloat (-.f)
+          | _ -> err "IN list items must be literals")
+        items
+    in
+    PInList (recur arg, lits, negated)
+  | Sql_ast.IsNull { arg; negated } -> PIsNull (recur arg, negated)
+  | Sql_ast.Cast (a, ty) -> PCast (recur a, ty)
+  | Sql_ast.Agg _ -> err "aggregate in unexpected position"
+  | Sql_ast.RowNumber _ -> err "window function in unexpected position"
+  | Sql_ast.InQuery _ | Sql_ast.Exists _ ->
+    err "subquery predicate in unexpected position"
+
+let split_conjuncts (e : Sql_ast.expr) : Sql_ast.expr list =
+  let rec go acc = function
+    | Sql_ast.Bin (Sql_ast.And, a, b) -> go (go acc b) a
+    | e -> e :: acc
+  in
+  go [] e
+
+let referenced_vcols (e : pexpr) =
+  let cols = pexpr_cols [] e in
+  let local = List.filter (fun i -> i < outer_base) cols in
+  let outer =
+    List.filter_map
+      (fun i -> if i >= outer_base then Some (i - outer_base) else None)
+      cols
+  in
+  (List.sort_uniq compare local, List.sort_uniq compare outer)
+
+(* ------------------------------------------------------------------ *)
+(* Components & join trees                                            *)
+(* ------------------------------------------------------------------ *)
+
+let comp_of_src (s : src) (plan : plan) : comp =
+  let vmap = Hashtbl.create (Array.length s.names) in
+  Array.iteri (fun i _ -> Hashtbl.replace vmap (s.vbase + i) i) s.names;
+  { srcs = [ s ]; plan; vmap }
+
+let comp_owns (c : comp) v = Hashtbl.mem c.vmap v
+
+let comp_filter (c : comp) (preds : pexpr list) : comp =
+  match conj (List.map (rewrite_via c.vmap) preds) with
+  | None -> c
+  | Some pred ->
+    let est = Float.max 1. (c.plan.est /. (3. *. float_of_int (List.length preds))) in
+    { c with plan = with_est est (mk (Filter (c.plan, pred)) c.plan.schema) }
+
+(* Merge two components with an inner hash join over the given virtual-column
+   key pairs (empty keys = cross join). Probe = larger side on the left. *)
+let comp_join ?(kind = JInner) ?residual (a : comp) (b : comp)
+    (keys : (int * int) list) : comp =
+  let left, right =
+    match kind with
+    | JInner -> if a.plan.est >= b.plan.est then (a, b) else (b, a)
+    | JLeft | JRight | JFull -> (a, b)
+  in
+  let keys =
+    List.map
+      (fun (x, y) ->
+        if comp_owns left x then (Hashtbl.find left.vmap x, Hashtbl.find right.vmap y)
+        else (Hashtbl.find left.vmap y, Hashtbl.find right.vmap x))
+      keys
+  in
+  let off = Array.length left.plan.schema in
+  let residual =
+    Option.map
+      (map_cols (fun v ->
+           if comp_owns left v then PCol (Hashtbl.find left.vmap v)
+           else PCol (off + Hashtbl.find right.vmap v)))
+      residual
+  in
+  let schema = Array.append left.plan.schema right.plan.schema in
+  let est =
+    match keys with
+    | [] -> left.plan.est *. right.plan.est
+    | _ -> Float.max left.plan.est right.plan.est
+  in
+  let node =
+    Join { kind; left = left.plan; right = right.plan; keys; residual }
+  in
+  let vmap = Hashtbl.create 16 in
+  Hashtbl.iter (fun v i -> Hashtbl.replace vmap v i) left.vmap;
+  Hashtbl.iter (fun v i -> Hashtbl.replace vmap v (off + i)) right.vmap;
+  { srcs = left.srcs @ right.srcs; plan = with_est est (mk node schema); vmap }
+
+(* Greedy join-tree construction over [comps] with equality [edges]. *)
+let build_join_tree (comps : comp list) (edges : (int * int) list) : comp =
+  let comps = ref comps and edges = ref edges in
+  let find_comp v = List.find_opt (fun c -> comp_owns c v) !comps in
+  let rec merge_loop () =
+    let candidates =
+      List.filter_map
+        (fun (a, b) ->
+          match (find_comp a, find_comp b) with
+          | Some ca, Some cb when not (ca == cb) ->
+            Some ((a, b), ca, cb, ca.plan.est +. cb.plan.est)
+          | _ -> None)
+        !edges
+    in
+    match candidates with
+    | [] -> ()
+    | first :: rest ->
+      let _, ca, cb, _ =
+        List.fold_left
+          (fun ((_, _, _, best) as acc) ((_, _, _, cost) as cand) ->
+            if cost < best then cand else acc)
+          first rest
+      in
+      let between, others =
+        List.partition
+          (fun (a, b) ->
+            (comp_owns ca a && comp_owns cb b)
+            || (comp_owns ca b && comp_owns cb a))
+          !edges
+      in
+      let merged = comp_join ca cb between in
+      comps := merged :: List.filter (fun c -> not (c == ca || c == cb)) !comps;
+      edges := others;
+      merge_loop ()
+  in
+  merge_loop ();
+  (* Leftover edges lie within one component: residual equality filters. *)
+  let leftover = !edges in
+  let ordered =
+    List.sort (fun a b -> compare a.plan.est b.plan.est) !comps
+  in
+  let combined =
+    match ordered with
+    | [] -> err "empty FROM clause"
+    | first :: rest -> List.fold_left (fun acc c -> comp_join acc c []) first rest
+  in
+  match
+    conj
+      (List.map
+         (fun (a, b) ->
+           PBin
+             ( Sql_ast.Eq,
+               PCol (Hashtbl.find combined.vmap a),
+               PCol (Hashtbl.find combined.vmap b) ))
+         leftover)
+  with
+  | None -> combined
+  | Some pred ->
+    { combined with
+      plan =
+        with_est combined.plan.est
+          (mk (Filter (combined.plan, pred)) combined.plan.schema) }
+
+(* Classify bound conjuncts into join edges, per-component pushdowns, and
+   residuals (multi-component non-equality, or correlated). *)
+let classify_conjuncts (comps : comp list) (bound : pexpr list) =
+  let edges = ref [] and pushed = ref [] and residual = ref [] in
+  List.iter
+    (fun e ->
+      let local, outer = referenced_vcols e in
+      if outer <> [] then residual := e :: !residual
+      else
+        let owners =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun v ->
+                 match List.find_opt (fun c -> comp_owns c v) comps with
+                 | Some c -> Some (Hashtbl.hash (List.map (fun s -> s.vbase) c.srcs))
+                 | None -> None)
+               local)
+        in
+        match (local, owners, e) with
+        | [], _, _ -> residual := e :: !residual
+        | _, [ _ ], _ ->
+          let c =
+            List.find (fun c -> comp_owns c (List.hd local)) comps
+          in
+          pushed := (c, e) :: !pushed
+        | _, [ _; _ ], PBin (Sql_ast.Eq, PCol a, PCol b) ->
+          edges := (a, b) :: !edges
+        | _ -> residual := e :: !residual)
+    bound;
+  (List.rev !edges, List.rev !pushed, List.rev !residual)
+
+(* ------------------------------------------------------------------ *)
+(* FROM items                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the components introduced by a from_item plus leftover join-ON
+   conjuncts (to be classified together with WHERE). *)
+let rec plan_from_item env ~outer (next_vbase : int ref) (fi : Sql_ast.from_item)
+    : comp list * Sql_ast.expr list =
+  match fi with
+  | Sql_ast.Table (name, alias) ->
+    let schema =
+      match List.assoc_opt name env.cte_schemas with
+      | Some s -> s
+      | None -> (
+        match Catalog.find_opt env.catalog name with
+        | Some t -> Array.of_list (Relation.schema t.rel)
+        | None -> err "unknown table %s" name)
+    in
+    let names = Array.map fst schema and tys = Array.map snd schema in
+    let vbase = !next_vbase in
+    next_vbase := vbase + Array.length names;
+    let plan = with_est (estimate_scan env name) (mk (Scan name) schema) in
+    ([ comp_of_src { alias; names; tys; vbase } plan ], [])
+  | Sql_ast.Subquery (q, alias) ->
+    let bq = plan_query_inner env ~outer:[] q in
+    (match bq.ctes with
+    | [] -> ()
+    | _ -> err "CTEs inside FROM subqueries are not supported");
+    let p = bq.main in
+    let names = Array.map fst p.schema and tys = Array.map snd p.schema in
+    let vbase = !next_vbase in
+    next_vbase := vbase + Array.length names;
+    ([ comp_of_src { alias; names; tys; vbase } p ], [])
+  | Sql_ast.Join (kind, l, r, on) -> (
+    let lcomps, lrest = plan_from_item env ~outer next_vbase l in
+    let rcomps, rrest = plan_from_item env ~outer next_vbase r in
+    match kind with
+    | Sql_ast.Inner ->
+      (* Same as a comma join with ON conjuncts folded into WHERE. *)
+      (lcomps @ rcomps, (split_conjuncts on @ lrest) @ rrest)
+    | Sql_ast.Left | Sql_ast.Right | Sql_ast.Full ->
+      let all_srcs = List.concat_map (fun c -> c.srcs) (lcomps @ rcomps) in
+      let bound =
+        List.map (bind_expr env ~srcs:all_srcs ~outer) (split_conjuncts on)
+      in
+      (* Materialize each side first (applying any pending ON conjuncts from
+         nested inner joins). *)
+      let finish side_comps side_rest =
+        let bound_rest =
+          List.map (bind_expr env ~srcs:all_srcs ~outer) side_rest
+        in
+        let edges, pushed, residual = classify_conjuncts side_comps bound_rest in
+        (match residual with
+        | [] -> ()
+        | _ -> err "unsupported residual predicate under outer join");
+        let side_comps =
+          List.map
+            (fun c ->
+              let preds =
+                List.filter_map
+                  (fun (c', e) -> if c' == c then Some e else None)
+                  pushed
+              in
+              comp_filter c preds)
+            side_comps
+        in
+        build_join_tree side_comps edges
+      in
+      let lc = finish lcomps lrest and rc = finish rcomps rrest in
+      let keys, residual =
+        List.partition_map
+          (fun e ->
+            match e with
+            | PBin (Sql_ast.Eq, PCol a, PCol b)
+              when (comp_owns lc a && comp_owns rc b)
+                   || (comp_owns lc b && comp_owns rc a) ->
+              Either.Left (if comp_owns lc a then (a, b) else (b, a))
+            | e -> Either.Right e)
+          bound
+      in
+      let jkind =
+        match kind with
+        | Sql_ast.Left -> JLeft
+        | Sql_ast.Right -> JRight
+        | Sql_ast.Full -> JFull
+        | Sql_ast.Inner -> JInner
+      in
+      let residual = conj residual in
+      let merged = comp_join ~kind:jkind ?residual lc rc keys in
+      ([ merged ], []))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and plan_select env ~outer (s : Sql_ast.select) : plan =
+  let next_vbase = ref 0 in
+  let parts = List.map (plan_from_item env ~outer next_vbase) s.froms in
+  let comps = List.concat_map fst parts in
+  let on_conjs = List.concat_map snd parts in
+  let srcs = List.concat_map (fun c -> c.srcs) comps in
+  let conjs =
+    on_conjs @ (match s.where with None -> [] | Some w -> split_conjuncts w)
+  in
+  let subq_conjs, plain_conjs =
+    List.partition
+      (fun e ->
+        match e with
+        | Sql_ast.Exists _ | Sql_ast.InQuery _
+        | Sql_ast.Not (Sql_ast.Exists _)
+        | Sql_ast.Not (Sql_ast.InQuery _) -> true
+        | _ -> false)
+      conjs
+  in
+  let bound = List.map (bind_expr env ~srcs ~outer) plain_conjs in
+  let edges, pushed, residual = classify_conjuncts comps bound in
+  let comps =
+    List.map
+      (fun c ->
+        let preds =
+          List.filter_map (fun (c', e) -> if c' == c then Some e else None) pushed
+        in
+        comp_filter c preds)
+      comps
+  in
+  let combined =
+    match comps with
+    | [] ->
+      (* SELECT without FROM *)
+      let plan = with_est 1. (mk (PValues ([||], [ [] ])) [||]) in
+      { srcs = []; plan; vmap = Hashtbl.create 1 }
+    | comps -> build_join_tree comps edges
+  in
+  let combined =
+    match conj (List.map (rewrite_via combined.vmap) residual) with
+    | None -> combined
+    | Some pred ->
+      { combined with
+        plan =
+          with_est combined.plan.est
+            (mk (Filter (combined.plan, pred)) combined.plan.schema) }
+  in
+  (* Semi/anti joins from EXISTS / IN conjuncts. *)
+  let joined =
+    List.fold_left
+      (fun plan c -> apply_subquery_conjunct env ~srcs ~vmap:combined.vmap plan c)
+      combined.plan subq_conjs
+  in
+  let bind_local e = rewrite_via combined.vmap (bind_expr env ~srcs ~outer e) in
+  (* Window functions (one row_number per SELECT). *)
+  let window_items =
+    List.filter_map
+      (function
+        | Sql_ast.Item (Sql_ast.RowNumber ks, alias) ->
+          Some (ks, Option.value alias ~default:"id")
+        | _ -> None)
+      s.items
+  in
+  let joined, window_col =
+    match window_items with
+    | [] -> (joined, None)
+    | [ (ks, name) ] ->
+      let keys =
+        List.map
+          (fun (k, asc) ->
+            match bind_local k with
+            | PCol i -> (i, asc)
+            | _ -> err "row_number ORDER BY must be a plain column")
+          ks
+      in
+      let schema = Array.append joined.schema [| (name, TInt) |] in
+      let wp = with_est joined.est (mk (Window (joined, keys, name)) schema) in
+      (wp, Some (Array.length joined.schema, name))
+    | _ -> err "at most one row_number() per SELECT is supported"
+  in
+  (* Aggregates in items / having / order_by. *)
+  let agg_nodes = ref [] in
+  let rec collect_aggs (e : Sql_ast.expr) =
+    match e with
+    | Sql_ast.Agg _ ->
+      if not (List.mem e !agg_nodes) then agg_nodes := e :: !agg_nodes
+    | Sql_ast.Bin (_, a, b) ->
+      collect_aggs a;
+      collect_aggs b
+    | Sql_ast.Neg a | Sql_ast.Not a | Sql_ast.Cast (a, _) -> collect_aggs a
+    | Sql_ast.Case (whens, els) ->
+      List.iter
+        (fun (c, v) ->
+          collect_aggs c;
+          collect_aggs v)
+        whens;
+      Option.iter collect_aggs els
+    | Sql_ast.Func (_, args) -> List.iter collect_aggs args
+    | Sql_ast.Like { arg; _ } | Sql_ast.IsNull { arg; _ } -> collect_aggs arg
+    | Sql_ast.InList { arg; items; _ } ->
+      collect_aggs arg;
+      List.iter collect_aggs items
+    | _ -> ()
+  in
+  List.iter
+    (function Sql_ast.Item (e, _) -> collect_aggs e | Sql_ast.Star -> ())
+    s.items;
+  Option.iter collect_aggs s.having;
+  List.iter (fun (e, _) -> collect_aggs e) s.order_by;
+  let agg_nodes = List.rev !agg_nodes in
+  let grouped = s.group_by <> [] || agg_nodes <> [] in
+  (* GROUP BY <position> refers to the select items. *)
+  let group_by_exprs =
+    List.map
+      (function
+        | Sql_ast.Lit (VInt k) -> (
+          match List.nth_opt s.items (k - 1) with
+          | Some (Sql_ast.Item (e, _)) -> e
+          | Some Sql_ast.Star | None -> err "bad positional GROUP BY %d" k)
+        | e -> e)
+      s.group_by
+  in
+  let final_input, rewrite_item =
+    if not grouped then (joined, bind_local)
+    else begin
+      let group_bound = List.map bind_local group_by_exprs in
+      let agg_raw =
+        List.map
+          (fun e ->
+            match e with
+            | Sql_ast.Agg { fn; arg; distinct } ->
+              (fn, Option.map bind_local arg, distinct)
+            | _ -> assert false)
+          agg_nodes
+      in
+      let n_groups = List.length group_bound in
+      (* When every group key and aggregate argument is a plain column, feed
+         the Aggregate directly from the join output — this keeps the fused
+         scan→filter→aggregate pipeline intact in the compiled executor. *)
+      let all_plain =
+        List.for_all (function PCol _ -> true | _ -> false) group_bound
+        && List.for_all
+             (fun (_, arg, _) ->
+               match arg with Some (PCol _) | None -> true | _ -> false)
+             agg_raw
+      in
+      let lower, group_idx, arg_of =
+        if all_plain then
+          ( joined,
+            List.map (function PCol i -> i | _ -> assert false) group_bound,
+            fun (_i : int) arg ->
+              match arg with
+              | Some (PCol j) -> Some j
+              | None -> None
+              | _ -> assert false )
+        else begin
+          let lower_items =
+            List.mapi (fun i e -> (e, Printf.sprintf "g%d" i)) group_bound
+            @ List.concat
+                (List.mapi
+                   (fun i (_, arg, _) ->
+                     match arg with
+                     | Some a -> [ (a, Printf.sprintf "a%d" i) ]
+                     | None -> [])
+                   agg_raw)
+          in
+          let lower_schema =
+            Array.of_list
+              (List.map
+                 (fun (e, nm) -> (nm, type_of_pexpr joined.schema e))
+                 lower_items)
+          in
+          let lower =
+            with_est joined.est (mk (Project (joined, lower_items)) lower_schema)
+          in
+          let arg_pos = Hashtbl.create 8 in
+          let next = ref n_groups in
+          List.iteri
+            (fun i (_, arg, _) ->
+              match arg with
+              | Some _ ->
+                Hashtbl.replace arg_pos i !next;
+                incr next
+              | None -> ())
+            agg_raw;
+          ( lower,
+            List.init n_groups Fun.id,
+            fun i arg ->
+              match arg with Some _ -> Some (Hashtbl.find arg_pos i) | None -> None
+          )
+        end
+      in
+      let specs =
+        List.mapi
+          (fun i (fn, arg, distinct) ->
+            let argi = arg_of i arg in
+            let arg_ty = Option.map (fun j -> snd lower.schema.(j)) argi in
+            { fn; arg = argi; distinct;
+              out_name = Printf.sprintf "agg%d" i;
+              out_ty = agg_output_type fn arg_ty })
+          agg_raw
+      in
+      let agg_schema =
+        Array.append
+          (Array.of_list
+             (List.map (fun g -> lower.schema.(g)) group_idx))
+          (Array.of_list (List.map (fun sp -> (sp.out_name, sp.out_ty)) specs))
+      in
+      let agg_plan =
+        with_est
+          (Float.max 1. (joined.est /. 10.))
+          (mk (Aggregate (lower, group_idx, specs)) agg_schema)
+      in
+      let indexed_aggs = List.mapi (fun i n -> (n, i)) agg_nodes in
+      let rec rewrite (e : Sql_ast.expr) : pexpr =
+        match List.assoc_opt e indexed_aggs with
+        | Some i -> PCol (n_groups + i)
+        | None -> (
+          let bound_try = try Some (bind_local e) with Bind_error _ -> None in
+          let group_idx =
+            match bound_try with
+            | Some b ->
+              let rec idx i = function
+                | [] -> None
+                | g :: rest -> if g = b then Some i else idx (i + 1) rest
+              in
+              idx 0 group_bound
+            | None -> None
+          in
+          match group_idx with
+          | Some i -> PCol i
+          | None -> (
+            match e with
+            | Sql_ast.Bin (op, a, b) -> PBin (op, rewrite a, rewrite b)
+            | Sql_ast.Neg a -> PNeg (rewrite a)
+            | Sql_ast.Not a -> PNot (rewrite a)
+            | Sql_ast.Case (whens, els) ->
+              PCase
+                ( List.map (fun (c, v) -> (rewrite c, rewrite v)) whens,
+                  Option.map rewrite els )
+            | Sql_ast.Func (f, args) ->
+              PFunc (String.lowercase_ascii f, List.map rewrite args)
+            | Sql_ast.Lit v -> PLit v
+            | Sql_ast.Cast (a, ty) -> PCast (rewrite a, ty)
+            | Sql_ast.Like { arg; pattern; negated } ->
+              PLike (rewrite arg, pattern, negated)
+            | Sql_ast.IsNull { arg; negated } -> PIsNull (rewrite arg, negated)
+            | _ ->
+              err "expression not derivable from GROUP BY keys: %s"
+                (Sql_print.expr_to_sql e)))
+      in
+      let agg_plan =
+        match s.having with
+        | None -> agg_plan
+        | Some h ->
+          with_est agg_plan.est
+            (mk (Filter (agg_plan, rewrite h)) agg_plan.schema)
+      in
+      (agg_plan, rewrite)
+    end
+  in
+  (* Final projection. *)
+  let items =
+    List.concat_map
+      (function
+        | Sql_ast.Star ->
+          Array.to_list
+            (Array.mapi (fun i (nm, _) -> (PCol i, nm)) final_input.schema)
+        | Sql_ast.Item (Sql_ast.RowNumber _, _) -> (
+          match window_col with
+          | Some (i, nm) -> [ (PCol i, nm) ]
+          | None -> err "internal: missing window column")
+        | Sql_ast.Item (e, alias) ->
+          let name =
+            match (alias, e) with
+            | Some a, _ -> a
+            | None, Sql_ast.Col (_, c) -> c
+            | None, _ -> "expr"
+          in
+          [ (rewrite_item e, name) ])
+      s.items
+  in
+  let seen = Hashtbl.create 8 in
+  let items =
+    List.map
+      (fun (e, nm) ->
+        match Hashtbl.find_opt seen nm with
+        | None ->
+          Hashtbl.replace seen nm 1;
+          (e, nm)
+        | Some k ->
+          Hashtbl.replace seen nm (k + 1);
+          (e, Printf.sprintf "%s_%d" nm k))
+      items
+  in
+  let out_schema =
+    Array.of_list
+      (List.map (fun (e, nm) -> (nm, type_of_pexpr final_input.schema e)) items)
+  in
+  let projected =
+    let identity =
+      Array.length final_input.schema = List.length items
+      && List.for_all2
+           (fun (e, nm) i ->
+             match e with
+             | PCol j -> j = i && String.equal nm (fst final_input.schema.(i))
+             | _ -> false)
+           items
+           (List.init (List.length items) Fun.id)
+    in
+    if identity then final_input
+    else
+      with_est final_input.est (mk (Project (final_input, items)) out_schema)
+  in
+  let projected =
+    if s.distinct then
+      with_est projected.est (mk (Distinct projected) projected.schema)
+    else projected
+  in
+  let projected =
+    match s.order_by with
+    | [] -> projected
+    | keys ->
+      (* keys resolve against output columns; anything else is computed as a
+         hidden column, sorted on, then projected away *)
+      let hidden = ref [] in
+      let resolve_key (e, asc) =
+        let out_idx name =
+          let rec idx i =
+            if i >= Array.length projected.schema then None
+            else if String.equal (fst projected.schema.(i)) name then Some i
+            else idx (i + 1)
+          in
+          idx 0
+        in
+        match e with
+        | Sql_ast.Lit (VInt k) -> (k - 1, asc)
+        | Sql_ast.Col (_, name) when out_idx name <> None ->
+          (Option.get (out_idx name), asc)
+        | e ->
+          let b = rewrite_item e in
+          let pos =
+            Array.length projected.schema + List.length !hidden
+          in
+          hidden := b :: !hidden;
+          (pos, asc)
+      in
+      let keys = List.map resolve_key keys in
+      if !hidden = [] then
+        with_est projected.est (mk (Sort (projected, keys)) projected.schema)
+      else begin
+        (* the hidden expressions are over final_input's schema, so sort the
+           widened projection and strip the extras afterwards *)
+        let base_items =
+          match projected.node with
+          | Project (_, its) -> its
+          | _ ->
+            Array.to_list
+              (Array.mapi (fun i (nm, _) -> (PCol i, nm)) projected.schema)
+        in
+        let src =
+          match projected.node with Project (p, _) -> p | _ -> projected
+        in
+        let hidden_items =
+          List.mapi (fun i e -> (e, Printf.sprintf "__sort%d" i))
+            (List.rev !hidden)
+        in
+        let wide_items = base_items @ hidden_items in
+        let wide_schema =
+          Array.of_list
+            (List.map
+               (fun (e, nm) -> (nm, type_of_pexpr src.schema e))
+               wide_items)
+        in
+        let wide =
+          with_est src.est (mk (Project (src, wide_items)) wide_schema)
+        in
+        let sorted = with_est wide.est (mk (Sort (wide, keys)) wide_schema) in
+        let back =
+          Array.to_list
+            (Array.mapi (fun i (nm, _) -> (PCol i, nm)) projected.schema)
+        in
+        with_est sorted.est (mk (Project (sorted, back)) projected.schema)
+      end
+  in
+  match s.limit with
+  | None -> projected
+  | Some n ->
+    with_est (float_of_int n) (mk (LimitN (projected, n)) projected.schema)
+
+(* ------------------------------------------------------------------ *)
+(* EXISTS / IN subqueries as semi/anti joins                          *)
+(* ------------------------------------------------------------------ *)
+
+and apply_subquery_conjunct env ~srcs ~vmap (left : plan) (c : Sql_ast.expr) :
+    plan =
+  let c =
+    match c with
+    | Sql_ast.Not (Sql_ast.InQuery i) ->
+      Sql_ast.InQuery { i with negated = not i.negated }
+    | Sql_ast.Not (Sql_ast.Exists e) ->
+      Sql_ast.Exists { e with negated = not e.negated }
+    | c -> c
+  in
+  match c with
+  | Sql_ast.InQuery { arg; query; negated } -> (
+    let bq = plan_query_inner env ~outer:[] query in
+    (match bq.ctes with
+    | [] -> ()
+    | _ -> err "CTEs inside IN subqueries are not supported");
+    let inner = bq.main in
+    let arg_b = rewrite_via vmap (bind_expr env ~srcs ~outer:[] arg) in
+    match arg_b with
+    | PCol i ->
+      let node =
+        SemiJoin
+          { anti = negated; left; right = inner; keys = [ (i, 0) ];
+            residual = None }
+      in
+      with_est left.est (mk node left.schema)
+    | e ->
+      (* Append a computed key column, semi-join, then drop it. *)
+      let n = Array.length left.schema in
+      let items =
+        Array.to_list (Array.mapi (fun i (nm, _) -> (PCol i, nm)) left.schema)
+        @ [ (e, "__semikey") ]
+      in
+      let schema =
+        Array.append left.schema [| ("__semikey", type_of_pexpr left.schema e) |]
+      in
+      let keyed = with_est left.est (mk (Project (left, items)) schema) in
+      let node =
+        SemiJoin
+          { anti = negated; left = keyed; right = inner; keys = [ (n, 0) ];
+            residual = None }
+      in
+      let semi = with_est keyed.est (mk node keyed.schema) in
+      let back = List.init n (fun i -> (PCol i, fst left.schema.(i))) in
+      with_est semi.est (mk (Project (semi, back)) left.schema))
+  | Sql_ast.Exists { query; negated } ->
+    let inner_select =
+      match query.Sql_ast.body with
+      | Sql_ast.Select s when query.Sql_ast.ctes = [] -> s
+      | _ -> err "EXISTS expects a plain SELECT"
+    in
+    let next_vbase = ref 1_000_000 in
+    let parts =
+      List.map (plan_from_item env ~outer:srcs next_vbase) inner_select.froms
+    in
+    let icomps = List.concat_map fst parts in
+    let ion = List.concat_map snd parts in
+    let isrcs = List.concat_map (fun c -> c.srcs) icomps in
+    let conjs =
+      ion
+      @ (match inner_select.where with
+        | None -> []
+        | Some w -> split_conjuncts w)
+    in
+    let bound = List.map (bind_expr env ~srcs:isrcs ~outer:srcs) conjs in
+    let inner_only, correlated =
+      List.partition (fun e -> snd (referenced_vcols e) = []) bound
+    in
+    let edges, pushed, residual = classify_conjuncts icomps inner_only in
+    let icomps =
+      List.map
+        (fun c ->
+          let preds =
+            List.filter_map
+              (fun (c', e) -> if c' == c then Some e else None)
+              pushed
+          in
+          comp_filter c preds)
+        icomps
+    in
+    let ic = build_join_tree icomps edges in
+    let iplan =
+      match conj (List.map (rewrite_via ic.vmap) residual) with
+      | None -> ic.plan
+      | Some pred ->
+        with_est ic.plan.est (mk (Filter (ic.plan, pred)) ic.plan.schema)
+    in
+    let n_left = Array.length left.schema in
+    let corr_keys = ref [] and corr_residual = ref [] in
+    List.iter
+      (fun e ->
+        match e with
+        | PBin (Sql_ast.Eq, PCol a, PCol b)
+          when (a >= outer_base) <> (b >= outer_base) ->
+          let o, i = if a >= outer_base then (a, b) else (b, a) in
+          corr_keys :=
+            (Hashtbl.find vmap (o - outer_base), Hashtbl.find ic.vmap i)
+            :: !corr_keys
+        | e -> corr_residual := e :: !corr_residual)
+      correlated;
+    let residual =
+      match !corr_residual with
+      | [] -> None
+      | es ->
+        conj
+          (List.map
+             (map_cols (fun v ->
+                  if v >= outer_base then
+                    PCol (Hashtbl.find vmap (v - outer_base))
+                  else PCol (n_left + Hashtbl.find ic.vmap v)))
+             es)
+    in
+    let node =
+      SemiJoin
+        { anti = negated; left; right = iplan; keys = !corr_keys; residual }
+    in
+    with_est left.est (mk node left.schema)
+  | _ -> err "unsupported subquery conjunct"
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and plan_body env ~outer (b : Sql_ast.body) : plan =
+  match b with
+  | Sql_ast.Select s -> plan_select env ~outer s
+  | Sql_ast.Values rows -> (
+    match rows with
+    | [] -> err "empty VALUES"
+    | first :: _ ->
+      let schema =
+        Array.of_list
+          (List.mapi
+             (fun i v ->
+               let ty =
+                 match v with
+                 | VInt _ -> TInt
+                 | VFloat _ -> TFloat
+                 | VString _ -> TString
+                 | VBool _ -> TBool
+                 | VDate _ -> TDate
+                 | VNull -> TInt
+               in
+               (Printf.sprintf "c%d" i, ty))
+             first)
+      in
+      with_est
+        (float_of_int (List.length rows))
+        (mk (PValues (schema, rows)) schema))
+
+and plan_query_inner env ~outer (q : Sql_ast.query) : bound_query =
+  let saved = env.cte_schemas in
+  let ctes =
+    List.map
+      (fun (name, cols, sub) ->
+        let bq = plan_query_inner env ~outer:[] sub in
+        (match bq.ctes with
+        | [] -> ()
+        | _ -> err "nested WITH inside CTE not supported");
+        let p = bq.main in
+        let p =
+          match cols with
+          | [] -> p
+          | cols ->
+            if List.length cols <> Array.length p.schema then
+              err "CTE %s column list arity mismatch" name;
+            let schema =
+              Array.of_list
+                (List.map2
+                   (fun nm (_, ty) -> (nm, ty))
+                   cols
+                   (Array.to_list p.schema))
+            in
+            { p with schema }
+        in
+        env.cte_schemas <- (name, p.schema) :: env.cte_schemas;
+        (name, p))
+      q.ctes
+  in
+  let main = plan_body env ~outer q.body in
+  env.cte_schemas <- saved;
+  { ctes; main }
+
+let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
+  let env = { catalog; cte_schemas = [] } in
+  plan_query_inner env ~outer:[] q

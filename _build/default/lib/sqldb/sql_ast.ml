@@ -1,0 +1,96 @@
+(** Abstract syntax for the SQL dialect PyTond generates and the engine
+    executes: CTE chains, select/project/filter, comma joins and explicit
+    outer joins, grouping, ordering, limits, VALUES, scalar functions,
+    aggregates, and [row_number()] windows. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type agg_fn = Sum | Avg | Min | Max | Count | CountStar
+
+type expr =
+  | Col of string option * string (* optional table qualifier *)
+  | Lit of Value.t
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Case of (expr * expr) list * expr option
+  | Func of string * expr list (* scalar function, lowercase name *)
+  | Like of { arg : expr; pattern : string; negated : bool }
+  | InList of { arg : expr; items : expr list; negated : bool }
+  | InQuery of { arg : expr; query : query; negated : bool }
+  | Exists of { query : query; negated : bool }
+  | Agg of { fn : agg_fn; arg : expr option; distinct : bool }
+  | RowNumber of (expr * bool) list (* ORDER BY keys; bool = ascending *)
+  | IsNull of { arg : expr; negated : bool }
+  | Cast of expr * Value.ty
+
+and select_item = Star | Item of expr * string option
+
+and join_kind = Inner | Left | Right | Full
+
+and from_item =
+  | Table of string * string (* name, alias (alias = name when absent) *)
+  | Subquery of query * string
+  | Join of join_kind * from_item * from_item * expr
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  froms : from_item list; (* comma-separated join list *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * bool) list;
+  limit : int option;
+}
+
+and body = Select of select | Values of Value.t list list
+
+and query = { ctes : (string * string list * query) list; body : body }
+
+let select_defaults =
+  { distinct = false; items = []; froms = []; where = None; group_by = [];
+    having = None; order_by = []; limit = None }
+
+let simple_query body = { ctes = []; body }
+
+let agg_fn_name = function
+  | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+  | Count | CountStar -> "COUNT"
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Concat -> "||"
+
+(* Operator precedence for printing with minimal parentheses. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub | Concat -> 4
+  | Mul | Div | Mod -> 5
+
+let sql_string_literal s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let lit_to_sql = function
+  | Value.VInt i -> string_of_int i
+  | Value.VFloat f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  | Value.VString s -> sql_string_literal s
+  | Value.VBool b -> if b then "TRUE" else "FALSE"
+  | Value.VDate d -> Printf.sprintf "DATE '%s'" (Value.iso_of_date d)
+  | Value.VNull -> "NULL"

@@ -1,0 +1,602 @@
+(** SQL text → {!Sql_ast}. Recursive-descent parser for the dialect the
+    PyTond code generator emits (both duckdb-like and hyper-like spellings)
+    plus ordinary hand-written analytics SQL. *)
+
+open Sql_ast
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | TIdent of string (* uppercased for keyword checks; original kept *)
+  | TInt of int
+  | TFloat of float
+  | TString of string
+  | TOp of string (* punctuation / operators *)
+  | TEOF
+
+type lexed = { tok : token; raw : string }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let lex (src : string) : lexed array =
+  let n = String.length src in
+  let out = ref [] in
+  let push tok raw = out := { tok; raw } :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let raw = String.sub src start (!i - start) in
+      push (TIdent (String.uppercase_ascii raw)) raw
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '.')
+      do incr i done;
+      (* scientific notation *)
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done
+      end;
+      let raw = String.sub src start (!i - start) in
+      if String.contains raw '.' || String.contains raw 'e'
+         || String.contains raw 'E'
+      then push (TFloat (float_of_string raw)) raw
+      else push (TInt (int_of_string raw)) raw
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Parse_error "unterminated string literal")
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      let s = Buffer.contents buf in
+      push (TString s) s
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" | "||" ->
+        push (TOp (if two = "!=" then "<>" else two)) two;
+        i := !i + 2
+      | _ ->
+        push (TOp (String.make 1 c)) (String.make 1 c);
+        incr i
+    end
+  done;
+  push TEOF "";
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : lexed array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).tok
+let peek_raw st = st.toks.(st.pos).raw
+let advance st = st.pos <- st.pos + 1
+
+let error st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at token %d: %s)" msg st.pos (peek_raw st)))
+
+let expect_op st op =
+  match peek st with
+  | TOp o when String.equal o op -> advance st
+  | _ -> error st (Printf.sprintf "expected '%s'" op)
+
+let is_kw st kw = match peek st with TIdent k -> String.equal k kw | _ -> false
+
+let expect_kw st kw =
+  if is_kw st kw then advance st
+  else error st (Printf.sprintf "expected keyword %s" kw)
+
+let accept_kw st kw =
+  if is_kw st kw then begin advance st; true end else false
+
+let accept_op st op =
+  match peek st with
+  | TOp o when String.equal o op -> advance st; true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | TIdent _ ->
+    let raw = peek_raw st in
+    advance st;
+    raw
+  | _ -> error st "expected identifier"
+
+let reserved =
+  [ "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "AS"; "AND"; "OR";
+    "NOT"; "SELECT"; "DISTINCT"; "JOIN"; "LEFT"; "RIGHT"; "FULL"; "INNER";
+    "OUTER"; "ON"; "BY"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "IN"; "LIKE";
+    "IS"; "NULL"; "EXISTS"; "BETWEEN"; "WITH"; "VALUES"; "UNION"; "ASC";
+    "DESC"; "CROSS" ]
+
+let at_ident_not_reserved st =
+  match peek st with
+  | TIdent k -> not (List.mem k reserved)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of_name = function
+  | "SUM" -> Some Sum
+  | "AVG" | "MEAN" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "COUNT" -> Some Count
+  | _ -> None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let l = parse_and st in
+  if accept_kw st "OR" then Bin (Or, l, parse_or st) else l
+
+and parse_and st =
+  let l = parse_not st in
+  if accept_kw st "AND" then Bin (And, l, parse_and st) else l
+
+and parse_not st =
+  if accept_kw st "NOT" then Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let l = parse_add st in
+  let negated = accept_kw st "NOT" in
+  if accept_kw st "LIKE" then begin
+    match peek st with
+    | TString p ->
+      advance st;
+      Like { arg = l; pattern = p; negated }
+    | _ -> error st "expected string pattern after LIKE"
+  end
+  else if accept_kw st "IN" then begin
+    expect_op st "(";
+    let e =
+      if is_kw st "SELECT" || is_kw st "WITH" || is_kw st "VALUES" then
+        InQuery { arg = l; query = parse_query st; negated }
+      else begin
+        let items = parse_expr_list st in
+        InList { arg = l; items; negated }
+      end
+    in
+    expect_op st ")";
+    e
+  end
+  else if accept_kw st "BETWEEN" then begin
+    let lo = parse_add st in
+    expect_kw st "AND";
+    let hi = parse_add st in
+    let between = Bin (And, Bin (Ge, l, lo), Bin (Le, l, hi)) in
+    if negated then Not between else between
+  end
+  else if negated then error st "expected LIKE/IN/BETWEEN after NOT"
+  else if accept_kw st "IS" then begin
+    let negated = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    IsNull { arg = l; negated }
+  end
+  else begin
+    let op =
+      match peek st with
+      | TOp "=" -> Some Eq
+      | TOp "<>" -> Some Ne
+      | TOp "<" -> Some Lt
+      | TOp "<=" -> Some Le
+      | TOp ">" -> Some Gt
+      | TOp ">=" -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | None -> l
+    | Some op ->
+      advance st;
+      Bin (op, l, parse_add st)
+  end
+
+and parse_add st =
+  let l = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | TOp "+" -> advance st; l := Bin (Add, !l, parse_mul st)
+    | TOp "-" -> advance st; l := Bin (Sub, !l, parse_mul st)
+    | TOp "||" -> advance st; l := Bin (Concat, !l, parse_mul st)
+    | _ -> continue := false
+  done;
+  !l
+
+and parse_mul st =
+  let l = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | TOp "*" -> advance st; l := Bin (Mul, !l, parse_unary st)
+    | TOp "/" -> advance st; l := Bin (Div, !l, parse_unary st)
+    | TOp "%" -> advance st; l := Bin (Mod, !l, parse_unary st)
+    | _ -> continue := false
+  done;
+  !l
+
+and parse_unary st =
+  if accept_op st "-" then Neg (parse_unary st) else parse_primary st
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if accept_op st "," then e :: parse_expr_list st else [ e ]
+
+and parse_case st =
+  let whens = ref [] in
+  while is_kw st "WHEN" do
+    advance st;
+    let c = parse_expr st in
+    expect_kw st "THEN";
+    let v = parse_expr st in
+    whens := (c, v) :: !whens
+  done;
+  let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+  expect_kw st "END";
+  Case (List.rev !whens, els)
+
+and parse_call st name =
+  (* '(' already consumed by caller? No: caller consumed name, we consume '('. *)
+  expect_op st "(";
+  let upper = String.uppercase_ascii name in
+  match upper with
+  | "COUNT" when accept_op st "*" ->
+    expect_op st ")";
+    Agg { fn = CountStar; arg = None; distinct = false }
+  | "EXTRACT" ->
+    (* EXTRACT(YEAR FROM e) *)
+    let field = ident st in
+    expect_kw st "FROM";
+    let e = parse_expr st in
+    expect_op st ")";
+    Func (String.lowercase_ascii field, [ e ])
+  | "SUBSTRING" | "SUBSTR" -> begin
+    (* SUBSTRING(e, s, l) or SUBSTRING(e FROM s FOR l) *)
+    let e = parse_expr st in
+    if accept_kw st "FROM" then begin
+      let s = parse_expr st in
+      expect_kw st "FOR";
+      let l = parse_expr st in
+      expect_op st ")";
+      Func ("substring", [ e; s; l ])
+    end
+    else begin
+      expect_op st ",";
+      let s = parse_expr st in
+      expect_op st ",";
+      let l = parse_expr st in
+      expect_op st ")";
+      Func ("substring", [ e; s; l ])
+    end
+  end
+  | "CAST" ->
+    let e = parse_expr st in
+    expect_kw st "AS";
+    let ty = Value.ty_of_string (ident st) in
+    expect_op st ")";
+    Cast (e, ty)
+  | "ROW_NUMBER" ->
+    expect_op st ")";
+    expect_kw st "OVER";
+    expect_op st "(";
+    let keys =
+      if accept_kw st "ORDER" then begin
+        expect_kw st "BY";
+        parse_order_keys st
+      end
+      else []
+    in
+    expect_op st ")";
+    RowNumber keys
+  | _ -> (
+    match agg_of_name upper with
+    | Some fn ->
+      let distinct = accept_kw st "DISTINCT" in
+      let arg = parse_expr st in
+      expect_op st ")";
+      Agg { fn; arg = Some arg; distinct }
+    | None ->
+      let args =
+        if accept_op st ")" then []
+        else begin
+          let args = parse_expr_list st in
+          expect_op st ")";
+          args
+        end
+      in
+      Func (String.lowercase_ascii name, args))
+
+and parse_primary st =
+  match peek st with
+  | TInt i -> advance st; Lit (Value.VInt i)
+  | TFloat f -> advance st; Lit (Value.VFloat f)
+  | TString s -> advance st; Lit (Value.VString s)
+  | TOp "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_op st ")";
+    e
+  | TIdent "CASE" -> advance st; parse_case st
+  | TIdent "NULL" -> advance st; Lit Value.VNull
+  | TIdent "TRUE" -> advance st; Lit (Value.VBool true)
+  | TIdent "FALSE" -> advance st; Lit (Value.VBool false)
+  | TIdent "DATE" -> begin
+    advance st;
+    match peek st with
+    | TString s ->
+      advance st;
+      Lit (Value.VDate (Value.date_of_iso s))
+    | _ -> error st "expected date literal string"
+  end
+  | TIdent "EXISTS" ->
+    advance st;
+    expect_op st "(";
+    let q = parse_query st in
+    expect_op st ")";
+    Exists { query = q; negated = false }
+  | TIdent "NOT" ->
+    (* NOT EXISTS in primary position *)
+    advance st;
+    expect_kw st "EXISTS";
+    expect_op st "(";
+    let q = parse_query st in
+    expect_op st ")";
+    Exists { query = q; negated = true }
+  | TIdent _ -> begin
+    let name = ident st in
+    match peek st with
+    | TOp "(" -> parse_call st name
+    | TOp "." ->
+      advance st;
+      let col = ident st in
+      Col (Some name, col)
+    | _ -> Col (None, name)
+  end
+  | _ -> error st "expected expression"
+
+and parse_order_keys st =
+  let key () =
+    let e = parse_expr st in
+    let asc =
+      if accept_kw st "DESC" then false
+      else begin
+        ignore (accept_kw st "ASC");
+        true
+      end
+    in
+    (e, asc)
+  in
+  let k = key () in
+  if accept_op st "," then k :: parse_order_keys st else [ k ]
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                        *)
+(* ------------------------------------------------------------------ *)
+
+and parse_from_primary st =
+  if accept_op st "(" then begin
+    let q = parse_query st in
+    expect_op st ")";
+    ignore (accept_kw st "AS");
+    let alias = ident st in
+    Subquery (q, alias)
+  end
+  else begin
+    let name = ident st in
+    let alias =
+      if accept_kw st "AS" then ident st
+      else if at_ident_not_reserved st then ident st
+      else name
+    in
+    Table (name, alias)
+  end
+
+and parse_from_item st =
+  let l = ref (parse_from_primary st) in
+  let continue = ref true in
+  while !continue do
+    let kind =
+      if is_kw st "JOIN" then Some Inner
+      else if is_kw st "INNER" then begin
+        advance st;
+        Some Inner
+      end
+      else if is_kw st "LEFT" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Left
+      end
+      else if is_kw st "RIGHT" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Right
+      end
+      else if is_kw st "FULL" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Full
+      end
+      else None
+    in
+    match kind with
+    | None -> continue := false
+    | Some kind ->
+      expect_kw st "JOIN";
+      let r = parse_from_primary st in
+      expect_kw st "ON";
+      let on = parse_expr st in
+      l := Join (kind, !l, r, on)
+  done;
+  !l
+
+(* ------------------------------------------------------------------ *)
+(* SELECT / VALUES / query                                            *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let item () =
+    if accept_op st "*" then Star
+    else begin
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else if at_ident_not_reserved st then Some (ident st)
+        else None
+      in
+      Item (e, alias)
+    end
+  in
+  let items = ref [ item () ] in
+  while accept_op st "," do
+    items := item () :: !items
+  done;
+  let items = List.rev !items in
+  let froms =
+    if accept_kw st "FROM" then begin
+      let fs = ref [ parse_from_item st ] in
+      while accept_op st "," do
+        fs := parse_from_item st :: !fs
+      done;
+      List.rev !fs
+    end
+    else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      parse_order_keys st
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      match peek st with
+      | TInt n -> advance st; Some n
+      | _ -> error st "expected integer after LIMIT"
+    end
+    else None
+  in
+  { distinct; items; froms; where; group_by; having; order_by; limit }
+
+and parse_values st =
+  expect_kw st "VALUES";
+  let row () =
+    expect_op st "(";
+    let lits = ref [] in
+    let lit () =
+      match parse_expr st with
+      | Lit v -> v
+      | Neg (Lit (Value.VInt i)) -> Value.VInt (-i)
+      | Neg (Lit (Value.VFloat f)) -> Value.VFloat (-.f)
+      | _ -> error st "VALUES rows must contain literals"
+    in
+    lits := [ lit () ];
+    while accept_op st "," do
+      lits := lit () :: !lits
+    done;
+    expect_op st ")";
+    List.rev !lits
+  in
+  let rows = ref [ row () ] in
+  while accept_op st "," do
+    rows := row () :: !rows
+  done;
+  List.rev !rows
+
+and parse_query st =
+  let ctes =
+    if accept_kw st "WITH" then begin
+      let cte () =
+        let name = ident st in
+        let cols =
+          if accept_op st "(" then begin
+            let cs = ref [ ident st ] in
+            while accept_op st "," do
+              cs := ident st :: !cs
+            done;
+            expect_op st ")";
+            List.rev !cs
+          end
+          else []
+        in
+        expect_kw st "AS";
+        expect_op st "(";
+        let q = parse_query st in
+        expect_op st ")";
+        (name, cols, q)
+      in
+      let ctes = ref [ cte () ] in
+      while accept_op st "," do
+        ctes := cte () :: !ctes
+      done;
+      List.rev !ctes
+    end
+    else []
+  in
+  let body =
+    if is_kw st "VALUES" then Values (parse_values st)
+    else Select (parse_select st)
+  in
+  { ctes; body }
+
+let parse (src : string) : query =
+  let st = { toks = lex src; pos = 0 } in
+  let q = parse_query st in
+  (match peek st with
+  | TEOF -> ()
+  | _ -> (
+    (* tolerate a trailing semicolon *)
+    match peek st with
+    | TOp ";" -> advance st
+    | _ -> error st "trailing tokens after query"));
+  q

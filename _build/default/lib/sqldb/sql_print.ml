@@ -1,0 +1,193 @@
+(** Render a {!Sql_ast} query to SQL text.
+
+    Backend adaptation (paper §III-E): dialects differ only in the spelling of
+    a few external functions, captured by [dialect]. *)
+
+open Sql_ast
+
+type dialect = { name : string; render_func : string -> string list -> string }
+
+(* Shared default rendering: func(arg1, ..., argn). *)
+let default_func name args =
+  Printf.sprintf "%s(%s)" (String.lowercase_ascii name) (String.concat ", " args)
+
+let duckdb =
+  { name = "duckdb";
+    render_func =
+      (fun name args ->
+        match (String.lowercase_ascii name, args) with
+        | "year", [ a ] -> Printf.sprintf "year(%s)" a
+        | "month", [ a ] -> Printf.sprintf "month(%s)" a
+        | "strftime", [ a; f ] -> Printf.sprintf "strftime(%s, %s)" a f
+        | n, args -> default_func n args) }
+
+let hyper =
+  { name = "hyper";
+    render_func =
+      (fun name args ->
+        match (String.lowercase_ascii name, args) with
+        | "year", [ a ] -> Printf.sprintf "EXTRACT(YEAR FROM %s)" a
+        | "month", [ a ] -> Printf.sprintf "EXTRACT(MONTH FROM %s)" a
+        | "substring", [ a; s; l ] ->
+          Printf.sprintf "SUBSTRING(%s FROM %s FOR %s)" a s l
+        | n, args -> default_func n args) }
+
+let dialect_of_name = function
+  | "duckdb" | "lingodb" -> duckdb
+  | "hyper" -> hyper
+  | other -> invalid_arg ("Sql_print.dialect_of_name: " ^ other)
+
+let rec expr_to_sql ?(d = duckdb) ?(outer_prec = 0) e =
+  let recur ?(p = 0) e = expr_to_sql ~d ~outer_prec:p e in
+  match e with
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Lit v -> lit_to_sql v
+  | Bin (op, a, b) ->
+    let p = prec op in
+    let s =
+      Printf.sprintf "%s %s %s" (recur ~p a) (binop_name op) (recur ~p:(p + 1) b)
+    in
+    if p < outer_prec then "(" ^ s ^ ")" else s
+  | Neg a -> "-" ^ recur ~p:10 a
+  | Not a -> "NOT (" ^ recur a ^ ")"
+  | Case (whens, els) ->
+    let whens =
+      List.map
+        (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (recur c) (recur v))
+        whens
+    in
+    let els =
+      match els with
+      | None -> ""
+      | Some e -> Printf.sprintf " ELSE %s" (recur e)
+    in
+    Printf.sprintf "(CASE %s%s END)" (String.concat " " whens) els
+  | Func (name, args) -> d.render_func name (List.map recur args)
+  | Like { arg; pattern; negated } ->
+    Printf.sprintf "%s %sLIKE %s" (recur ~p:4 arg)
+      (if negated then "NOT " else "")
+      (sql_string_literal pattern)
+  | InList { arg; items; negated } ->
+    Printf.sprintf "%s %sIN (%s)" (recur ~p:4 arg)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map recur items))
+  | InQuery { arg; query; negated } ->
+    Printf.sprintf "%s %sIN (%s)" (recur ~p:4 arg)
+      (if negated then "NOT " else "")
+      (query_to_sql ~d query)
+  | Exists { query; negated } ->
+    Printf.sprintf "%sEXISTS (%s)"
+      (if negated then "NOT " else "")
+      (query_to_sql ~d query)
+  | Agg { fn = CountStar; _ } -> "COUNT(*)"
+  | Agg { fn; arg; distinct } ->
+    let arg = match arg with Some a -> recur a | None -> "*" in
+    Printf.sprintf "%s(%s%s)" (agg_fn_name fn)
+      (if distinct then "DISTINCT " else "")
+      arg
+  | RowNumber keys ->
+    let order =
+      match keys with
+      | [] -> ""
+      | keys ->
+        "ORDER BY "
+        ^ String.concat ", "
+            (List.map
+               (fun (k, asc) -> recur k ^ if asc then "" else " DESC")
+               keys)
+    in
+    Printf.sprintf "row_number() OVER (%s)" order
+  | IsNull { arg; negated } ->
+    Printf.sprintf "%s IS %sNULL" (recur ~p:4 arg)
+      (if negated then "NOT " else "")
+  | Cast (a, ty) ->
+    Printf.sprintf "CAST(%s AS %s)" (recur a) (Value.ty_name ty)
+
+and select_to_sql ~d s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "SELECT ";
+  if s.distinct then Buffer.add_string buf "DISTINCT ";
+  let item = function
+    | Star -> "*"
+    | Item (e, None) -> expr_to_sql ~d e
+    | Item (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_sql ~d e) a
+  in
+  Buffer.add_string buf (String.concat ", " (List.map item s.items));
+  (match s.froms with
+  | [] -> ()
+  | froms ->
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map (from_to_sql ~d) froms)));
+  (match s.where with
+  | None -> ()
+  | Some w -> Buffer.add_string buf (" WHERE " ^ expr_to_sql ~d w));
+  (match s.group_by with
+  | [] -> ()
+  | gs ->
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map (expr_to_sql ~d) gs)));
+  (match s.having with
+  | None -> ()
+  | Some h -> Buffer.add_string buf (" HAVING " ^ expr_to_sql ~d h));
+  (match s.order_by with
+  | [] -> ()
+  | keys ->
+    Buffer.add_string buf
+      (" ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (k, asc) -> expr_to_sql ~d k ^ if asc then "" else " DESC")
+             keys)));
+  (match s.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n));
+  Buffer.contents buf
+
+and from_to_sql ~d = function
+  | Table (name, alias) ->
+    if String.equal name alias then name
+    else Printf.sprintf "%s AS %s" name alias
+  | Subquery (q, alias) ->
+    Printf.sprintf "(%s) AS %s" (query_to_sql ~d q) alias
+  | Join (kind, l, r, on) ->
+    let kw =
+      match kind with
+      | Inner -> "JOIN"
+      | Left -> "LEFT JOIN"
+      | Right -> "RIGHT JOIN"
+      | Full -> "FULL JOIN"
+    in
+    Printf.sprintf "%s %s %s ON %s" (from_to_sql ~d l) kw (from_to_sql ~d r)
+      (expr_to_sql ~d on)
+
+and body_to_sql ~d = function
+  | Select s -> select_to_sql ~d s
+  | Values rows ->
+    "VALUES "
+    ^ String.concat ", "
+        (List.map
+           (fun row ->
+             "(" ^ String.concat ", " (List.map lit_to_sql row) ^ ")")
+           rows)
+
+and query_to_sql ?(d = duckdb) q =
+  let ctes =
+    match q.ctes with
+    | [] -> ""
+    | ctes ->
+      "WITH "
+      ^ String.concat ",\n  "
+          (List.map
+             (fun (name, cols, sub) ->
+               let cols =
+                 match cols with
+                 | [] -> ""
+                 | cols -> "(" ^ String.concat ", " cols ^ ")"
+               in
+               Printf.sprintf "%s%s AS (%s)" name cols (query_to_sql ~d sub))
+             ctes)
+      ^ "\n"
+  in
+  ctes ^ body_to_sql ~d q.body

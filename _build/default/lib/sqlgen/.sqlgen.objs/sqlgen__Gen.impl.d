@@ -1,0 +1,1 @@
+lib/sqlgen/gen.ml: Buffer Hashtbl List Printf Sqldb String Tondir

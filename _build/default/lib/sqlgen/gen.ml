@@ -1,0 +1,463 @@
+(** TondIR → SQL code generation (paper §III-E).
+
+    Each rule becomes one CTE; the program becomes a WITH chain followed by
+    [SELECT * FROM <last rule>]. Relation columns are positional: a rule's
+    output columns are named after its head variables, and accesses bind
+    variables to columns by position. *)
+
+open Tondir.Ir
+
+exception Codegen_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constants and operators                                            *)
+(* ------------------------------------------------------------------ *)
+
+let const_to_value = function
+  | CInt i -> Sqldb.Value.VInt i
+  | CFloat f -> Sqldb.Value.VFloat f
+  | CBool b -> Sqldb.Value.VBool b
+  | CString s -> Sqldb.Value.VString s
+  | CDate d -> Sqldb.Value.VDate d
+  | CNull -> Sqldb.Value.VNull
+
+let binop_to_sql : binop -> Sqldb.Sql_ast.binop = function
+  | Add -> Sqldb.Sql_ast.Add
+  | Sub -> Sqldb.Sql_ast.Sub
+  | Mul -> Sqldb.Sql_ast.Mul
+  | Div -> Sqldb.Sql_ast.Div
+  | Mod -> Sqldb.Sql_ast.Mod
+  | And -> Sqldb.Sql_ast.And
+  | Or -> Sqldb.Sql_ast.Or
+  | Eq -> Sqldb.Sql_ast.Eq
+  | Ne -> Sqldb.Sql_ast.Ne
+  | Lt -> Sqldb.Sql_ast.Lt
+  | Le -> Sqldb.Sql_ast.Le
+  | Gt -> Sqldb.Sql_ast.Gt
+  | Ge -> Sqldb.Sql_ast.Ge
+  | Concat -> Sqldb.Sql_ast.Concat
+
+let agg_to_sql : agg_fn -> Sqldb.Sql_ast.agg_fn * bool = function
+  | Sum -> (Sqldb.Sql_ast.Sum, false)
+  | Min -> (Sqldb.Sql_ast.Min, false)
+  | Max -> (Sqldb.Sql_ast.Max, false)
+  | Avg -> (Sqldb.Sql_ast.Avg, false)
+  | Count -> (Sqldb.Sql_ast.Count, false)
+  | CountDistinct -> (Sqldb.Sql_ast.Count, true)
+  | CountStar -> (Sqldb.Sql_ast.CountStar, false)
+
+(* SQL-safe column aliases for TondIR variables. *)
+let sanitize v =
+  let v = String.lowercase_ascii v in
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' then
+        Buffer.add_char b c
+      else Buffer.add_char b '_')
+    v;
+  let s = Buffer.contents b in
+  let s = if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "c_" ^ s else s in
+  match String.uppercase_ascii s with
+  | "ORDER" | "GROUP" | "SELECT" | "FROM" | "WHERE" | "LIMIT" | "BY" | "AS"
+  | "AND" | "OR" | "NOT" | "IN" | "LIKE" | "CASE" | "END" | "DESC" | "ASC"
+  | "JOIN" | "LEFT" | "RIGHT" | "FULL" | "ON" | "IS" | "NULL" | "EXISTS"
+  | "VALUES" | "WITH" | "DATE" | "BETWEEN" | "UNION" | "THEN" | "WHEN"
+  | "ELSE" | "INNER" | "OUTER" | "CROSS" | "DISTINCT" | "HAVING" ->
+    s ^ "_"
+  | _ -> s
+
+(* ------------------------------------------------------------------ *)
+(* Relation versioning                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite the program so every rule defines a fresh relation name: reading
+   an incrementally redefined relation (or a base table being shadowed)
+   always refers to the latest version. *)
+let version_relations ~(is_base : string -> bool) (p : program) : program =
+  let current : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let fresh_name name =
+    let rec try_n n =
+      let cand = Printf.sprintf "%s__v%d" name n in
+      if Hashtbl.mem current cand || is_base cand then try_n (n + 1) else cand
+    in
+    if (not (Hashtbl.mem current name)) && not (is_base name) then name
+    else try_n 2
+  in
+  let rename_access (a : access) =
+    match Hashtbl.find_opt current a.rel with
+    | Some name -> { a with rel = name }
+    | None -> a
+  in
+  let rec rename_atoms atoms =
+    List.map
+      (function
+        | Access a -> Access (rename_access a)
+        | OuterAccess (k, a, keys) -> OuterAccess (k, rename_access a, keys)
+        | Exists (n, sub) -> Exists (n, rename_atoms sub)
+        | (ConstRel _ | Cond _ | Assign _) as a -> a)
+      atoms
+  in
+  let rules =
+    List.map
+      (fun r ->
+        let body = rename_atoms r.body in
+        let name = r.head.rel.rel in
+        let vname = fresh_name name in
+        Hashtbl.replace current name vname;
+        if vname <> name then Hashtbl.replace current vname vname;
+        { head = { r.head with rel = { r.head.rel with rel = vname } }; body })
+      p.rules
+  in
+  { rules }
+
+(* ------------------------------------------------------------------ *)
+(* Rule → SELECT                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type genv = {
+  (* variable -> column reference or computed expression *)
+  mutable bindings : (string * Sqldb.Sql_ast.expr) list;
+  mutable joins : Sqldb.Sql_ast.expr list; (* equality conds from shared vars *)
+  mutable wheres : Sqldb.Sql_ast.expr list;
+  mutable froms : Sqldb.Sql_ast.from_item list;
+  mutable outer_from : Sqldb.Sql_ast.from_item option;
+  mutable alias_counter : int;
+  (* schema lookup: relation -> column names (positional) *)
+  columns_of : string -> string list;
+  prefix : string; (* alias prefix, distinguishes exists sub-scopes *)
+}
+
+let new_alias g =
+  g.alias_counter <- g.alias_counter + 1;
+  Printf.sprintf "%sr%d" g.prefix g.alias_counter
+
+let lookup_var g v =
+  match List.assoc_opt v g.bindings with
+  | Some e -> e
+  | None -> err "unbound TondIR variable %s" v
+
+let rec term_to_expr g (t : term) : Sqldb.Sql_ast.expr =
+  match t with
+  | Var v -> lookup_var g v
+  | Const c -> Sqldb.Sql_ast.Lit (const_to_value c)
+  | Agg (CountStar, _) ->
+    Sqldb.Sql_ast.Agg { fn = Sqldb.Sql_ast.CountStar; arg = None; distinct = false }
+  | Agg (a, t) ->
+    let fn, distinct = agg_to_sql a in
+    Sqldb.Sql_ast.Agg { fn; arg = Some (term_to_expr g t); distinct }
+  | Ext ("uid", []) -> Sqldb.Sql_ast.RowNumber []
+  | Ext ("uid", [ t ]) -> Sqldb.Sql_ast.RowNumber [ (term_to_expr g t, true) ]
+  | Ext (name, args) -> Sqldb.Sql_ast.Func (name, List.map (term_to_expr g) args)
+  | If (c, a, b) ->
+    Sqldb.Sql_ast.Case
+      ([ (term_to_expr g c, term_to_expr g a) ], Some (term_to_expr g b))
+  | Binop (op, a, b) ->
+    Sqldb.Sql_ast.Bin (binop_to_sql op, term_to_expr g a, term_to_expr g b)
+  | InConsts (t, cs, negated) ->
+    Sqldb.Sql_ast.InList
+      { arg = term_to_expr g t;
+        items = List.map (fun c -> Sqldb.Sql_ast.Lit (const_to_value c)) cs;
+        negated }
+  | Like (t, pattern, negated) ->
+    Sqldb.Sql_ast.Like { arg = term_to_expr g t; pattern; negated }
+
+(* Bind an access's variables: fresh alias; repeated variables produce join
+   equalities; "_" is skipped. *)
+let bind_access g (a : access) : string =
+  let alias = new_alias g in
+  let cols =
+    match a.rel with
+    | rel -> (
+      match g.columns_of rel with
+      | cols -> cols)
+  in
+  if List.length cols <> List.length a.vars then
+    err "access %s: arity mismatch (%d vars, %d columns)" a.rel
+      (List.length a.vars) (List.length cols);
+  List.iter2
+    (fun v col ->
+      if v <> "_" then begin
+        let e = Sqldb.Sql_ast.Col (Some alias, col) in
+        match List.assoc_opt v g.bindings with
+        | Some prev -> g.joins <- Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.Eq, prev, e) :: g.joins
+        | None -> g.bindings <- (v, e) :: g.bindings
+      end)
+    a.vars cols;
+  alias
+
+let process_atom g (atom : atom) : unit =
+  match atom with
+  | Access a ->
+    let alias = bind_access g a in
+    g.froms <- Sqldb.Sql_ast.Table (a.rel, alias) :: g.froms
+  | ConstRel (vars, rows) ->
+    let alias = new_alias g in
+    let q =
+      Sqldb.Sql_ast.simple_query
+        (Sqldb.Sql_ast.Values
+           (List.map (List.map const_to_value) rows))
+    in
+    List.iteri
+      (fun i v ->
+        if v <> "_" then
+          g.bindings <-
+            (v, Sqldb.Sql_ast.Col (Some alias, Printf.sprintf "c%d" i))
+            :: g.bindings)
+      vars;
+    g.froms <- Sqldb.Sql_ast.Subquery (q, alias) :: g.froms
+  | OuterAccess (kind, a, keys) ->
+    (* Attach the outer-joined relation to the plain FROM items collected so
+       far; generated programs put outer joins in two-access rules. *)
+    let alias = new_alias g in
+    let cols = g.columns_of a.rel in
+    if List.length cols <> List.length a.vars then
+      err "outer access %s: arity mismatch" a.rel;
+    (* Bind inner vars (without join equalities: keys are explicit). *)
+    List.iter2
+      (fun v col ->
+        if v <> "_" && not (List.mem_assoc v g.bindings) then
+          g.bindings <- (v, Sqldb.Sql_ast.Col (Some alias, col)) :: g.bindings)
+      a.vars cols;
+    let on =
+      match keys with
+      | [] -> err "outer join with no key pairs"
+      | keys ->
+        let conds =
+          List.map
+            (fun (lv, rv) ->
+              let le = lookup_var g lv in
+              let rcol =
+                let rec find i = function
+                  | [] -> err "outer join key %s not in access vars" rv
+                  | v :: rest -> if String.equal v rv then i else find (i + 1) rest
+                in
+                List.nth cols (find 0 a.vars)
+              in
+              Sqldb.Sql_ast.Bin
+                (Sqldb.Sql_ast.Eq, le, Sqldb.Sql_ast.Col (Some alias, rcol)))
+            keys
+        in
+        List.fold_left
+          (fun acc c -> Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.And, acc, c))
+          (List.hd conds) (List.tl conds)
+    in
+    let jkind =
+      match kind with
+      | OLeft -> Sqldb.Sql_ast.Left
+      | ORight -> Sqldb.Sql_ast.Right
+      | OFull -> Sqldb.Sql_ast.Full
+    in
+    let left_part =
+      match (g.outer_from, g.froms) with
+      | Some j, [] -> j
+      | None, [ f ] -> f
+      | None, [] -> err "outer join with no left-hand relation"
+      | _ -> err "outer join rules must have a single left-hand relation"
+    in
+    g.froms <- [];
+    g.outer_from <-
+      Some (Sqldb.Sql_ast.Join (jkind, left_part, Sqldb.Sql_ast.Table (a.rel, alias), on))
+  | Cond t -> g.wheres <- term_to_expr g t :: g.wheres
+  | Assign (v, t) -> (
+    match List.assoc_opt v g.bindings with
+    | Some prev ->
+      (* equality comparison against an already-bound variable *)
+      g.wheres <-
+        Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.Eq, prev, term_to_expr g t) :: g.wheres
+    | None -> g.bindings <- (v, term_to_expr g t) :: g.bindings)
+  | Exists (negated, sub) ->
+    (* Build an inner SELECT; variables shared with the outer scope correlate
+       via equality, fresh inner variables bind locally. *)
+    let outer_bindings = g.bindings in
+    let inner =
+      { bindings = [];
+        joins = [];
+        wheres = [];
+        froms = [];
+        outer_from = None;
+        alias_counter = 0;
+        columns_of = g.columns_of;
+        prefix = g.prefix ^ "e" }
+    in
+    (* Pre-seed nothing: correlation detected when an inner access rebinds an
+       outer variable. *)
+    List.iter
+      (fun atom ->
+        match atom with
+        | Access a ->
+          let alias = new_alias inner in
+          let cols = inner.columns_of a.rel in
+          if List.length cols <> List.length a.vars then
+            err "exists access %s: arity mismatch" a.rel;
+          List.iter2
+            (fun v col ->
+              if v <> "_" then begin
+                let e = Sqldb.Sql_ast.Col (Some alias, col) in
+                match List.assoc_opt v inner.bindings with
+                | Some prev ->
+                  inner.joins <-
+                    Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.Eq, prev, e) :: inner.joins
+                | None -> (
+                  match List.assoc_opt v outer_bindings with
+                  | Some outer_e ->
+                    (* correlation *)
+                    inner.joins <-
+                      Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.Eq, outer_e, e)
+                      :: inner.joins;
+                    inner.bindings <- (v, e) :: inner.bindings
+                  | None -> inner.bindings <- (v, e) :: inner.bindings)
+              end)
+            a.vars cols;
+          inner.froms <- Sqldb.Sql_ast.Table (a.rel, alias) :: inner.froms
+        | Cond t ->
+          (* terms may reference outer vars *)
+          let merged =
+            { inner with bindings = inner.bindings @ outer_bindings }
+          in
+          inner.wheres <- term_to_expr merged t :: inner.wheres
+        | Assign (v, t) -> (
+          let merged =
+            { inner with bindings = inner.bindings @ outer_bindings }
+          in
+          match List.assoc_opt v (inner.bindings @ outer_bindings) with
+          | Some prev ->
+            inner.wheres <-
+              Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.Eq, prev, term_to_expr merged t)
+              :: inner.wheres
+          | None -> inner.bindings <- (v, term_to_expr merged t) :: inner.bindings)
+        | ConstRel _ | OuterAccess _ | Exists _ ->
+          err "unsupported atom inside exists")
+      sub;
+    let select =
+      { Sqldb.Sql_ast.select_defaults with
+        items = [ Sqldb.Sql_ast.Star ];
+        froms = List.rev inner.froms;
+        where =
+          (match inner.joins @ inner.wheres with
+          | [] -> None
+          | e :: rest ->
+            Some
+              (List.fold_left
+                 (fun acc c -> Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.And, acc, c))
+                 e rest)) }
+    in
+    g.wheres <-
+      Sqldb.Sql_ast.Exists
+        { query = Sqldb.Sql_ast.simple_query (Sqldb.Sql_ast.Select select);
+          negated }
+      :: g.wheres
+
+let rule_to_select ~(columns_of : string -> string list) (r : rule) :
+    Sqldb.Sql_ast.select * string list =
+  let g =
+    { bindings = []; joins = []; wheres = []; froms = []; outer_from = None;
+      alias_counter = 0; columns_of; prefix = "" }
+  in
+  List.iter (process_atom g) r.body;
+  let out_names = List.map sanitize r.head.rel.vars in
+  (* Disambiguate duplicate output names. *)
+  let seen = Hashtbl.create 8 in
+  let out_names =
+    List.map
+      (fun nm ->
+        match Hashtbl.find_opt seen nm with
+        | None ->
+          Hashtbl.replace seen nm 1;
+          nm
+        | Some k ->
+          Hashtbl.replace seen nm (k + 1);
+          Printf.sprintf "%s_%d" nm k)
+      out_names
+  in
+  let items =
+    List.map2
+      (fun v nm -> Sqldb.Sql_ast.Item (lookup_var g v, Some nm))
+      r.head.rel.vars out_names
+  in
+  let froms =
+    match g.outer_from with
+    | Some j -> List.rev g.froms @ [ j ]
+    | None -> List.rev g.froms
+  in
+  let where =
+    match List.rev_append g.joins (List.rev g.wheres) with
+    | [] -> None
+    | e :: rest ->
+      Some
+        (List.fold_left
+           (fun acc c -> Sqldb.Sql_ast.Bin (Sqldb.Sql_ast.And, acc, c))
+           e rest)
+  in
+  let group_by =
+    match r.head.group with
+    | None -> []
+    | Some vars -> List.map (fun v -> lookup_var g v) vars
+  in
+  let order_by =
+    List.map
+      (fun (v, d) ->
+        (* order by the OUTPUT column name so it survives projection *)
+        let rec out_name vs ns =
+          match (vs, ns) with
+          | v' :: _, n :: _ when String.equal v' v -> n
+          | _ :: vs, _ :: ns -> out_name vs ns
+          | _ -> err "sort variable %s not in head" v
+        in
+        ( Sqldb.Sql_ast.Col (None, out_name r.head.rel.vars out_names),
+          d = Asc ))
+      r.head.sort
+  in
+  ( { Sqldb.Sql_ast.distinct = r.head.distinct;
+      items;
+      froms;
+      where;
+      group_by;
+      having = None;
+      order_by;
+      limit = r.head.limit },
+    out_names )
+
+(* ------------------------------------------------------------------ *)
+(* Program → query                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let to_query ~(base_columns : string -> string list option) (p : program) :
+    Sqldb.Sql_ast.query =
+  let is_base name = base_columns name <> None in
+  let p = version_relations ~is_base p in
+  let rule_columns : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let columns_of rel =
+    match Hashtbl.find_opt rule_columns rel with
+    | Some cols -> cols
+    | None -> (
+      match base_columns rel with
+      | Some cols -> cols
+      | None -> err "unknown relation %s" rel)
+  in
+  match p.rules with
+  | [] -> err "empty TondIR program"
+  | rules ->
+    let ctes =
+      List.map
+        (fun r ->
+          let select, out_names = rule_to_select ~columns_of r in
+          Hashtbl.replace rule_columns r.head.rel.rel out_names;
+          ( r.head.rel.rel,
+            [],
+            Sqldb.Sql_ast.simple_query (Sqldb.Sql_ast.Select select) ))
+        rules
+    in
+    let last = rule_defines (List.nth rules (List.length rules - 1)) in
+    let final =
+      { Sqldb.Sql_ast.select_defaults with
+        items = [ Sqldb.Sql_ast.Star ];
+        froms = [ Sqldb.Sql_ast.Table (last, last) ] }
+    in
+    { Sqldb.Sql_ast.ctes; body = Sqldb.Sql_ast.Select final }
+
+let generate ?(dialect = Sqldb.Sql_print.duckdb)
+    ~(base_columns : string -> string list option) (p : program) : string =
+  Sqldb.Sql_print.query_to_sql ~d:dialect (to_query ~base_columns p)

@@ -1,0 +1,1 @@
+lib/tensor/einsum_exec.ml: Array Dense Einsum_spec List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/einsum_spec.ml: Array List String

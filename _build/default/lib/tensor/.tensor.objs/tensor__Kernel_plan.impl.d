@@ -1,0 +1,1 @@
+lib/tensor/kernel_plan.ml: Array Einsum_spec Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/tensor/sparse.ml: Array Dense Hashtbl List

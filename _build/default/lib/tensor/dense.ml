@@ -1,0 +1,264 @@
+(** Dense tensors (order 0–2) backed by flat float arrays, plus the eager
+    einsum executor used by the NumPy-baseline interpreter. *)
+
+type t =
+  | Scalar of float
+  | Vector of float array
+  | Matrix of { rows : int; cols : int; data : float array } (* row-major *)
+
+let matrix rows cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Dense.matrix: data size mismatch";
+  Matrix { rows; cols; data }
+
+let zeros_matrix rows cols = Matrix { rows; cols; data = Array.make (rows * cols) 0. }
+
+let get_m m i j =
+  match m with
+  | Matrix { cols; data; _ } -> data.((i * cols) + j)
+  | _ -> invalid_arg "Dense.get_m: not a matrix"
+
+let dims = function
+  | Scalar _ -> []
+  | Vector v -> [ Array.length v ]
+  | Matrix { rows; cols; _ } -> [ rows; cols ]
+
+let order t = List.length (dims t)
+
+let of_rows (rows : float array list) : t =
+  match rows with
+  | [] -> Matrix { rows = 0; cols = 0; data = [||] }
+  | first :: _ ->
+    let r = List.length rows and c = Array.length first in
+    let data = Array.make (r * c) 0. in
+    List.iteri (fun i row -> Array.blit row 0 data (i * c) c) rows;
+    Matrix { rows = r; cols = c; data }
+
+let to_scalar = function
+  | Scalar f -> f
+  | Vector [| f |] -> f
+  | Matrix { data = [| f |]; _ } -> f
+  | _ -> invalid_arg "Dense.to_scalar: not a scalar"
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise and scalar operations                                  *)
+(* ------------------------------------------------------------------ *)
+
+let map f = function
+  | Scalar x -> Scalar (f x)
+  | Vector v -> Vector (Array.map f v)
+  | Matrix m -> Matrix { m with data = Array.map f m.data }
+
+let map2 f a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> Scalar (f x y)
+  | Vector x, Vector y ->
+    if Array.length x <> Array.length y then
+      invalid_arg "Dense.map2: length mismatch";
+    Vector (Array.init (Array.length x) (fun i -> f x.(i) y.(i)))
+  | Matrix x, Matrix y ->
+    if x.rows <> y.rows || x.cols <> y.cols then
+      invalid_arg "Dense.map2: shape mismatch";
+    Matrix
+      { x with data = Array.init (Array.length x.data) (fun i -> f x.data.(i) y.data.(i)) }
+  | Scalar s, t -> map (fun x -> f s x) t
+  | t, Scalar s -> map (fun x -> f x s) t
+  | _ -> invalid_arg "Dense.map2: incompatible shapes"
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+
+(* ------------------------------------------------------------------ *)
+(* Reductions and structural ops                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sum_all = function
+  | Scalar x -> x
+  | Vector v -> Array.fold_left ( +. ) 0. v
+  | Matrix { data; _ } -> Array.fold_left ( +. ) 0. data
+
+(* axis=0 sums down columns; axis=1 sums across rows (NumPy semantics). *)
+let sum_axis axis = function
+  | Matrix { rows; cols; data } ->
+    if axis = 0 then begin
+      let out = Array.make cols 0. in
+      for i = 0 to rows - 1 do
+        for j = 0 to cols - 1 do
+          out.(j) <- out.(j) +. data.((i * cols) + j)
+        done
+      done;
+      Vector out
+    end
+    else begin
+      let out = Array.make rows 0. in
+      for i = 0 to rows - 1 do
+        let base = i * cols in
+        let acc = ref 0. in
+        for j = 0 to cols - 1 do
+          acc := !acc +. data.(base + j)
+        done;
+        out.(i) <- !acc
+      done;
+      Vector out
+    end
+  | Vector v -> Scalar (Array.fold_left ( +. ) 0. v)
+  | Scalar x -> Scalar x
+
+let transpose = function
+  | Matrix { rows; cols; data } ->
+    let out = Array.make (rows * cols) 0. in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        out.((j * rows) + i) <- data.((i * cols) + j)
+      done
+    done;
+    Matrix { rows = cols; cols = rows; data = out }
+  | t -> t
+
+let diagonal = function
+  | Matrix { rows; cols; data } ->
+    let n = min rows cols in
+    Vector (Array.init n (fun i -> data.((i * cols) + i)))
+  | t -> t
+
+let matmul a b =
+  match (a, b) with
+  | Matrix x, Matrix y ->
+    if x.cols <> y.rows then invalid_arg "Dense.matmul: shape mismatch";
+    let out = Array.make (x.rows * y.cols) 0. in
+    for i = 0 to x.rows - 1 do
+      for k = 0 to x.cols - 1 do
+        let xv = x.data.((i * x.cols) + k) in
+        if xv <> 0. then
+          let yb = k * y.cols in
+          let ob = i * y.cols in
+          for j = 0 to y.cols - 1 do
+            out.(ob + j) <- out.(ob + j) +. (xv *. y.data.(yb + j))
+          done
+      done
+    done;
+    Matrix { rows = x.rows; cols = y.cols; data = out }
+  | _ -> invalid_arg "Dense.matmul: matrices required"
+
+let inner a b =
+  match (a, b) with
+  | Vector x, Vector y ->
+    if Array.length x <> Array.length y then
+      invalid_arg "Dense.inner: length mismatch";
+    let acc = ref 0. in
+    for i = 0 to Array.length x - 1 do
+      acc := !acc +. (x.(i) *. y.(i))
+    done;
+    Scalar !acc
+  | _ -> invalid_arg "Dense.inner: vectors required"
+
+let outer a b =
+  match (a, b) with
+  | Vector x, Vector y ->
+    let n = Array.length x and m = Array.length y in
+    let out = Array.make (n * m) 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        out.((i * m) + j) <- x.(i) *. y.(j)
+      done
+    done;
+    Matrix { rows = n; cols = m; data = out }
+  | _ -> invalid_arg "Dense.outer: vectors required"
+
+(* Gram-style batch outer: 'ij,ik->jk' (the covariance kernel, ES8). *)
+let batch_outer a b =
+  match (a, b) with
+  | Matrix x, Matrix y ->
+    if x.rows <> y.rows then invalid_arg "Dense.batch_outer: row mismatch";
+    let out = Array.make (x.cols * y.cols) 0. in
+    for i = 0 to x.rows - 1 do
+      let xb = i * x.cols and yb = i * y.cols in
+      for j = 0 to x.cols - 1 do
+        let xv = x.data.(xb + j) in
+        if xv <> 0. then
+          let ob = j * y.cols in
+          for k = 0 to y.cols - 1 do
+            out.(ob + k) <- out.(ob + k) +. (xv *. y.data.(yb + k))
+          done
+      done
+    done;
+    Matrix { rows = x.cols; cols = y.cols; data = out }
+  | _ -> invalid_arg "Dense.batch_outer: matrices required"
+
+(* Matrix-vector via broadcasting second operand: 'ij,ik->ij' where the
+   right matrix has one column (ES9). *)
+let row_scale a b =
+  match (a, b) with
+  | Matrix x, Matrix { cols = 1; data = s; rows } ->
+    if x.rows <> rows then invalid_arg "Dense.row_scale: row mismatch";
+    let out = Array.copy x.data in
+    for i = 0 to x.rows - 1 do
+      let base = i * x.cols in
+      for j = 0 to x.cols - 1 do
+        out.(base + j) <- out.(base + j) *. s.(i)
+      done
+    done;
+    Matrix { x with data = out }
+  | Matrix x, Vector s ->
+    if x.rows <> Array.length s then
+      invalid_arg "Dense.row_scale: row mismatch";
+    let out = Array.copy x.data in
+    for i = 0 to x.rows - 1 do
+      let base = i * x.cols in
+      for j = 0 to x.cols - 1 do
+        out.(base + j) <- out.(base + j) *. s.(i)
+      done
+    done;
+    Matrix { x with data = out }
+  | _ -> invalid_arg "Dense.row_scale: bad shapes"
+
+(* ------------------------------------------------------------------ *)
+(* NumPy-style predicates and selections                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_true = function
+  | Scalar x -> x <> 0.
+  | Vector v -> Array.for_all (fun x -> x <> 0.) v
+  | Matrix { data; _ } -> Array.for_all (fun x -> x <> 0.) data
+
+let nonzero = function
+  | Vector v ->
+    let idx = ref [] in
+    for i = Array.length v - 1 downto 0 do
+      if v.(i) <> 0. then idx := float_of_int i :: !idx
+    done;
+    Vector (Array.of_list !idx)
+  | _ -> invalid_arg "Dense.nonzero: vector required"
+
+let round_half t = map (fun x -> Float.round x) t
+
+(* compress along axis=1: keep columns where mask is true *)
+let compress_cols mask = function
+  | Matrix { rows; cols; data } ->
+    let keep =
+      List.filter (fun j -> j < Array.length mask && mask.(j))
+        (List.init cols Fun.id)
+    in
+    let kc = List.length keep in
+    let out = Array.make (rows * kc) 0. in
+    List.iteri
+      (fun k j ->
+        for i = 0 to rows - 1 do
+          out.((i * kc) + k) <- data.((i * cols) + j)
+        done)
+      keep;
+    Matrix { rows; cols = kc; data = out }
+  | _ -> invalid_arg "Dense.compress_cols: matrix required"
+
+let equal ?(eps = 1e-9) a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> Float.abs (x -. y) <= eps
+  | Vector x, Vector y ->
+    Array.length x = Array.length y
+    && Array.for_all2 (fun a b -> Float.abs (a -. b) <= eps) x y
+  | Matrix x, Matrix y ->
+    x.rows = y.rows && x.cols = y.cols
+    && Array.for_all2 (fun a b -> Float.abs (a -. b) <= eps) x.data y.data
+  | _ -> false

@@ -1,0 +1,156 @@
+(** Eager einsum execution over dense tensors — the NumPy-baseline
+    semantics. Common kernels run as tight loops; anything else goes through
+    a generic index-iteration fallback (orders ≤ 2 per operand). *)
+
+exception Exec_error of string
+
+open Dense
+
+(* dimension environment: index char -> size *)
+let dims_of_operands (inputs : string list) (ops : t list) :
+    (char * int) list =
+  let env = ref [] in
+  List.iter2
+    (fun spec op ->
+      let ds = dims op in
+      if String.length spec <> List.length ds then
+        raise
+          (Exec_error
+             (Printf.sprintf "operand order mismatch for spec '%s'" spec));
+      List.iteri
+        (fun k d ->
+          let c = spec.[k] in
+          match List.assoc_opt c !env with
+          | Some d' when d' <> d ->
+            raise (Exec_error (Printf.sprintf "dim mismatch for index %c" c))
+          | Some _ -> ()
+          | None -> env := (c, d) :: !env)
+        ds)
+    inputs ops;
+  !env
+
+let element (spec : string) (op : t) (assign : (char * int) list) : float =
+  match (op, String.length spec) with
+  | Scalar x, 0 -> x
+  | Vector v, 1 -> v.(List.assoc spec.[0] assign)
+  | Matrix { cols; data; _ }, 2 ->
+    data.((List.assoc spec.[0] assign * cols) + List.assoc spec.[1] assign)
+  | _ -> raise (Exec_error "element: order mismatch")
+
+(* Generic fallback: iterate output indices × summed indices. *)
+let generic (sp : Einsum_spec.spec) (ops : t list) : t =
+  let env = dims_of_operands sp.inputs ops in
+  let out_idx = Einsum_spec.distinct_chars sp.output in
+  let all_idx =
+    Einsum_spec.distinct_chars (String.concat "" sp.inputs ^ sp.output)
+  in
+  let sum_idx = List.filter (fun c -> not (List.mem c out_idx)) all_idx in
+  let dim c =
+    match List.assoc_opt c env with
+    | Some d -> d
+    | None -> raise (Exec_error "unbound output index")
+  in
+  let rec loop idxs assign f =
+    match idxs with
+    | [] -> f assign
+    | c :: rest ->
+      for v = 0 to dim c - 1 do
+        loop rest ((c, v) :: assign) f
+      done
+  in
+  let cell assign =
+    let acc = ref 0. in
+    loop sum_idx assign (fun full ->
+        acc :=
+          !acc
+          +. List.fold_left2
+               (fun p spec op -> p *. element spec op full)
+               1. sp.inputs ops);
+    !acc
+  in
+  match out_idx with
+  | [] ->
+    let acc = ref 0. in
+    loop sum_idx [] (fun full ->
+        acc :=
+          !acc
+          +. List.fold_left2
+               (fun p spec op -> p *. element spec op full)
+               1. sp.inputs ops);
+    Scalar !acc
+  | [ c ] ->
+    let n = dim c in
+    Vector (Array.init n (fun v -> cell [ (c, v) ]))
+  | [ c1; c2 ] ->
+    let n1 = dim c1 and n2 = dim c2 in
+    let data = Array.make (n1 * n2) 0. in
+    for v1 = 0 to n1 - 1 do
+      for v2 = 0 to n2 - 1 do
+        data.((v1 * n2) + v2) <- cell [ (c1, v1); (c2, v2) ]
+      done
+    done;
+    Matrix { rows = n1; cols = n2; data }
+  | _ -> raise (Exec_error "outputs of order > 2 not supported")
+
+(* Fast paths on the normalized binary spec. *)
+let binary_fast (sp : Einsum_spec.spec) (ops : t list) : t option =
+  let key = Einsum_spec.to_string (Einsum_spec.normalize sp) in
+  match (key, ops) with
+  | "ij,ik->jk", [ a; b ] -> Some (batch_outer a b)
+  | "ij,jk->ik", [ a; b ] -> Some (matmul a b)
+  | "ij,ij->ij", [ a; b ] -> Some (mul a b)
+  | "i,i->", [ a; b ] -> Some (inner a b)
+  | "i,j->ij", [ a; b ] -> Some (outer a b)
+  | "ij,j->i", [ Matrix _ as a; Vector v ] ->
+    (* matrix-vector product *)
+    let b = Matrix { rows = Array.length v; cols = 1; data = v } in
+    (match matmul a b with
+    | Matrix { data; _ } -> Some (Vector data)
+    | t -> Some t)
+  | "ij->ji", [ a ] -> Some (transpose a)
+  | "ij->i", [ a ] -> Some (sum_axis 1 a)
+  | "ij->j", [ a ] -> Some (sum_axis 0 a)
+  | "ij->", [ a ] -> Some (Scalar (sum_all a))
+  | "i->", [ a ] -> Some (Scalar (sum_all a))
+  | "ii->i", [ a ] -> Some (diagonal a)
+  | ",->", [ a; b ] -> Some (Scalar (to_scalar a *. to_scalar b))
+  | ",ij->ij", [ s; m ] -> Some (mul (Scalar (to_scalar s)) m)
+  | "ij,ik->ij", [ a; b ] -> Some (row_scale a (sum_axis 1 b))
+  | _ -> None
+
+let rec einsum (spec_str : string) (ops : t list) : t =
+  let sp = Einsum_spec.parse spec_str in
+  if List.length sp.inputs <> List.length ops then
+    raise (Exec_error "operand count mismatch");
+  (* the dense relational layout stores vectors as single-column matrices *)
+  let ops =
+    List.map2
+      (fun spec op ->
+        match (String.length spec, op) with
+        | 1, Matrix { cols = 1; data; _ } -> Vector data
+        | 0, Matrix { rows = 1; cols = 1; data; _ } -> Scalar data.(0)
+        | _ -> op)
+      sp.inputs ops
+  in
+  match sp.inputs with
+  | [ _ ] | [ _; _ ] -> (
+    match binary_fast sp ops with
+    | Some t -> t
+    | None -> generic sp ops)
+  | _ ->
+    (* n-ary: contract along the greedy path *)
+    let path = Einsum_spec.contraction_path sp in
+    let operands = ref (List.combine sp.inputs ops) in
+    List.iter
+      (fun { Einsum_spec.a; b; step_out } ->
+        let arr = Array.of_list !operands in
+        let sa, oa = arr.(a) and sb, ob = arr.(b) in
+        let t =
+          einsum (Printf.sprintf "%s,%s->%s" sa sb step_out) [ oa; ob ]
+        in
+        let rest = List.filteri (fun k _ -> k <> a && k <> b) !operands in
+        operands := rest @ [ (step_out, t) ])
+      path;
+    (match !operands with
+    | [ (_, t) ] -> t
+    | _ -> raise (Exec_error "n-ary contraction failed"))

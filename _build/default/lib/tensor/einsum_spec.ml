@@ -1,0 +1,100 @@
+(** Einsum specification parsing, normalization and contraction-path
+    planning (the opt_einsum substitute for n-ary expressions). *)
+
+exception Spec_error of string
+
+type spec = { inputs : string list; output : string }
+
+let parse (s : string) : spec =
+  match String.index_opt s '-' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '>' ->
+    let lhs = String.sub s 0 i in
+    let rhs = String.sub s (i + 2) (String.length s - i - 2) in
+    let inputs = String.split_on_char ',' lhs in
+    List.iter
+      (String.iter (fun c ->
+           if not ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) then
+             raise (Spec_error ("bad index char in " ^ s))))
+      inputs;
+    { inputs; output = rhs }
+  | _ -> raise (Spec_error ("einsum spec must contain '->': " ^ s))
+
+let to_string { inputs; output } = String.concat "," inputs ^ "->" ^ output
+
+(* Normalize index names: the first, second, third… distinct indices are
+   renamed i, j, k, l… in order of appearance (paper §III-D). *)
+let normalize (sp : spec) : spec =
+  let order = ref [] in
+  let note c = if not (List.mem c !order) then order := c :: !order in
+  List.iter (String.iter note) sp.inputs;
+  String.iter note sp.output;
+  let alphabet = "ijklmnop" in
+  let mapping =
+    List.mapi
+      (fun k c ->
+        if k >= String.length alphabet then
+          raise (Spec_error "too many distinct indices");
+        (c, alphabet.[k]))
+      (List.rev !order)
+  in
+  let rename s = String.map (fun c -> List.assoc c mapping) s in
+  { inputs = List.map rename sp.inputs; output = rename sp.output }
+
+(* Distinct chars of a string, preserving order. *)
+let distinct_chars s =
+  let seen = ref [] in
+  String.iter (fun c -> if not (List.mem c !seen) then seen := c :: !seen) s;
+  List.rev !seen
+
+(* ------------------------------------------------------------------ *)
+(* Contraction paths (n-ary → binary steps)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One step: contract inputs [a] and [b] (positions into the current operand
+   list) producing an intermediate whose spec is [out]. *)
+type path_step = { a : int; b : int; step_out : string }
+
+(* Greedy pairwise contraction: repeatedly contract the pair whose result
+   has the fewest indices (a proxy for smallest intermediate), keeping every
+   index still needed by remaining operands or the output. *)
+let contraction_path (sp : spec) : path_step list =
+  match sp.inputs with
+  | [] | [ _ ] -> []
+  | inputs ->
+    let operands = ref (Array.of_list inputs |> Array.to_list) in
+    let steps = ref [] in
+    while List.length !operands > 2 do
+      let ops = Array.of_list !operands in
+      let n = Array.length ops in
+      let best = ref None in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          (* indices needed afterwards *)
+          let others =
+            sp.output
+            :: List.filteri (fun k _ -> k <> a && k <> b) !operands
+          in
+          let needed c = List.exists (fun s -> String.contains s c) others in
+          let combined = distinct_chars (ops.(a) ^ ops.(b)) in
+          let out =
+            String.concat ""
+              (List.map (String.make 1) (List.filter needed combined))
+          in
+          let cost = String.length out in
+          match !best with
+          | Some (_, _, _, c) when c <= cost -> ()
+          | _ -> best := Some (a, b, out, cost)
+        done
+      done;
+      (match !best with
+      | Some (a, b, out, _) ->
+        steps := { a; b; step_out = out } :: !steps;
+        let rest = List.filteri (fun k _ -> k <> a && k <> b) !operands in
+        operands := rest @ [ out ]
+      | None -> raise (Spec_error "path planning failed"));
+    done;
+    (match !operands with
+    | [ _; _ ] ->
+      steps := { a = 0; b = 1; step_out = sp.output } :: !steps
+    | _ -> ());
+    List.rev !steps

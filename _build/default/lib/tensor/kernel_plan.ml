@@ -1,0 +1,264 @@
+(** Planner reducing binary/unary einsum expressions over vectors and
+    matrices to the fundamental kernel set ES1–ES9 of paper Table VI.
+
+    Vectors are treated as single-column matrices, matching the relational
+    dense layout [(id, c0)]. [EScross] extends the paper's set with the true
+    outer product ['i,j->ij'] (a cross join relationally), which cannot be
+    expressed by ES1–ES9 alone. *)
+
+exception Plan_error of string
+
+type kernel =
+  | ES1 (* 'i->'      vector sum *)
+  | ES2 (* 'ij->i'    row sum *)
+  | ES3 (* 'ii->i'    diagonal *)
+  | ES4 (* 'ij->ji'   transpose *)
+  | ES5 (* ',->'      scalar product *)
+  | ES6 (* ',ij->ij'  scalar times matrix *)
+  | ES7 (* 'ij,ij->ij' Hadamard *)
+  | ES8 (* 'ij,ik->jk' batch vector outer (gram) *)
+  | ES9 (* 'ij,ik->ij' matrix-vector style broadcast *)
+  | EScross (* 'i,j->ij' outer product (extension) *)
+
+let kernel_name = function
+  | ES1 -> "ES1" | ES2 -> "ES2" | ES3 -> "ES3" | ES4 -> "ES4" | ES5 -> "ES5"
+  | ES6 -> "ES6" | ES7 -> "ES7" | ES8 -> "ES8" | ES9 -> "ES9"
+  | EScross -> "EScross"
+
+type op = OpInput of int | OpTmp of int
+
+type step = { kernel : kernel; args : op list; out : int; out_spec : string }
+
+type plan = { steps : step list; result : op; result_spec : string }
+
+let op_to_string = function
+  | OpInput i -> Printf.sprintf "in%d" i
+  | OpTmp i -> Printf.sprintf "t%d" i
+
+let plan_to_string (p : plan) =
+  String.concat "; "
+    (List.map
+       (fun s ->
+         Printf.sprintf "t%d[%s] = %s(%s)" s.out s.out_spec
+           (kernel_name s.kernel)
+           (String.concat ", " (List.map op_to_string s.args)))
+       p.steps)
+  ^ Printf.sprintf " => %s[%s]" (op_to_string p.result) p.result_spec
+
+type state = { mutable steps : step list; mutable tmp : int }
+
+let emit st kernel args out_spec =
+  st.tmp <- st.tmp + 1;
+  st.steps <- { kernel; args; out = st.tmp; out_spec } :: st.steps;
+  (OpTmp st.tmp, out_spec)
+
+(* Reduce a single operand [spec] to [target] (a subsequence of its distinct
+   indices, or a transposition). *)
+let rec reduce_unary st (operand, spec) target =
+  if String.equal spec target then (operand, spec)
+  else
+    let n = String.length spec in
+    if n = 2 && spec.[0] = spec.[1] then begin
+      (* repeated index: take the diagonal first (ES3) *)
+      let d = String.make 1 spec.[0] in
+      let t = emit st ES3 [ operand ] d in
+      reduce_unary st t target
+    end
+    else if n = 1 && String.equal target "" then emit st ES1 [ operand ] ""
+    else if n = 2 && String.length target = 1 && target.[0] = spec.[0] then
+      emit st ES2 [ operand ] target
+    else if n = 2 && String.length target = 1 && target.[0] = spec.[1] then begin
+      let flipped = Printf.sprintf "%c%c" spec.[1] spec.[0] in
+      let t = emit st ES4 [ operand ] flipped in
+      emit st ES2 [ fst t ] target
+    end
+    else if
+      n = 2 && String.length target = 2 && target.[0] = spec.[1]
+      && target.[1] = spec.[0]
+    then emit st ES4 [ operand ] target
+    else if n = 2 && String.equal target "" then begin
+      let d = String.make 1 spec.[0] in
+      let o, _ = emit st ES2 [ operand ] d in
+      emit st ES1 [ o ] ""
+    end
+    else
+      raise
+        (Plan_error
+           (Printf.sprintf "cannot reduce operand '%s' to '%s'" spec target))
+
+(* Indices of [spec] that survive: appear in [keep]. *)
+let surviving spec keep =
+  String.concat ""
+    (List.filter_map
+       (fun c ->
+         let s = String.make 1 c in
+         if String.contains keep c then Some s else None)
+       (Einsum_spec.distinct_chars spec))
+
+(* Relabel a two-char spec into canonical local names for matching. *)
+let canon2 a b out =
+  (* produce a renaming applied to (a, b, out) so the first distinct index of
+     a is 'i', etc. *)
+  let order = ref [] in
+  let note c = if not (List.mem c !order) then order := c :: !order in
+  String.iter note a;
+  String.iter note b;
+  String.iter note out;
+  let alphabet = "ijkl" in
+  let mapping =
+    List.mapi (fun k c -> (c, alphabet.[k])) (List.rev !order)
+  in
+  let rn s = String.map (fun c -> List.assoc c mapping) s in
+  (rn a, rn b, rn out, mapping)
+
+(* Plan a normalized binary oder-(≤2) einsum. *)
+let plan_binary_spec (sp : Einsum_spec.spec) : plan =
+  let sp = Einsum_spec.normalize sp in
+  let st = { steps = []; tmp = 0 } in
+  let finish (result, result_spec) =
+    (* final adjustment to the requested output ordering *)
+    let result, result_spec =
+      if String.equal result_spec sp.output then (result, result_spec)
+      else begin
+        match (result_spec, sp.output) with
+        | s, o
+          when String.length s = 2 && String.length o = 2
+               && s.[0] = o.[1] && s.[1] = o.[0] ->
+          let r, rs = emit st ES4 [ result ] o in
+          (r, rs)
+        | s, o ->
+          raise
+            (Plan_error
+               (Printf.sprintf "result spec '%s' does not match output '%s'" s o))
+      end
+    in
+    { steps = List.rev st.steps; result; result_spec }
+  in
+  match sp.inputs with
+  | [ a ] -> finish (reduce_unary st (OpInput 0, a) sp.output)
+  | [ a; b ] -> (
+    (* 1. reduce away indices private to one operand and absent from out *)
+    let keep_for x other = other ^ sp.output ^ "" |> surviving x in
+    let ra = keep_for a b and rb = keep_for b a in
+    let oa, sa = reduce_unary st (OpInput 0, a) ra in
+    let ob, sb = reduce_unary st (OpInput 1, b) rb in
+    (* 2. match combination patterns in canonical local naming *)
+    let ca, cb, co, mapping = canon2 sa sb sp.output in
+    let uncanon s =
+      String.map
+        (fun c ->
+          match List.find_opt (fun (_, v) -> v = c) mapping with
+          | Some (k, _) -> k
+          | None -> c)
+        s
+    in
+    let result =
+      match (ca, cb, co) with
+      | "", "", "" -> emit st ES5 [ oa; ob ] ""
+      | "", x, o when String.equal x o -> emit st ES6 [ oa; ob ] o
+      | x, "", o when String.equal x o -> emit st ES6 [ ob; oa ] o
+      | "", "ij", "ji" | "ij", "", "ji" ->
+        let m = if ca = "" then ob else oa in
+        let s = if ca = "" then oa else ob in
+        let t, _ = emit st ES4 [ m ] "ji" in
+        emit st ES6 [ s; t ] "ji"
+      | "i", "i", "" ->
+        (* inner product: hadamard then total *)
+        let t, _ = emit st ES7 [ oa; ob ] "i" in
+        emit st ES1 [ t ] ""
+      | "i", "i", "i" -> emit st ES7 [ oa; ob ] "i"
+      | "i", "j", "ij" -> emit st EScross [ oa; ob ] "ij"
+      | "i", "j", "ji" -> emit st EScross [ ob; oa ] "ji"
+      | "ij", "ij", "ij" -> emit st ES7 [ oa; ob ] "ij"
+      | "ij", "ij", "ji" ->
+        let t, _ = emit st ES7 [ oa; ob ] "ij" in
+        emit st ES4 [ t ] "ji"
+      | "ij", "ij", "i" ->
+        let t, _ = emit st ES7 [ oa; ob ] "ij" in
+        emit st ES2 [ t ] "i"
+      | "ij", "ij", "j" ->
+        let t, _ = emit st ES7 [ oa; ob ] "ij" in
+        let t, _ = emit st ES4 [ t ] "ji" in
+        emit st ES2 [ t ] "j"
+      | "ij", "ij", "" ->
+        let t, _ = emit st ES7 [ oa; ob ] "ij" in
+        let t, _ = emit st ES2 [ t ] "i" in
+        emit st ES1 [ t ] ""
+      | "ij", "ik", "jk" -> emit st ES8 [ oa; ob ] "jk"
+      | "ij", "ik", "kj" ->
+        let t, _ = emit st ES8 [ oa; ob ] "jk" in
+        emit st ES4 [ t ] "kj"
+      | "ij", "ik", "ij" -> emit st ES9 [ oa; ob ] "ij"
+      | "ij", "ik", "ik" -> emit st ES9 [ ob; oa ] "ik"
+      | "ij", "jk", "ik" ->
+        (* matmul: transpose lhs, then gram *)
+        let t, _ = emit st ES4 [ oa ] "ji" in
+        emit st ES8 [ t; ob ] "ik"
+      | "ij", "jk", "ki" ->
+        let t, _ = emit st ES4 [ oa ] "ji" in
+        let t2, _ = emit st ES8 [ t; ob ] "ik" in
+        emit st ES4 [ t2 ] "ki"
+      | "ij", "j", "i" ->
+        (* matrix-vector: vector as 1-col matrix, gram of mT and v *)
+        let t, _ = emit st ES4 [ oa ] "ji" in
+        emit st ES8 [ t; ob ] "i"
+      | "i", "ij", "j" ->
+        (* vector-matrix *)
+        emit st ES8 [ ob; oa ] "j"
+      | "ij", "i", "j" -> emit st ES8 [ oa; ob ] "j"
+      | "j", "ij", "i" | "ij", "j", "ij" ->
+        raise (Plan_error ("unsupported broadcast pattern " ^ ca ^ "," ^ cb))
+      | _ ->
+        raise
+          (Plan_error
+             (Printf.sprintf "no kernel decomposition for %s,%s->%s" ca cb co))
+    in
+    let op, canon_spec = result in
+    finish (op, uncanon canon_spec))
+  | _ -> raise (Plan_error "plan_binary_spec expects one or two operands")
+
+(* Full planning: n-ary specs are decomposed via the contraction path, each
+   binary step planned with the kernel planner. Returns the flat kernel plan
+   along with intermediate specs. *)
+let plan (spec_str : string) : plan =
+  let sp = Einsum_spec.parse spec_str in
+  match sp.inputs with
+  | [ _ ] | [ _; _ ] -> plan_binary_spec sp
+  | _ ->
+    let path = Einsum_spec.contraction_path sp in
+    let st = { steps = []; tmp = 0 } in
+    (* operand table: specs and ops *)
+    let operands = ref (List.mapi (fun i s -> (OpInput i, s)) sp.inputs) in
+    let last = ref (OpInput 0, List.hd sp.inputs) in
+    List.iter
+      (fun { Einsum_spec.a; b; step_out } ->
+        let arr = Array.of_list !operands in
+        let oa, sa = arr.(a) and ob, sb = arr.(b) in
+        let sub = Einsum_spec.{ inputs = [ sa; sb ]; output = step_out } in
+        let subplan = plan_binary_spec sub in
+        (* splice subplan steps, remapping temporaries and inputs *)
+        let remap_tbl = Hashtbl.create 8 in
+        let remap = function
+          | OpInput 0 -> oa
+          | OpInput 1 -> ob
+          | OpInput _ -> raise (Plan_error "bad input index in subplan")
+          | OpTmp t -> (
+            match Hashtbl.find_opt remap_tbl t with
+            | Some o -> o
+            | None -> raise (Plan_error "unknown temp in subplan"))
+        in
+        List.iter
+          (fun s ->
+            st.tmp <- st.tmp + 1;
+            Hashtbl.replace remap_tbl s.out (OpTmp st.tmp);
+            st.steps <-
+              { s with args = List.map remap s.args; out = st.tmp }
+              :: st.steps)
+          subplan.steps;
+        let res = remap subplan.result in
+        last := (res, step_out);
+        let rest = List.filteri (fun k _ -> k <> a && k <> b) !operands in
+        operands := rest @ [ (res, step_out) ])
+      path;
+    let result, result_spec = !last in
+    { steps = List.rev st.steps; result; result_spec }

@@ -1,0 +1,80 @@
+(** Sparse matrices in COO layout — the paper's (row_id, col_id, val)
+    "database-friendly" representation (§II-B). *)
+
+type t = {
+  n_rows : int;
+  n_cols : int;
+  rows : int array;
+  cols : int array;
+  vals : float array;
+}
+
+let nnz t = Array.length t.vals
+
+let rec of_dense = function
+  | Dense.Matrix { rows; cols; data } ->
+    let r = ref [] and c = ref [] and v = ref [] and count = ref 0 in
+    for i = rows - 1 downto 0 do
+      for j = cols - 1 downto 0 do
+        let x = data.((i * cols) + j) in
+        if x <> 0. then begin
+          r := i :: !r;
+          c := j :: !c;
+          v := x :: !v;
+          incr count
+        end
+      done
+    done;
+    { n_rows = rows; n_cols = cols; rows = Array.of_list !r;
+      cols = Array.of_list !c; vals = Array.of_list !v }
+  | Dense.Vector data ->
+    of_dense (Dense.Matrix { rows = Array.length data; cols = 1; data })
+  | Dense.Scalar x -> of_dense (Dense.Matrix { rows = 1; cols = 1; data = [| x |] })
+
+let to_dense t =
+  let data = Array.make (t.n_rows * t.n_cols) 0. in
+  Array.iteri
+    (fun k v -> data.((t.rows.(k) * t.n_cols) + t.cols.(k)) <- v)
+    t.vals;
+  Dense.Matrix { rows = t.n_rows; cols = t.n_cols; data }
+
+(* Gram kernel 'ij,ik->jk' over COO operands: hash-join on the row index. *)
+let gram (a : t) (b : t) : Dense.t =
+  if a.n_rows <> b.n_rows then invalid_arg "Sparse.gram: row mismatch";
+  let out = Array.make (a.n_cols * b.n_cols) 0. in
+  (* bucket b's entries by row *)
+  let by_row = Array.make b.n_rows [] in
+  Array.iteri
+    (fun k v -> by_row.(b.rows.(k)) <- (b.cols.(k), v) :: by_row.(b.rows.(k)))
+    b.vals;
+  Array.iteri
+    (fun k av ->
+      let i = a.rows.(k) and j = a.cols.(k) in
+      List.iter
+        (fun (c, bv) -> out.((j * b.n_cols) + c) <- out.((j * b.n_cols) + c) +. (av *. bv))
+        by_row.(i))
+    a.vals;
+  Dense.Matrix { rows = a.n_cols; cols = b.n_cols; data = out }
+
+let transpose t =
+  { t with n_rows = t.n_cols; n_cols = t.n_rows; rows = t.cols; cols = t.rows }
+
+let hadamard (a : t) (b : t) : t =
+  let tbl = Hashtbl.create (nnz b) in
+  Array.iteri
+    (fun k v -> Hashtbl.replace tbl (b.rows.(k), b.cols.(k)) v)
+    b.vals;
+  let r = ref [] and c = ref [] and v = ref [] in
+  Array.iteri
+    (fun k av ->
+      match Hashtbl.find_opt tbl (a.rows.(k), a.cols.(k)) with
+      | Some bv ->
+        r := a.rows.(k) :: !r;
+        c := a.cols.(k) :: !c;
+        v := (av *. bv) :: !v
+      | None -> ())
+    a.vals;
+  { a with rows = Array.of_list !r; cols = Array.of_list !c;
+    vals = Array.of_list !v }
+
+let sum_all t = Array.fold_left ( +. ) 0. t.vals

@@ -1,0 +1,1 @@
+lib/tondir/analysis.ml: Hashtbl Ir List Option Printf

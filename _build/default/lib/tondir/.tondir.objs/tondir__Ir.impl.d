@@ -1,0 +1,1 @@
+lib/tondir/ir.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,172 @@
+(** Static analyses over TondIR programs: validity checking, dependency
+    graphs, and flow-breaker classification (paper Table VII). *)
+
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Flow breakers (Table VII)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let body_has_agg (body : atom list) =
+  List.exists
+    (function
+      | Assign (_, t) -> term_has_agg t
+      | Cond t -> term_has_agg t
+      | _ -> false)
+    body
+
+let body_has_outer (body : atom list) =
+  List.exists (function OuterAccess _ -> true | _ -> false) body
+
+(* uid() compiles to a window function, which must stay in its own CTE. *)
+let rec term_has_uid = function
+  | Ext ("uid", _) -> true
+  | Ext (_, ts) -> List.exists term_has_uid ts
+  | Agg (_, t) -> term_has_uid t
+  | If (a, b, c) -> term_has_uid a || term_has_uid b || term_has_uid c
+  | Binop (_, a, b) -> term_has_uid a || term_has_uid b
+  | InConsts (t, _, _) | Like (t, _, _) -> term_has_uid t
+  | Var _ | Const _ -> false
+
+let body_has_uid (body : atom list) =
+  List.exists
+    (function
+      | Assign (_, t) | Cond t -> term_has_uid t
+      | _ -> false)
+    body
+
+(* Sink-rule status is decided by the caller (the last rule of a program). *)
+let is_flow_breaker (r : rule) : bool =
+  body_has_uid r.body (* UID / window *)
+  || body_has_agg r.body (* Aggregate *)
+  || r.head.group <> None (* Group By *)
+  || r.head.distinct (* Distinct *)
+  || r.head.sort <> [] (* Sort *)
+  || r.head.limit <> None (* Limit *)
+  || body_has_outer r.body (* Outer join *)
+
+let flow_breaker_reasons (r : rule) : string list =
+  List.filter_map
+    (fun (cond, name) -> if cond then Some name else None)
+    [ (body_has_agg r.body, "aggregate");
+      (r.head.group <> None, "group-by");
+      (r.head.distinct, "distinct");
+      (r.head.sort <> [], "sort");
+      (r.head.limit <> None, "limit");
+      (body_has_outer r.body, "outer-join") ]
+
+(* ------------------------------------------------------------------ *)
+(* Dependencies                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* How many times each defined relation is read by later rules (including
+   inside exists bodies). A relation defined multiple times (incremental
+   redefinition, cf. implicit joins) is never inlinable. *)
+let use_counts (p : program) : (string, int) Hashtbl.t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun rel ->
+          Hashtbl.replace counts rel
+            (1 + Option.value (Hashtbl.find_opt counts rel) ~default:0))
+        (rule_reads r))
+    p.rules;
+  counts
+
+let definition_counts (p : program) : (string, int) Hashtbl.t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let rel = rule_defines r in
+      Hashtbl.replace counts rel
+        (1 + Option.value (Hashtbl.find_opt counts rel) ~default:0))
+    p.rules;
+  counts
+
+(* Relations read from inside Exists atoms anywhere in the program; inlining
+   into existential sub-bodies is not performed. *)
+let exists_reads (p : program) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let rec scan_atoms atoms =
+    List.iter
+      (function
+        | Exists (_, sub) ->
+          List.iter (fun rel -> Hashtbl.replace tbl rel ()) (body_relations sub);
+          scan_atoms sub
+        | _ -> ())
+      atoms
+  in
+  List.iter (fun r -> scan_atoms r.body) p.rules;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns human-readable problems; empty list = valid. *)
+let validate ?(known_relations = []) (p : program) : string list =
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun rel -> Hashtbl.replace defined rel ()) known_relations;
+  List.iteri
+    (fun i r ->
+      let rule_id = Printf.sprintf "rule %d (%s)" i (rule_defines r) in
+      let bound = bound_vars r.body in
+      (* body relations must be known *)
+      List.iter
+        (fun rel ->
+          if not (Hashtbl.mem defined rel) then
+            error "%s: reads undefined relation %s" rule_id rel)
+        (rule_reads r);
+      (* head vars bound *)
+      List.iter
+        (fun v ->
+          if v <> "_" && not (List.mem v bound) then
+            error "%s: head variable %s is not bound in the body" rule_id v)
+        r.head.rel.vars;
+      (* group vars appear in head *)
+      (match r.head.group with
+      | Some gs ->
+        List.iter
+          (fun g ->
+            if not (List.mem g r.head.rel.vars) then
+              error "%s: group variable %s is not a head variable" rule_id g)
+          gs
+      | None -> ());
+      (* sort vars appear in head *)
+      List.iter
+        (fun (v, _) ->
+          if not (List.mem v r.head.rel.vars) then
+            error "%s: sort variable %s is not a head variable" rule_id v)
+        r.head.sort;
+      (* aggregates require grouping (or a global-aggregate rule) *)
+      if body_has_agg r.body && r.head.group = None then begin
+        (* global aggregation: every head var must be an aggregate output *)
+        let agg_targets =
+          List.filter_map
+            (function
+              | Assign (v, t) when term_has_agg t -> Some v
+              | _ -> None)
+            r.body
+        in
+        List.iter
+          (fun v ->
+            if not (List.mem v agg_targets) then
+              error
+                "%s: non-aggregated head variable %s in aggregate rule \
+                 without group"
+                rule_id v)
+          r.head.rel.vars
+      end;
+      (* conditions may not contain aggregates *)
+      List.iter
+        (function
+          | Cond t when term_has_agg t ->
+            error "%s: aggregate inside a filter condition" rule_id
+          | _ -> ())
+        r.body;
+      Hashtbl.replace defined (rule_defines r) ())
+    p.rules;
+  List.rev !errors

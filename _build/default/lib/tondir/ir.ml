@@ -1,0 +1,274 @@
+(** TondIR: the Datalog-inspired intermediate representation of the paper's
+    Table IV.
+
+    A program is a list of rules; each rule assigns the result of a body (a
+    chain of atoms over relation accesses, filters and assignments) to a head
+    relation, optionally grouped, sorted, limited or de-duplicated. Relation
+    columns are bound positionally to the variables of an access, which keeps
+    code generation sound under renaming (paper §III-A). *)
+
+type const =
+  | CInt of int
+  | CFloat of float
+  | CBool of bool
+  | CString of string
+  | CDate of int (* epoch days *)
+  | CNull
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Concat
+
+type agg_fn = Sum | Min | Max | Avg | Count | CountDistinct | CountStar
+
+type term =
+  | Var of string
+  | Const of const
+  | Agg of agg_fn * term
+  | Ext of string * term list (* external function call *)
+  | If of term * term * term
+  | Binop of binop * term * term
+  | InConsts of term * const list * bool (* membership in a literal list *)
+  | Like of term * string * bool (* SQL LIKE pattern; bool = negated *)
+
+(* Access to relation [rel], binding [vars] positionally to its columns.
+   The variable "_" ignores a column. *)
+type access = { rel : string; vars : string list }
+
+type outer_kind = OLeft | ORight | OFull
+
+type atom =
+  | Access of access
+  | OuterAccess of outer_kind * access * (string * string) list
+    (* the paper's outer_left/right/full external atoms: join kind, accessed
+       relation, and (outer-side var, inner-side var) key pairs *)
+  | ConstRel of string list * const list list (* vars, rows: a VALUES atom *)
+  | Exists of bool * atom list (* negated?, sub-body (correlates by vars) *)
+  | Cond of term (* filter predicate *)
+  | Assign of string * term (* x := t if x unbound, else equality filter *)
+
+type dir = Asc | Desc
+
+type head = {
+  rel : access;
+  group : string list option;
+  sort : (string * dir) list;
+  limit : int option;
+  distinct : bool;
+}
+
+type rule = { head : head; body : atom list }
+
+(** The program result is the relation defined by the last rule. *)
+type program = { rules : rule list }
+
+let mk_head ?(group = None) ?(sort = []) ?(limit = None) ?(distinct = false)
+    rel vars =
+  { rel = { rel; vars }; group; sort; limit; distinct }
+
+let mk_rule head body = { head; body }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_vars acc = function
+  | Var v -> v :: acc
+  | Const _ -> acc
+  | Agg (_, t) -> term_vars acc t
+  | Ext (_, ts) -> List.fold_left term_vars acc ts
+  | If (a, b, c) -> term_vars (term_vars (term_vars acc a) b) c
+  | Binop (_, a, b) -> term_vars (term_vars acc a) b
+  | InConsts (t, _, _) -> term_vars acc t
+  | Like (t, _, _) -> term_vars acc t
+
+let rec term_has_agg = function
+  | Agg _ -> true
+  | Var _ | Const _ -> false
+  | Ext (_, ts) -> List.exists term_has_agg ts
+  | If (a, b, c) -> term_has_agg a || term_has_agg b || term_has_agg c
+  | Binop (_, a, b) -> term_has_agg a || term_has_agg b
+  | InConsts (t, _, _) -> term_has_agg t
+  | Like (t, _, _) -> term_has_agg t
+
+let rec map_term f t =
+  let t = f t in
+  match t with
+  | Var _ | Const _ -> t
+  | Agg (a, x) -> Agg (a, map_term f x)
+  | Ext (n, xs) -> Ext (n, List.map (map_term f) xs)
+  | If (a, b, c) -> If (map_term f a, map_term f b, map_term f c)
+  | Binop (op, a, b) -> Binop (op, map_term f a, map_term f b)
+  | InConsts (x, cs, n) -> InConsts (map_term f x, cs, n)
+  | Like (x, p, n) -> Like (map_term f x, p, n)
+
+(* Substitute variables by terms. *)
+let subst_term (env : (string * term) list) t =
+  map_term
+    (function
+      | Var v as t -> ( match List.assoc_opt v env with Some u -> u | None -> t)
+      | t -> t)
+    t
+
+let rename_term (env : (string * string) list) t =
+  subst_term (List.map (fun (a, b) -> (a, Var b)) env) t
+
+(* Variables defined by the atoms of a body, in order: access vars and
+   assignment targets (first occurrence defines). *)
+let bound_vars (body : atom list) : string list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add v =
+    if v <> "_" && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  List.iter
+    (fun atom ->
+      match atom with
+      | Access a | OuterAccess (_, a, _) -> List.iter add a.vars
+      | ConstRel (vars, _) -> List.iter add vars
+      | Assign (v, _) -> add v
+      | Cond _ | Exists _ -> ())
+    body;
+  List.rev !out
+
+(* Is [Assign (v, t)] a definition (v unbound so far) or an equality filter? *)
+let assign_is_definition (body : atom list) (idx : int) =
+  let rec before i acc = function
+    | [] -> acc
+    | a :: rest -> if i >= idx then acc else before (i + 1) (a :: acc) rest
+  in
+  let prior = List.rev (before 0 [] body) in
+  match List.nth body idx with
+  | Assign (v, _) -> not (List.mem v (bound_vars prior))
+  | _ -> false
+
+(* All relation names a body reads. *)
+let body_relations (body : atom list) : string list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Access a :: rest | OuterAccess (_, a, _) :: rest -> go (a.rel :: acc) rest
+    | Exists (_, sub) :: rest -> go (List.rev_append (go [] sub) acc) rest
+    | (ConstRel _ | Cond _ | Assign _) :: rest -> go acc rest
+  in
+  go [] body
+
+let rule_reads (r : rule) = body_relations r.body
+let rule_defines (r : rule) = r.head.rel.rel
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (paper-style Datalog syntax)                       *)
+(* ------------------------------------------------------------------ *)
+
+let const_to_string = function
+  | CInt i -> string_of_int i
+  | CFloat f -> Printf.sprintf "%g" f
+  | CBool b -> string_of_bool b
+  | CString s -> Printf.sprintf "%S" s
+  | CDate d ->
+    (* Render as an ISO literal; Value-style conversion without a dep. *)
+    let y, m, dd =
+      let z = d + 719468 in
+      let era = (if z >= 0 then z else z - 146096) / 146097 in
+      let doe = z - (era * 146097) in
+      let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+      let y = yoe + (era * 400) in
+      let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+      let mp = ((5 * doy) + 2) / 153 in
+      let dd = doy - (((153 * mp) + 2) / 5) + 1 in
+      let m = if mp < 10 then mp + 3 else mp - 9 in
+      ((if m <= 2 then y + 1 else y), m, dd)
+    in
+    Printf.sprintf "date(%04d-%02d-%02d)" y m dd
+  | CNull -> "null"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | And -> "and" | Or -> "or"
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Concat -> "||"
+
+let agg_to_string = function
+  | Sum -> "sum" | Min -> "min" | Max -> "max" | Avg -> "avg"
+  | Count -> "count" | CountDistinct -> "count_distinct"
+  | CountStar -> "count_star"
+
+let rec term_to_string = function
+  | Var v -> v
+  | Const c -> const_to_string c
+  | Agg (a, t) -> Printf.sprintf "%s(%s)" (agg_to_string a) (term_to_string t)
+  | Ext (n, ts) ->
+    Printf.sprintf "%s(%s)" n (String.concat ", " (List.map term_to_string ts))
+  | If (c, a, b) ->
+    Printf.sprintf "if(%s, %s, %s)" (term_to_string c) (term_to_string a)
+      (term_to_string b)
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (term_to_string a) (binop_to_string op)
+      (term_to_string b)
+  | InConsts (t, cs, neg) ->
+    Printf.sprintf "%s %sin [%s]" (term_to_string t)
+      (if neg then "not " else "")
+      (String.concat ", " (List.map const_to_string cs))
+  | Like (t, p, neg) ->
+    Printf.sprintf "%s %slike %S" (term_to_string t)
+      (if neg then "not " else "")
+      p
+
+let access_to_string (a : access) =
+  Printf.sprintf "%s(%s)" a.rel (String.concat ", " a.vars)
+
+let rec atom_to_string = function
+  | Access a -> access_to_string a
+  | OuterAccess (k, a, keys) ->
+    let kind =
+      match k with OLeft -> "outer_left" | ORight -> "outer_right" | OFull -> "outer_full"
+    in
+    Printf.sprintf "%s(%s; %s)" kind (access_to_string a)
+      (String.concat ", " (List.map (fun (x, y) -> x ^ "=" ^ y) keys))
+  | ConstRel (vars, rows) ->
+    Printf.sprintf "(%s) = [%s]"
+      (String.concat ", " vars)
+      (String.concat "; "
+         (List.map
+            (fun row -> String.concat ", " (List.map const_to_string row))
+            rows))
+  | Exists (neg, body) ->
+    Printf.sprintf "%sexists(%s)"
+      (if neg then "not " else "")
+      (String.concat ", " (List.map atom_to_string body))
+  | Cond t -> Printf.sprintf "(%s)" (term_to_string t)
+  | Assign (v, t) -> Printf.sprintf "(%s = %s)" v (term_to_string t)
+
+let head_to_string (h : head) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (access_to_string h.rel);
+  (match h.group with
+  | Some vars ->
+    Buffer.add_string buf
+      (Printf.sprintf " group(%s)" (String.concat ", " vars))
+  | None -> ());
+  (match h.sort with
+  | [] -> ()
+  | keys ->
+    Buffer.add_string buf
+      (Printf.sprintf " sort(%s)"
+         (String.concat ", "
+            (List.map
+               (fun (v, d) -> v ^ if d = Desc then " desc" else "")
+               keys))));
+  (match h.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " limit(%d)" n)
+  | None -> ());
+  if h.distinct then Buffer.add_string buf " distinct";
+  Buffer.contents buf
+
+let rule_to_string (r : rule) =
+  Printf.sprintf "%s :- %s." (head_to_string r.head)
+    (String.concat ",\n    " (List.map atom_to_string r.body))
+
+let program_to_string (p : program) =
+  String.concat "\n" (List.map rule_to_string p.rules)

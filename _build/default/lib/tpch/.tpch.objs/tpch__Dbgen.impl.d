@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Buffer Catalog Column Db Fun Int64 List Printf Relation Sqldb Value

@@ -1,0 +1,361 @@
+(** Deterministic TPC-H data generator (the dbgen substitute).
+
+    Produces all eight tables with faithful schemas, key relationships, value
+    distributions and the text patterns the queries predicate on (PROMO
+    types, BRASS endings, 'special…requests' comments, forest part names,
+    phone country prefixes, …). Scale factor is continuous: row counts scale
+    linearly from the TPC-H base counts. *)
+
+open Sqldb
+
+(* Deterministic splitmix-style PRNG, independent of the OCaml stdlib seed. *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let create seed = { s = Int64.of_int seed }
+
+  let next t =
+    t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+    let z = t.s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform int in [lo, hi] *)
+  let int t lo hi =
+    let range = hi - lo + 1 in
+    let v = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+    lo + (v mod range)
+
+  let float t lo hi =
+    let v = Int64.to_float (Int64.logand (next t) 0xFFFFFFFFL) /. 4294967295. in
+    lo +. (v *. (hi -. lo))
+
+  let pick t arr = arr.(int t 0 (Array.length arr - 1))
+end
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  (* name, region key *)
+  [| ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+     ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+     ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2);
+     ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0); ("MOZAMBIQUE", 0);
+     ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3); ("SAUDI ARABIA", 4);
+     ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+     ("UNITED STATES", 1) |]
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes =
+  [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let ship_instructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let type_syl1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let colors =
+  [| "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+     "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+     "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream"; "cyan";
+     "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest";
+     "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+     "hot"; "hotpink"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn";
+     "lemon"; "light"; "lime"; "linen"; "magenta"; "maroon"; "medium"; "metallic";
+     "midnight"; "mint"; "misty"; "moccasin"; "navajo"; "navy"; "olive"; "orange";
+     "orchid"; "pale"; "papaya"; "peach"; "peru"; "pink"; "plum"; "powder";
+     "puff"; "purple"; "red"; "rose"; "rosy"; "royal"; "saddle"; "salmon";
+     "sandy"; "seashell"; "sienna"; "sky"; "slate"; "smoke"; "snow"; "spring";
+     "steel"; "tan"; "thistle"; "tomato"; "turquoise"; "violet"; "wheat";
+     "white"; "yellow" |]
+
+let comment_words =
+  [| "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "deposits";
+     "packages"; "theodolites"; "instructions"; "foxes"; "accounts"; "pinto";
+     "beans"; "requests"; "ideas"; "platelets"; "dependencies"; "excuses";
+     "asymptotes"; "courts"; "dolphins"; "multipliers"; "sauternes" |]
+
+let mk_comment rng n_words =
+  let buf = Buffer.create 64 in
+  for i = 0 to n_words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Rng.pick rng comment_words)
+  done;
+  Buffer.contents buf
+
+let date_lo = Value.date_of_iso "1992-01-01"
+let date_hi = Value.date_of_iso "1998-08-02"
+
+type tables = {
+  region : Relation.t;
+  nation : Relation.t;
+  supplier : Relation.t;
+  customer : Relation.t;
+  part : Relation.t;
+  partsupp : Relation.t;
+  orders : Relation.t;
+  lineitem : Relation.t;
+}
+
+let generate ?(seed = 20240114) (sf : float) : tables =
+  let rng = Rng.create seed in
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  let n_supp = scale 10_000 in
+  let n_cust = scale 150_000 in
+  let n_part = scale 200_000 in
+  let n_orders = scale 1_500_000 in
+
+  (* region *)
+  let region =
+    Relation.create [| "r_regionkey"; "r_name"; "r_comment" |]
+      [| Column.of_ints (Array.init 5 Fun.id);
+         Column.of_strings regions;
+         Column.of_strings (Array.init 5 (fun _ -> mk_comment rng 6)) |]
+  in
+  (* nation *)
+  let nation =
+    Relation.create [| "n_nationkey"; "n_name"; "n_regionkey"; "n_comment" |]
+      [| Column.of_ints (Array.init 25 Fun.id);
+         Column.of_strings (Array.map fst nations);
+         Column.of_ints (Array.map snd nations);
+         Column.of_strings (Array.init 25 (fun _ -> mk_comment rng 6)) |]
+  in
+  (* supplier *)
+  let supplier =
+    let keys = Array.init n_supp (fun i -> i + 1) in
+    let nat = Array.init n_supp (fun _ -> Rng.int rng 0 24) in
+    Relation.create
+      [| "s_suppkey"; "s_name"; "s_address"; "s_nationkey"; "s_phone";
+         "s_acctbal"; "s_comment" |]
+      [| Column.of_ints keys;
+         Column.of_strings
+           (Array.map (Printf.sprintf "Supplier#%09d") keys);
+         Column.of_strings (Array.init n_supp (fun _ -> mk_comment rng 3));
+         Column.of_ints nat;
+         Column.of_strings
+           (Array.init n_supp (fun i ->
+                Printf.sprintf "%d-%03d-%03d-%04d" (10 + nat.(i))
+                  (Rng.int rng 100 999) (Rng.int rng 100 999)
+                  (Rng.int rng 1000 9999)));
+         Column.of_floats
+           (Array.init n_supp (fun _ -> Rng.float rng (-999.99) 9999.99));
+         Column.of_strings
+           (Array.init n_supp (fun _ ->
+                (* ~1% carry the Q16 complaint marker *)
+                if Rng.int rng 0 99 = 0 then "wait Customer slow Complaints sleep"
+                else mk_comment rng 8)) |]
+  in
+  (* customer: ~1/3 never place orders (TPC-H property used by Q13/Q22) *)
+  let customer =
+    let keys = Array.init n_cust (fun i -> i + 1) in
+    let nat = Array.init n_cust (fun _ -> Rng.int rng 0 24) in
+    Relation.create
+      [| "c_custkey"; "c_name"; "c_address"; "c_nationkey"; "c_phone";
+         "c_acctbal"; "c_mktsegment"; "c_comment" |]
+      [| Column.of_ints keys;
+         Column.of_strings (Array.map (Printf.sprintf "Customer#%09d") keys);
+         Column.of_strings (Array.init n_cust (fun _ -> mk_comment rng 3));
+         Column.of_ints nat;
+         Column.of_strings
+           (Array.init n_cust (fun i ->
+                Printf.sprintf "%d-%03d-%03d-%04d" (10 + nat.(i))
+                  (Rng.int rng 100 999) (Rng.int rng 100 999)
+                  (Rng.int rng 1000 9999)));
+         Column.of_floats
+           (Array.init n_cust (fun _ -> Rng.float rng (-999.99) 9999.99));
+         Column.of_strings (Array.init n_cust (fun _ -> Rng.pick rng segments));
+         Column.of_strings (Array.init n_cust (fun _ -> mk_comment rng 10)) |]
+  in
+  (* part *)
+  let p_types =
+    Array.init n_part (fun _ ->
+        Printf.sprintf "%s %s %s" (Rng.pick rng type_syl1)
+          (Rng.pick rng type_syl2) (Rng.pick rng type_syl3))
+  in
+  let p_brands =
+    Array.init n_part (fun _ ->
+        Printf.sprintf "Brand#%d%d" (Rng.int rng 1 5) (Rng.int rng 1 5))
+  in
+  let part =
+    let keys = Array.init n_part (fun i -> i + 1) in
+    Relation.create
+      [| "p_partkey"; "p_name"; "p_mfgr"; "p_brand"; "p_type"; "p_size";
+         "p_container"; "p_retailprice"; "p_comment" |]
+      [| Column.of_ints keys;
+         Column.of_strings
+           (Array.init n_part (fun _ ->
+                Printf.sprintf "%s %s %s %s %s" (Rng.pick rng colors)
+                  (Rng.pick rng colors) (Rng.pick rng colors)
+                  (Rng.pick rng colors) (Rng.pick rng colors)));
+         Column.of_strings
+           (Array.init n_part (fun _ ->
+                Printf.sprintf "Manufacturer#%d" (Rng.int rng 1 5)));
+         Column.of_strings p_brands;
+         Column.of_strings p_types;
+         Column.of_ints (Array.init n_part (fun _ -> Rng.int rng 1 50));
+         Column.of_strings
+           (Array.init n_part (fun _ ->
+                Rng.pick rng containers1 ^ " " ^ Rng.pick rng containers2));
+         Column.of_floats
+           (Array.init n_part (fun i ->
+                900. +. (float_of_int ((i + 1) mod 1000) /. 10.)));
+         Column.of_strings (Array.init n_part (fun _ -> mk_comment rng 5)) |]
+  in
+  (* partsupp: 4 suppliers per part *)
+  let n_ps = n_part * 4 in
+  let ps_part = Array.make n_ps 0 and ps_supp = Array.make n_ps 0 in
+  for i = 0 to n_part - 1 do
+    for j = 0 to 3 do
+      ps_part.((i * 4) + j) <- i + 1;
+      ps_supp.((i * 4) + j) <-
+        1 + ((i + (j * ((n_supp / 4) + 1))) mod n_supp)
+    done
+  done;
+  let partsupp =
+    Relation.create
+      [| "ps_partkey"; "ps_suppkey"; "ps_availqty"; "ps_supplycost";
+         "ps_comment" |]
+      [| Column.of_ints ps_part;
+         Column.of_ints ps_supp;
+         Column.of_ints (Array.init n_ps (fun _ -> Rng.int rng 1 9999));
+         Column.of_floats (Array.init n_ps (fun _ -> Rng.float rng 1. 1000.));
+         Column.of_strings (Array.init n_ps (fun _ -> mk_comment rng 6)) |]
+  in
+  (* orders + lineitem *)
+  let o_key = Array.make n_orders 0 in
+  let o_cust = Array.make n_orders 0 in
+  let o_date = Array.make n_orders 0 in
+  let o_prio = Array.make n_orders "" in
+  let o_comment = Array.make n_orders "" in
+  let o_clerk = Array.make n_orders "" in
+  let o_ship = Array.make n_orders 0 in
+  let li = ref [] in
+  let n_li = ref 0 in
+  let o_total = Array.make n_orders 0. in
+  let o_status = Array.make n_orders "" in
+  let current_date = Value.date_of_iso "1995-06-17" in
+  for i = 0 to n_orders - 1 do
+    o_key.(i) <- i + 1;
+    (* only customers not divisible by 3 place orders *)
+    let rec pick_cust () =
+      let c = Rng.int rng 1 n_cust in
+      if c mod 3 = 0 then pick_cust () else c
+    in
+    o_cust.(i) <- pick_cust ();
+    o_date.(i) <- Rng.int rng date_lo (date_hi - 151);
+    o_prio.(i) <- Rng.pick rng priorities;
+    o_clerk.(i) <- Printf.sprintf "Clerk#%09d" (Rng.int rng 1 (max 1 (n_orders / 1000)));
+    o_ship.(i) <- 0;
+    o_comment.(i) <-
+      (if Rng.int rng 0 99 < 2 then "dolphins special deposits requests haggle"
+       else mk_comment rng 8);
+    let n_lines = Rng.int rng 1 7 in
+    let total = ref 0. in
+    let all_f = ref true and all_o = ref true in
+    for l = 1 to n_lines do
+      let partkey = Rng.int rng 1 n_part in
+      (* supplier from the part's partsupp entries *)
+      let j = Rng.int rng 0 3 in
+      let suppkey = ps_supp.(((partkey - 1) * 4) + j) in
+      let qty = float_of_int (Rng.int rng 1 50) in
+      let price =
+        (900. +. (float_of_int (partkey mod 1000) /. 10.)) *. qty /. 10.
+      in
+      let disc = float_of_int (Rng.int rng 0 10) /. 100. in
+      let tax = float_of_int (Rng.int rng 0 8) /. 100. in
+      let ship = o_date.(i) + Rng.int rng 1 121 in
+      let commit = o_date.(i) + Rng.int rng 30 90 in
+      let receipt = ship + Rng.int rng 1 30 in
+      let returnflag =
+        if receipt <= current_date then (if Rng.int rng 0 1 = 0 then "R" else "A")
+        else "N"
+      in
+      let linestatus = if ship > current_date then "O" else "F" in
+      if linestatus = "O" then all_f := false else all_o := false;
+      total := !total +. (price *. (1. -. disc) *. (1. +. tax));
+      incr n_li;
+      li :=
+        (i + 1, partkey, suppkey, l, qty, price, disc, tax, returnflag,
+         linestatus, ship, commit, receipt,
+         Rng.pick rng ship_instructs, Rng.pick rng ship_modes,
+         mk_comment rng 4)
+        :: !li
+    done;
+    o_total.(i) <- !total;
+    o_status.(i) <- (if !all_f then "F" else if !all_o then "O" else "P")
+  done;
+  let orders =
+    Relation.create
+      [| "o_orderkey"; "o_custkey"; "o_orderstatus"; "o_totalprice";
+         "o_orderdate"; "o_orderpriority"; "o_clerk"; "o_shippriority";
+         "o_comment" |]
+      [| Column.of_ints o_key;
+         Column.of_ints o_cust;
+         Column.of_strings o_status;
+         Column.of_floats o_total;
+         Column.of_dates o_date;
+         Column.of_strings o_prio;
+         Column.of_strings o_clerk;
+         Column.of_ints o_ship;
+         Column.of_strings o_comment |]
+  in
+  let lines = Array.of_list (List.rev !li) in
+  let n = Array.length lines in
+  let geti f = Column.of_ints (Array.map f lines) in
+  let getf f = Column.of_floats (Array.map f lines) in
+  let gets f = Column.of_strings (Array.map f lines) in
+  let getd f = Column.of_dates (Array.map f lines) in
+  let lineitem =
+    Relation.create
+      [| "l_orderkey"; "l_partkey"; "l_suppkey"; "l_linenumber"; "l_quantity";
+         "l_extendedprice"; "l_discount"; "l_tax"; "l_returnflag";
+         "l_linestatus"; "l_shipdate"; "l_commitdate"; "l_receiptdate";
+         "l_shipinstruct"; "l_shipmode"; "l_comment" |]
+      [| geti (fun (a, _, _, _, _, _, _, _, _, _, _, _, _, _, _, _) -> a);
+         geti (fun (_, b, _, _, _, _, _, _, _, _, _, _, _, _, _, _) -> b);
+         geti (fun (_, _, c, _, _, _, _, _, _, _, _, _, _, _, _, _) -> c);
+         geti (fun (_, _, _, d, _, _, _, _, _, _, _, _, _, _, _, _) -> d);
+         getf (fun (_, _, _, _, e, _, _, _, _, _, _, _, _, _, _, _) -> e);
+         getf (fun (_, _, _, _, _, f, _, _, _, _, _, _, _, _, _, _) -> f);
+         getf (fun (_, _, _, _, _, _, g, _, _, _, _, _, _, _, _, _) -> g);
+         getf (fun (_, _, _, _, _, _, _, h, _, _, _, _, _, _, _, _) -> h);
+         gets (fun (_, _, _, _, _, _, _, _, i, _, _, _, _, _, _, _) -> i);
+         gets (fun (_, _, _, _, _, _, _, _, _, j, _, _, _, _, _, _) -> j);
+         getd (fun (_, _, _, _, _, _, _, _, _, _, k, _, _, _, _, _) -> k);
+         getd (fun (_, _, _, _, _, _, _, _, _, _, _, l, _, _, _, _) -> l);
+         getd (fun (_, _, _, _, _, _, _, _, _, _, _, _, m, _, _, _) -> m);
+         gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, n, _, _) -> n);
+         gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, _, o, _) -> o);
+         gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, _, _, p) -> p) |]
+  in
+  ignore !n_li;
+  ignore n;
+  { region; nation; supplier; customer; part; partsupp; orders; lineitem }
+
+(* Load all tables with their primary keys into a catalog-backed engine. *)
+let load (db : Db.t) (t : tables) : unit =
+  let pk cols = { Catalog.no_constraints with primary_key = cols } in
+  Db.load_table db "region" ~cons:(pk [ "r_regionkey" ]) t.region;
+  Db.load_table db "nation" ~cons:(pk [ "n_nationkey" ]) t.nation;
+  Db.load_table db "supplier" ~cons:(pk [ "s_suppkey" ]) t.supplier;
+  Db.load_table db "customer" ~cons:(pk [ "c_custkey" ]) t.customer;
+  Db.load_table db "part" ~cons:(pk [ "p_partkey" ]) t.part;
+  Db.load_table db "partsupp" ~cons:(pk [ "ps_partkey"; "ps_suppkey" ]) t.partsupp;
+  Db.load_table db "orders" ~cons:(pk [ "o_orderkey" ]) t.orders;
+  Db.load_table db "lineitem" ~cons:(pk [ "l_orderkey"; "l_linenumber" ]) t.lineitem
+
+let make_db ?seed (sf : float) : Db.t =
+  let db = Db.create () in
+  load db (generate ?seed sf);
+  db

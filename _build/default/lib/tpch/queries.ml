@@ -1,0 +1,338 @@
+(** All 22 TPC-H queries in the Pandas style of [34], written in the Python
+    subset the PyTond frontend accepts. Each entry is (name, params, source);
+    the function name is always [query]. *)
+
+let q1 = {|
+@pytond()
+def query(lineitem):
+    l = lineitem[lineitem.l_shipdate <= '1998-09-02']
+    l['disc_price'] = l.l_extendedprice * (1 - l.l_discount)
+    l['charge'] = l.disc_price * (1 + l.l_tax)
+    g = l.groupby(['l_returnflag', 'l_linestatus']).agg(
+        sum_qty=('l_quantity', 'sum'),
+        sum_base_price=('l_extendedprice', 'sum'),
+        sum_disc_price=('disc_price', 'sum'),
+        sum_charge=('charge', 'sum'),
+        avg_qty=('l_quantity', 'mean'),
+        avg_price=('l_extendedprice', 'mean'),
+        avg_disc=('l_discount', 'mean'),
+        count_order=('l_quantity', 'count'))
+    return g.sort_values(by=['l_returnflag', 'l_linestatus'])
+|}
+
+let q2 = {|
+@pytond()
+def query(part, supplier, partsupp, nation, region):
+    r = region[region.r_name == 'EUROPE']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    p = part[(part.p_size == 15) & (part.p_type.str.endswith('BRASS'))]
+    j = p.merge(ps, left_on='p_partkey', right_on='ps_partkey')
+    mins = j.groupby(['p_partkey']).agg(min_cost=('ps_supplycost', 'min'))
+    j2 = j.merge(mins, left_on='p_partkey', right_on='p_partkey')
+    j3 = j2[j2.ps_supplycost == j2.min_cost]
+    res = j3[['s_acctbal', 's_name', 'n_name', 'p_partkey', 'p_mfgr', 's_address', 's_phone', 's_comment']]
+    res = res.sort_values(by=['s_acctbal', 'n_name', 's_name', 'p_partkey'], ascending=[False, True, True, True])
+    return res.head(100)
+|}
+
+let q3 = {|
+@pytond()
+def query(customer, orders, lineitem):
+    c = customer[customer.c_mktsegment == 'BUILDING']
+    o = orders[orders.o_orderdate < '1995-03-15']
+    l = lineitem[lineitem.l_shipdate > '1995-03-15']
+    jo = c.merge(o, left_on='c_custkey', right_on='o_custkey')
+    jl = jo.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    jl['volume'] = jl.l_extendedprice * (1 - jl.l_discount)
+    g = jl.groupby(['l_orderkey', 'o_orderdate', 'o_shippriority']).agg(revenue=('volume', 'sum'))
+    res = g.sort_values(by=['revenue', 'o_orderdate'], ascending=[False, True])
+    return res.head(10)
+|}
+
+let q4 = {|
+@pytond()
+def query(orders, lineitem):
+    l = lineitem[lineitem.l_commitdate < lineitem.l_receiptdate]
+    o = orders[(orders.o_orderdate >= '1993-07-01') & (orders.o_orderdate < '1993-10-01')]
+    o2 = o[o.o_orderkey.isin(l.l_orderkey)]
+    g = o2.groupby(['o_orderpriority']).agg(order_count=('o_orderkey', 'count'))
+    return g.sort_values(by=['o_orderpriority'])
+|}
+
+let q5 = {|
+@pytond()
+def query(customer, orders, lineitem, supplier, nation, region):
+    r = region[region.r_name == 'ASIA']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    l = lineitem.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    o = orders[(orders.o_orderdate >= '1994-01-01') & (orders.o_orderdate < '1995-01-01')]
+    oc = o.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    j = l.merge(oc, left_on='l_orderkey', right_on='o_orderkey')
+    j2 = j[j.c_nationkey == j.s_nationkey]
+    j2['volume'] = j2.l_extendedprice * (1 - j2.l_discount)
+    g = j2.groupby(['n_name']).agg(revenue=('volume', 'sum'))
+    return g.sort_values(by='revenue', ascending=False)
+|}
+
+let q6 = {|
+@pytond()
+def query(lineitem):
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') & (lineitem.l_shipdate < '1995-01-01') & (lineitem.l_discount >= 0.05) & (lineitem.l_discount <= 0.07) & (lineitem.l_quantity < 24)]
+    rev = l.l_extendedprice * l.l_discount
+    return rev.sum()
+|}
+
+let q7 = {|
+@pytond()
+def query(supplier, lineitem, orders, customer, nation):
+    n1 = nation[nation.n_name.isin(['FRANCE', 'GERMANY'])]
+    s = supplier.merge(n1, left_on='s_nationkey', right_on='n_nationkey')
+    s = s.rename(columns={'n_name': 'supp_nation'})
+    c = customer.merge(n1, left_on='c_nationkey', right_on='n_nationkey')
+    c = c.rename(columns={'n_name': 'cust_nation'})
+    l = lineitem[(lineitem.l_shipdate >= '1995-01-01') & (lineitem.l_shipdate <= '1996-12-31')]
+    j = l.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    j = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    j = j.merge(c, left_on='o_custkey', right_on='c_custkey')
+    j = j[((j.supp_nation == 'FRANCE') & (j.cust_nation == 'GERMANY')) | ((j.supp_nation == 'GERMANY') & (j.cust_nation == 'FRANCE'))]
+    j['l_year'] = j.l_shipdate.dt.year
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['supp_nation', 'cust_nation', 'l_year']).agg(revenue=('volume', 'sum'))
+    return g.sort_values(by=['supp_nation', 'cust_nation', 'l_year'])
+|}
+
+let q8 = {|
+import numpy as np
+
+@pytond()
+def query(part, supplier, lineitem, orders, customer, nation, region):
+    p = part[part.p_type == 'ECONOMY ANODIZED STEEL']
+    r = region[region.r_name == 'AMERICA']
+    n1 = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    c = customer.merge(n1, left_on='c_nationkey', right_on='n_nationkey')
+    o = orders[(orders.o_orderdate >= '1995-01-01') & (orders.o_orderdate <= '1996-12-31')]
+    o = o.merge(c, left_on='o_custkey', right_on='c_custkey')
+    l = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    l = l.merge(o, left_on='l_orderkey', right_on='o_orderkey')
+    s = supplier.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    s = s.rename(columns={'n_name': 'supp_nation'})
+    j = l.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    j['o_year'] = j.o_orderdate.dt.year
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    j['brazil_volume'] = np.where(j.supp_nation == 'BRAZIL', j.volume, 0.0)
+    g = j.groupby(['o_year']).agg(brazil=('brazil_volume', 'sum'), total=('volume', 'sum'))
+    g['mkt_share'] = g.brazil / g.total
+    res = g[['o_year', 'mkt_share']]
+    return res.sort_values(by='o_year')
+|}
+
+let q9 = {|
+@pytond()
+def query(part, supplier, lineitem, partsupp, orders, nation):
+    p = part[part.p_name.str.contains('green')]
+    l = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    l = l.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    l = l.merge(partsupp, left_on=['l_suppkey', 'l_partkey'], right_on=['ps_suppkey', 'ps_partkey'])
+    l = l.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    l = l.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    l['o_year'] = l.o_orderdate.dt.year
+    l['amount'] = l.l_extendedprice * (1 - l.l_discount) - l.ps_supplycost * l.l_quantity
+    g = l.groupby(['n_name', 'o_year']).agg(sum_profit=('amount', 'sum'))
+    return g.sort_values(by=['n_name', 'o_year'], ascending=[True, False])
+|}
+
+let q10 = {|
+@pytond()
+def query(customer, orders, lineitem, nation):
+    o = orders[(orders.o_orderdate >= '1993-10-01') & (orders.o_orderdate < '1994-01-01')]
+    l = lineitem[lineitem.l_returnflag == 'R']
+    j = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    j = j.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j = j.merge(nation, left_on='c_nationkey', right_on='n_nationkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['c_custkey', 'c_name', 'c_acctbal', 'c_phone', 'n_name', 'c_address', 'c_comment']).agg(revenue=('volume', 'sum'))
+    res = g.sort_values(by='revenue', ascending=False)
+    return res.head(20)
+|}
+
+let q11 = {|
+@pytond()
+def query(partsupp, supplier, nation):
+    n = nation[nation.n_name == 'GERMANY']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    ps['value'] = ps.ps_supplycost * ps.ps_availqty
+    total = ps.value.sum()
+    threshold = total * 0.0001
+    g = ps.groupby(['ps_partkey']).agg(value=('value', 'sum'))
+    g2 = g[g.value > threshold]
+    return g2.sort_values(by='value', ascending=False)
+|}
+
+let q12 = {|
+import numpy as np
+
+@pytond()
+def query(orders, lineitem):
+    l = lineitem[lineitem.l_shipmode.isin(['MAIL', 'SHIP'])]
+    l = l[(l.l_commitdate < l.l_receiptdate) & (l.l_shipdate < l.l_commitdate)]
+    l = l[(l.l_receiptdate >= '1994-01-01') & (l.l_receiptdate < '1995-01-01')]
+    j = orders.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j['high'] = np.where((j.o_orderpriority == '1-URGENT') | (j.o_orderpriority == '2-HIGH'), 1, 0)
+    j['low'] = np.where((j.o_orderpriority != '1-URGENT') & (j.o_orderpriority != '2-HIGH'), 1, 0)
+    g = j.groupby(['l_shipmode']).agg(high_line_count=('high', 'sum'), low_line_count=('low', 'sum'))
+    return g.sort_values(by='l_shipmode')
+|}
+
+let q13 = {|
+@pytond()
+def query(customer, orders):
+    o = orders[~(orders.o_comment.str.contains('special') & orders.o_comment.str.contains('requests'))]
+    j = customer.merge(o, how='left', left_on='c_custkey', right_on='o_custkey')
+    g = j.groupby(['c_custkey']).agg(c_count=('o_orderkey', 'count'))
+    d = g.groupby(['c_count']).agg(custdist=('c_count', 'count'))
+    return d.sort_values(by=['custdist', 'c_count'], ascending=[False, False])
+|}
+
+let q14 = {|
+import numpy as np
+
+@pytond()
+def query(lineitem, part):
+    l = lineitem[(lineitem.l_shipdate >= '1995-09-01') & (lineitem.l_shipdate < '1995-10-01')]
+    j = l.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    j['promo'] = np.where(j.p_type.str.startswith('PROMO'), j.volume, 0.0)
+    promo = j.promo.sum()
+    total = j.volume.sum()
+    share = 100.0 * promo
+    return share / total
+|}
+
+let q15 = {|
+@pytond()
+def query(lineitem, supplier):
+    l = lineitem[(lineitem.l_shipdate >= '1996-01-01') & (lineitem.l_shipdate < '1996-04-01')]
+    l['volume'] = l.l_extendedprice * (1 - l.l_discount)
+    g = l.groupby(['l_suppkey']).agg(total_revenue=('volume', 'sum'))
+    m = g.total_revenue.max()
+    top = g[g.total_revenue == m]
+    j = supplier.merge(top, left_on='s_suppkey', right_on='l_suppkey')
+    res = j[['s_suppkey', 's_name', 's_address', 's_phone', 'total_revenue']]
+    return res.sort_values(by='s_suppkey')
+|}
+
+let q16 = {|
+@pytond()
+def query(partsupp, part, supplier):
+    p = part[(part.p_brand != 'Brand#45') & (~part.p_type.str.startswith('MEDIUM POLISHED')) & (part.p_size.isin([49, 14, 23, 45, 19, 3, 36, 9]))]
+    bad = supplier[supplier.s_comment.str.contains('Customer') & supplier.s_comment.str.contains('Complaints')]
+    ps = partsupp[~partsupp.ps_suppkey.isin(bad.s_suppkey)]
+    j = p.merge(ps, left_on='p_partkey', right_on='ps_partkey')
+    g = j.groupby(['p_brand', 'p_type', 'p_size']).agg(supplier_cnt=('ps_suppkey', 'nunique'))
+    return g.sort_values(by=['supplier_cnt', 'p_brand', 'p_type', 'p_size'], ascending=[False, True, True, True])
+|}
+
+let q17 = {|
+@pytond()
+def query(lineitem, part):
+    p = part[(part.p_brand == 'Brand#23') & (part.p_container == 'MED BOX')]
+    j = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    avg = j.groupby(['l_partkey']).agg(avg_qty=('l_quantity', 'mean'))
+    j2 = j.merge(avg, left_on='l_partkey', right_on='l_partkey')
+    j3 = j2[j2.l_quantity < 0.2 * j2.avg_qty]
+    total = j3.l_extendedprice.sum()
+    return total / 7.0
+|}
+
+let q18 = {|
+@pytond()
+def query(customer, orders, lineitem):
+    g = lineitem.groupby(['l_orderkey']).agg(sum_qty=('l_quantity', 'sum'))
+    big = g[g.sum_qty > 300]
+    j = orders.merge(big, left_on='o_orderkey', right_on='l_orderkey')
+    j = j.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    res = j[['c_name', 'c_custkey', 'o_orderkey', 'o_orderdate', 'o_totalprice', 'sum_qty']]
+    res = res.sort_values(by=['o_totalprice', 'o_orderdate'], ascending=[False, True])
+    return res.head(100)
+|}
+
+let q19 = {|
+@pytond()
+def query(lineitem, part):
+    j = lineitem.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j = j[j.l_shipinstruct == 'DELIVER IN PERSON']
+    j = j[j.l_shipmode.isin(['AIR', 'REG AIR'])]
+    m1 = (j.p_brand == 'Brand#12') & (j.p_container.isin(['SM CASE', 'SM BOX', 'SM PACK', 'SM PKG'])) & (j.l_quantity >= 1) & (j.l_quantity <= 11) & (j.p_size <= 5)
+    m2 = (j.p_brand == 'Brand#23') & (j.p_container.isin(['MED BAG', 'MED BOX', 'MED PKG', 'MED PACK'])) & (j.l_quantity >= 10) & (j.l_quantity <= 20) & (j.p_size <= 10)
+    m3 = (j.p_brand == 'Brand#34') & (j.p_container.isin(['LG CASE', 'LG BOX', 'LG PACK', 'LG PKG'])) & (j.l_quantity >= 20) & (j.l_quantity <= 30) & (j.p_size <= 15)
+    f = j[m1 | m2 | m3]
+    rev = f.l_extendedprice * (1 - f.l_discount)
+    return rev.sum()
+|}
+
+let q20 = {|
+@pytond()
+def query(supplier, nation, partsupp, part, lineitem):
+    p = part[part.p_name.str.startswith('forest')]
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') & (lineitem.l_shipdate < '1995-01-01')]
+    lg = l.groupby(['l_partkey', 'l_suppkey']).agg(sum_qty=('l_quantity', 'sum'))
+    ps = partsupp[partsupp.ps_partkey.isin(p.p_partkey)]
+    j = ps.merge(lg, left_on=['ps_partkey', 'ps_suppkey'], right_on=['l_partkey', 'l_suppkey'])
+    j2 = j[j.ps_availqty > 0.5 * j.sum_qty]
+    n = nation[nation.n_name == 'CANADA']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    s2 = s[s.s_suppkey.isin(j2.ps_suppkey)]
+    res = s2[['s_name', 's_address']]
+    return res.sort_values(by='s_name')
+|}
+
+let q21 = {|
+@pytond()
+def query(supplier, lineitem, orders, nation):
+    n = nation[nation.n_name == 'SAUDI ARABIA']
+    late = lineitem[lineitem.l_receiptdate > lineitem.l_commitdate]
+    g_all = lineitem.groupby(['l_orderkey']).agg(num_supp=('l_suppkey', 'nunique'))
+    g_late = late.groupby(['l_orderkey']).agg(late_supp=('l_suppkey', 'nunique'))
+    f = orders[orders.o_orderstatus == 'F']
+    j = late.merge(f, left_on='l_orderkey', right_on='o_orderkey')
+    j = j.merge(g_all, left_on='l_orderkey', right_on='l_orderkey')
+    j = j.merge(g_late, left_on='l_orderkey', right_on='l_orderkey')
+    j = j[(j.num_supp > 1) & (j.late_supp == 1)]
+    j = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = j.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    g = j.groupby(['s_name']).agg(numwait=('s_suppkey', 'count'))
+    res = g.sort_values(by=['numwait', 's_name'], ascending=[False, True])
+    return res.head(100)
+|}
+
+let q22 = {|
+@pytond()
+def query(customer, orders):
+    c = customer.copy()
+    c['cntrycode'] = c.c_phone.str.slice(0, 2)
+    c2 = c[c.cntrycode.isin(['13', '31', '23', '29', '30', '18', '17'])]
+    pos = c2[c2.c_acctbal > 0.0]
+    avg_bal = pos.c_acctbal.mean()
+    c3 = c2[c2.c_acctbal > avg_bal]
+    c4 = c3[~c3.c_custkey.isin(orders.o_custkey)]
+    g = c4.groupby(['cntrycode']).agg(numcust=('c_custkey', 'count'), totacctbal=('c_acctbal', 'sum'))
+    return g.sort_values(by='cntrycode')
+|}
+
+(* (name, source); the decorated function is always [query] and its
+   parameters name the TPC-H tables it reads. *)
+let all : (string * string) list =
+  [ ("q1", q1); ("q2", q2); ("q3", q3); ("q4", q4); ("q5", q5); ("q6", q6);
+    ("q7", q7); ("q8", q8); ("q9", q9); ("q10", q10); ("q11", q11);
+    ("q12", q12); ("q13", q13); ("q14", q14); ("q15", q15); ("q16", q16);
+    ("q17", q17); ("q18", q18); ("q19", q19); ("q20", q20); ("q21", q21);
+    ("q22", q22) ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some src -> src
+  | None -> invalid_arg ("Tpch.Queries.find: unknown query " ^ name)

@@ -1,0 +1,1 @@
+lib/translate/context.ml: Catalog Frontend List Relation Sqldb Value

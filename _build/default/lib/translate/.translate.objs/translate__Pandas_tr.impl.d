@@ -1,0 +1,1 @@
+lib/translate/pandas_tr.ml: Context Frontend List Option Printf Sqldb String Tensor Tondir

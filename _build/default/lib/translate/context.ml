@@ -1,0 +1,85 @@
+(** Contextual information for translation (paper §III-A): base-table
+    schemas and constraints from the database catalog, plus the explicit
+    facts carried by [@pytond] decorator arguments. *)
+
+open Sqldb
+
+type table_info = {
+  cols : (string * Value.ty) list;
+  unique : string list list; (* unique column sets incl. primary key *)
+}
+
+type layout = Dense | Sparse
+
+type t = {
+  tables : (string * table_info) list;
+  pivot_values : (string * Value.t list) list; (* column -> distinct values *)
+  layouts : (string * layout) list; (* tensor parameter layouts *)
+  tensor_cols : (string * int) list; (* dense tensor parameter -> n columns *)
+}
+
+let empty =
+  { tables = []; pivot_values = []; layouts = []; tensor_cols = [] }
+
+let of_catalog (catalog : Catalog.t) : t =
+  let tables =
+    List.map
+      (fun name ->
+        let tbl = Catalog.find catalog name in
+        let unique =
+          (match tbl.Catalog.cons.primary_key with [] -> [] | pk -> [ pk ])
+          @ tbl.Catalog.cons.unique
+        in
+        (name, { cols = Relation.schema tbl.Catalog.rel; unique }))
+      (Catalog.names catalog)
+  in
+  { empty with tables }
+
+let table t name = List.assoc_opt name t.tables
+
+(* Decorator argument parsing: pivot_values={'col': [...]},
+   layouts={'m': 'sparse'}, tensor_cols={'m': 32} *)
+let of_decorator ?(base = empty) (dec : Frontend.Ast.decorator) : t =
+  let open Frontend.Ast in
+  let const_of = function
+    | Str s ->
+      if Value.looks_like_iso_date s then Value.VDate (Value.date_of_iso s)
+      else Value.VString s
+    | Int i -> Value.VInt i
+    | Float f -> Value.VFloat f
+    | Bool b -> Value.VBool b
+    | _ -> invalid_arg "decorator: literal expected"
+  in
+  List.fold_left
+    (fun acc (k, v) ->
+      match (k, v) with
+      | "pivot_values", EDict kvs ->
+        { acc with
+          pivot_values =
+            List.map
+              (fun (k, v) ->
+                match (k, v) with
+                | Str col, EList vs -> (col, List.map const_of vs)
+                | _ -> invalid_arg "pivot_values: {'col': [...]} expected")
+              kvs }
+      | "layouts", EDict kvs ->
+        { acc with
+          layouts =
+            List.map
+              (fun (k, v) ->
+                match (k, v) with
+                | Str p, Str "dense" -> (p, Dense)
+                | Str p, Str "sparse" -> (p, Sparse)
+                | _ -> invalid_arg "layouts: {'param': 'dense'|'sparse'}")
+              kvs }
+      | "tensor_cols", EDict kvs ->
+        { acc with
+          tensor_cols =
+            List.map
+              (fun (k, v) ->
+                match (k, v) with
+                | Str p, Int n -> (p, n)
+                | _ -> invalid_arg "tensor_cols: {'param': int}")
+              kvs }
+      | _ -> acc)
+    base dec.dec_kwargs

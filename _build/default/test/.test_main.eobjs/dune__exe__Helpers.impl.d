@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Catalog Column Db List Printf Relation Sqldb String Value

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Column Db Helpers List QCheck2 QCheck_alcotest Relation Sql_ast Sql_parse Sql_print Sqldb Value

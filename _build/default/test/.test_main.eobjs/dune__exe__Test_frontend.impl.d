@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Anf Ast Frontend Helpers Lexer List Parser

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_engine Test_frontend Test_ir Test_numpy_api Test_pipeline Test_storage Test_tensor

@@ -1,0 +1,1 @@
+test/test_numpy_api.ml: Alcotest Array Helpers List Printf Pytond QCheck2 QCheck_alcotest Sqldb

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Dataframe Helpers Lazy List Pytond Sqldb Tondir Tpch Workloads

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bitset Column Fun Helpers List QCheck2 QCheck_alcotest Relation Sqldb Value

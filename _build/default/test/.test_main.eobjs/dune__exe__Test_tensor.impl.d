@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dense Einsum_exec Einsum_spec Helpers Kernel_plan List QCheck2 QCheck_alcotest Sparse Tensor

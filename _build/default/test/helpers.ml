@@ -1,0 +1,61 @@
+(** Shared test utilities. *)
+
+open Sqldb
+
+let check_rel ?(digits = 4) msg (expected : Relation.t) (actual : Relation.t) =
+  Alcotest.(check (list string))
+    msg
+    (Relation.canonical ~digits expected)
+    (Relation.canonical ~digits actual)
+
+let rel names cols = Relation.create (Array.of_list names) (Array.of_list cols)
+
+let ints = Column.of_ints
+let floats = Column.of_floats
+let strings = Column.of_strings
+let bools = Column.of_bools
+let dates l = Column.of_dates (Array.map Value.date_of_iso l)
+
+(* A small orders/customers database reused across suites. *)
+let mini_db () =
+  let db = Db.create () in
+  Db.load_table db "orders"
+    ~cons:{ Catalog.no_constraints with primary_key = [ "o_id" ] }
+    (rel [ "o_id"; "o_cust"; "o_total"; "o_date" ]
+       [ ints [| 1; 2; 3; 4; 5 |];
+         ints [| 10; 10; 20; 30; 20 |];
+         floats [| 100.; 200.; 50.; 75.; 125. |];
+         dates [| "1995-01-01"; "1995-06-15"; "1996-02-01"; "1994-12-31";
+                  "1995-03-03" |] ]);
+  Db.load_table db "cust"
+    ~cons:{ Catalog.no_constraints with primary_key = [ "c_id" ] }
+    (rel [ "c_id"; "c_name" ]
+       [ ints [| 10; 20; 40 |]; strings [| "alice"; "bob"; "carol" |] ]);
+  db
+
+let run_all ?threads ?backend db sql = Db.execute ?threads ?backend db sql
+
+(* execute on every backend and insist the results agree *)
+let execute_everywhere ?(threads_list = [ 1; 3 ]) db sql : Relation.t =
+  let reference = Db.execute ~backend:Db.Vectorized db sql in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun threads ->
+          let r = Db.execute ~backend ~threads db sql in
+          check_rel
+            (Printf.sprintf "%s @%dt" (Db.backend_name backend) threads)
+            reference r)
+        threads_list)
+    [ Db.Vectorized; Db.Compiled ];
+  reference
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* substring search used by codegen tests *)
+let contains_sub (sub : string) (s : string) : bool =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i =
+    i + lsub <= ls && (String.equal (String.sub s i lsub) sub || at (i + 1))
+  in
+  lsub = 0 || at 0

@@ -1,0 +1,152 @@
+(** Frontend tests: lexer (INDENT/DEDENT, implicit joining), parser
+    (precedence), ANF normalization. *)
+
+open Frontend
+open Helpers
+
+let parse_one src =
+  match (Parser.parse_module src).funcs with
+  | [ f ] -> f
+  | fs -> Alcotest.failf "expected 1 function, got %d" (List.length fs)
+
+let lexer_tests =
+  [ tc "indent/dedent" (fun () ->
+        let toks =
+          Lexer.tokenize "def f(x):\n    y = 1\n    return y\n"
+        in
+        let count t = List.length (List.filter (fun x -> x = t) toks) in
+        Alcotest.(check int) "one indent" 1 (count Lexer.INDENT);
+        Alcotest.(check int) "one dedent" 1 (count Lexer.DEDENT));
+    tc "implicit line joining inside parens" (fun () ->
+        let toks =
+          Lexer.tokenize "x = f(1,\n      2,\n      3)\ny = 2\n"
+        in
+        let newlines =
+          List.length (List.filter (fun t -> t = Lexer.NEWLINE) toks)
+        in
+        Alcotest.(check int) "two logical lines" 2 newlines);
+    tc "newline after bracket close mid-line" (fun () ->
+        (* regression: the close paren returning to depth 0 must not swallow
+           the statement's newline *)
+        let toks = Lexer.tokenize "g = f(a=(1, 2))\nreturn g\n" in
+        let newlines =
+          List.length (List.filter (fun t -> t = Lexer.NEWLINE) toks)
+        in
+        Alcotest.(check int) "two logical lines" 2 newlines);
+    tc "string escapes and concat" (fun () ->
+        match Lexer.tokenize {|x = 'a\'b' "cd"|} with
+        | [ Lexer.NAME "x"; Lexer.OP "="; Lexer.STRING s1; Lexer.STRING s2;
+            Lexer.NEWLINE; Lexer.EOF ] ->
+          Alcotest.(check string) "escaped" "a'b" s1;
+          Alcotest.(check string) "second" "cd" s2
+        | _ -> Alcotest.fail "unexpected tokens");
+    tc "comments skipped" (fun () ->
+        let toks = Lexer.tokenize "# leading\nx = 1  # trailing\n" in
+        Alcotest.(check int) "tokens" 5 (List.length toks)) ]
+
+let parser_tests =
+  [ tc "python precedence: & binds tighter than ==" (fun () ->
+        let f = parse_one "def f(df):\n    return (df.a > 1) & (df.b < 2)\n" in
+        match f.Ast.body with
+        | [ Ast.SReturn (Ast.BinOp (Ast.BitAnd, Ast.Compare _, Ast.Compare _)) ]
+          -> ()
+        | _ -> Alcotest.fail "wrong precedence tree");
+    tc "arith precedence" (fun () ->
+        let f = parse_one "def f():\n    return 1 + 2 * 3\n" in
+        match f.Ast.body with
+        | [ Ast.SReturn (Ast.BinOp (Ast.Add, Ast.Int 1, Ast.BinOp (Ast.Mult, _, _))) ]
+          -> ()
+        | _ -> Alcotest.fail "wrong precedence");
+    tc "decorator with kwargs" (fun () ->
+        let f =
+          parse_one
+            "@pytond(pivot_values={'b': ['x', 'y']})\ndef f(t):\n    return t\n"
+        in
+        match f.Ast.decorators with
+        | [ { Ast.dec_name = "pytond"; dec_kwargs = [ ("pivot_values", Ast.EDict _) ] } ]
+          -> ()
+        | _ -> Alcotest.fail "decorator not parsed");
+    tc "kwargs and method chains" (fun () ->
+        let f =
+          parse_one
+            "def f(df):\n    return df.merge(df, on='a', how='left').head(3)\n"
+        in
+        match f.Ast.body with
+        | [ Ast.SReturn (Ast.Call { func = Ast.Attr (Ast.Call _, "head"); _ }) ]
+          -> ()
+        | _ -> Alcotest.fail "bad chain");
+    tc "subscript assignment" (fun () ->
+        let f = parse_one "def f(df):\n    df['x'] = df.a + 1\n    return df\n" in
+        match f.Ast.body with
+        | [ Ast.SAssign (Ast.TSubscript (Ast.Name "df", Ast.Str "x"), _); _ ] -> ()
+        | _ -> Alcotest.fail "bad target");
+    tc "slices and lambda" (fun () ->
+        let f =
+          parse_one
+            "def f(s):\n    x = s[0:2]\n    g = lambda v: v * 2\n    return x\n"
+        in
+        Alcotest.(check int) "3 stmts" 3 (List.length f.Ast.body));
+    tc "imports skipped" (fun () ->
+        let m =
+          Parser.parse_module
+            "import pandas as pd\nfrom numpy import einsum\ndef f(t):\n    return t\n"
+        in
+        Alcotest.(check int) "one function" 1 (List.length m.funcs)) ]
+
+let anf_tests =
+  [ tc "nested expressions hoisted (paper example)" (fun () ->
+        let f =
+          parse_one
+            "def f(df1, df2):\n\
+            \    res = (df1[df1.b > 10]['a']).merge(df2[df2.y == 'r']['x'], \
+             left_on='a', right_on='x')\n\
+            \    return res\n"
+        in
+        let f' = Anf.normalize_func_def f in
+        (* the paper's ANF shows 7 assignments + return; ours additionally
+           hoists the two comparison operands (fully-atomic ANF) *)
+        Alcotest.(check int) "statement count" 10 (List.length f'.Ast.body);
+        (* every RHS is shallow: no nested calls/subscripts inside calls *)
+        List.iter
+          (function
+            | Ast.SAssign (_, Ast.Call { args; _ }) ->
+              List.iter
+                (fun a ->
+                  match a with
+                  | Ast.Call _ | Ast.Subscript _ | Ast.BinOp _ ->
+                    Alcotest.fail "non-atomic call argument survived ANF"
+                  | _ -> ())
+                args
+            | _ -> ())
+          f'.Ast.body);
+    tc "literal API args preserved" (fun () ->
+        let f =
+          parse_one
+            "def f(df):\n    return df.sort_values(by=['a', 'b'], ascending=[True, False])\n"
+        in
+        let f' = Anf.normalize_func_def f in
+        match f'.Ast.body with
+        | [ Ast.SAssign (_, Ast.Call { kwargs; _ }); Ast.SReturn _ ] ->
+          Alcotest.(check bool) "by intact" true
+            (match List.assoc "by" kwargs with
+            | Ast.EList [ Ast.Str "a"; Ast.Str "b" ] -> true
+            | _ -> false)
+        | _ -> Alcotest.fail "unexpected ANF shape");
+    tc "fresh names avoid collisions" (fun () ->
+        let f =
+          parse_one "def f(df):\n    v1 = df.a\n    v2 = v1 + df.b\n    return v2\n"
+        in
+        let f' = Anf.normalize_func_def f in
+        (* ANF must not redefine user names v1/v2 with different meanings *)
+        let assigned =
+          List.filter_map
+            (function Ast.SAssign (Ast.TName n, _) -> Some n | _ -> None)
+            f'.Ast.body
+        in
+        let sorted = List.sort compare assigned in
+        Alcotest.(check bool) "no duplicate names" true
+          (List.length sorted = List.length (List.sort_uniq compare sorted)))
+  ]
+
+let suites =
+  [ ("lexer", lexer_tests); ("parser", parser_tests); ("anf", anf_tests) ]

@@ -1,0 +1,286 @@
+(** TondIR tests: pretty-printing, validation, flow-breaker analysis, the
+    optimization passes of §IV, and SQL code generation. *)
+
+open Tondir.Ir
+module Analysis = Tondir.Analysis
+module Opt = Optimizer.Passes
+open Helpers
+
+let access rel vars = Access { rel; vars }
+
+let base_columns = function
+  | "r" -> Some [ "a"; "b"; "c"; "d" ]
+  | "r4" -> Some [ "e"; "f"; "g" ]
+  | "orders" -> Some [ "o_id"; "o_cust"; "o_total"; "o_date" ]
+  | "cust" -> Some [ "c_id"; "c_name" ]
+  | _ -> None
+
+let gen p = Sqlgen.Gen.generate ~base_columns p
+
+let pretty_tests =
+  [ tc "rule rendering" (fun () ->
+        let r =
+          mk_rule
+            (mk_head ~group:(Some [ "a" ]) "r1" [ "a"; "s" ])
+            [ access "r" [ "a"; "b"; "_"; "_" ];
+              Assign ("s", Agg (Sum, Var "b")) ]
+        in
+        Alcotest.(check string)
+          "datalog"
+          "r1(a, s) group(a) :- r(a, b, _, _),\n    (s = sum(b))."
+          (rule_to_string r));
+    tc "bound vars in order" (fun () ->
+        let body =
+          [ access "r" [ "a"; "b"; "_"; "_" ]; Assign ("s", Var "a") ]
+        in
+        Alcotest.(check (list string)) "bound" [ "a"; "b"; "s" ]
+          (bound_vars body));
+    tc "assign definition vs equality" (fun () ->
+        let body =
+          [ access "r" [ "a"; "b"; "_"; "_" ];
+            Assign ("s", Var "a"); Assign ("a", Var "b") ]
+        in
+        Alcotest.(check bool) "s defines" true (assign_is_definition body 1);
+        Alcotest.(check bool) "a compares" false (assign_is_definition body 2))
+  ]
+
+let validate_tests =
+  [ tc "valid program passes" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "x" [ "a" ]) [ access "r" [ "a"; "_"; "_"; "_" ] ] ] }
+        in
+        Alcotest.(check (list string)) "no errors" []
+          (Analysis.validate ~known_relations:[ "r" ] p));
+    tc "unbound head var flagged" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "x" [ "z" ]) [ access "r" [ "a"; "_"; "_"; "_" ] ] ] }
+        in
+        Alcotest.(check bool) "error found" true
+          (Analysis.validate ~known_relations:[ "r" ] p <> []));
+    tc "unknown relation flagged" (fun () ->
+        let p =
+          { rules = [ mk_rule (mk_head "x" [ "a" ]) [ access "nope" [ "a" ] ] ] }
+        in
+        Alcotest.(check bool) "error found" true (Analysis.validate p <> [])) ]
+
+let flow_tests =
+  [ tc "table VII classification" (fun () ->
+        let plain =
+          mk_rule (mk_head "x" [ "a" ]) [ access "r" [ "a"; "_"; "_"; "_" ] ]
+        in
+        let agg =
+          mk_rule (mk_head "x" [ "s" ])
+            [ access "r" [ "a"; "_"; "_"; "_" ]; Assign ("s", Agg (Sum, Var "a")) ]
+        in
+        let sorted =
+          mk_rule
+            (mk_head ~sort:[ ("a", Asc) ] "x" [ "a" ])
+            [ access "r" [ "a"; "_"; "_"; "_" ] ]
+        in
+        let outer =
+          mk_rule (mk_head "x" [ "a"; "e" ])
+            [ access "r" [ "a"; "_"; "_"; "_" ];
+              OuterAccess (OLeft, { rel = "r4"; vars = [ "e"; "_"; "_" ] },
+                           [ ("a", "e") ]) ]
+        in
+        Alcotest.(check bool) "plain" false (Analysis.is_flow_breaker plain);
+        Alcotest.(check bool) "agg" true (Analysis.is_flow_breaker agg);
+        Alcotest.(check bool) "sort" true (Analysis.is_flow_breaker sorted);
+        Alcotest.(check bool) "outer" true (Analysis.is_flow_breaker outer)) ]
+
+(* ---------------- optimizer passes (paper §IV examples) ------------- *)
+
+let count_rules p = List.length p.rules
+
+let opt_tests =
+  [ tc "local DCE drops dead assignment" (fun () ->
+        (* paper's local-DCE example *)
+        let p =
+          { rules =
+              [ mk_rule (mk_head "r1" [ "a"; "b" ])
+                  [ access "r" [ "a"; "b"; "c"; "_" ];
+                    Cond (Binop (Lt, Var "a", Const (CInt 10)));
+                    Assign ("x", Binop (Mul, Var "c", Const (CInt 2))) ] ] }
+        in
+        let p' = Opt.local_dce p in
+        let has_assign =
+          List.exists
+            (function Assign ("x", _) -> true | _ -> false)
+            (List.hd p'.rules).body
+        in
+        Alcotest.(check bool) "x removed" false has_assign);
+    tc "global DCE prunes unused attributes" (fun () ->
+        (* paper's global-DCE example: c, d dead in consumer *)
+        let p =
+          { rules =
+              [ mk_rule (mk_head "r1" [ "a"; "b"; "c"; "d" ])
+                  [ access "r" [ "a"; "b"; "c"; "d" ];
+                    Cond (Binop (Lt, Var "a", Const (CInt 10))) ];
+                mk_rule
+                  (mk_head ~group:(Some [ "a" ]) "r2" [ "a"; "s" ])
+                  [ access "r1" [ "a"; "b"; "_"; "_" ];
+                    Assign ("s", Agg (Sum, Var "b")) ] ] }
+        in
+        let p' = Opt.global_dce p in
+        let first = List.hd p'.rules in
+        Alcotest.(check int) "r1 narrowed to 2 cols" 2
+          (List.length first.head.rel.vars));
+    tc "group-agg elimination on unique key" (fun () ->
+        let ctx =
+          { Opt.is_unique = (fun rel pos -> rel = "r" && pos = [ 0 ]) }
+        in
+        let p =
+          { rules =
+              [ mk_rule
+                  (mk_head ~group:(Some [ "id" ]) "r1" [ "id"; "s" ])
+                  [ access "r" [ "id"; "_"; "b"; "_" ];
+                    Assign ("s", Agg (Sum, Var "b")) ] ] }
+        in
+        let p' = Opt.group_agg_elim ctx p in
+        let r1 = List.hd p'.rules in
+        Alcotest.(check bool) "group removed" true (r1.head.group = None);
+        let still_agg =
+          List.exists
+            (function Assign (_, t) -> term_has_agg t | _ -> false)
+            r1.body
+        in
+        Alcotest.(check bool) "sum unwrapped" false still_agg);
+    tc "self-join elimination on unique key" (fun () ->
+        let ctx =
+          { Opt.is_unique = (fun rel pos -> rel = "r" && pos = [ 0 ]) }
+        in
+        let p =
+          { rules =
+              [ mk_rule (mk_head "r1" [ "id"; "b"; "b2" ])
+                  [ access "r" [ "id"; "b"; "_"; "_" ];
+                    access "r" [ "id"; "b2"; "_"; "_" ] ] ] }
+        in
+        let p' = Opt.self_join_elim ctx p in
+        let accesses =
+          List.length
+            (List.filter
+               (function Access _ -> true | _ -> false)
+               (List.hd p'.rules).body)
+        in
+        Alcotest.(check int) "one access left" 1 accesses;
+        (* head's b2 renamed to b *)
+        Alcotest.(check (list string)) "head renamed" [ "id"; "b"; "b" ]
+          (List.hd p'.rules).head.rel.vars);
+    tc "rule inlining fuses chains" (fun () ->
+        (* paper's rule-inlining example shape *)
+        let p =
+          { rules =
+              [ mk_rule (mk_head "r2" [ "b"; "c"; "d" ])
+                  [ access "r" [ "a"; "b"; "c"; "d" ];
+                    Cond (Binop (Gt, Var "a", Const (CInt 1000))) ];
+                mk_rule (mk_head "r3" [ "b"; "d" ])
+                  [ access "r2" [ "b"; "c"; "d" ];
+                    Cond (Binop (Ne, Var "c", Const (CString "A"))) ];
+                mk_rule (mk_head "r5" [ "e"; "g" ])
+                  [ access "r4" [ "e"; "f"; "g" ];
+                    Cond (Binop (Gt, Var "f", Const (CInt 100))) ];
+                mk_rule
+                  (mk_head ~group:(Some [ "b" ]) "r7" [ "b"; "m" ])
+                  [ access "r3" [ "b"; "x" ];
+                    access "r5" [ "x"; "g" ];
+                    Assign ("m", Agg (Max, Var "g")) ] ] }
+        in
+        let p' = Opt.inline_rules p in
+        Alcotest.(check int) "all fused into sink" 1 (count_rules p'));
+    tc "multi-consumer rules stay" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "r1" [ "a" ])
+                  [ access "r" [ "a"; "_"; "_"; "_" ] ];
+                mk_rule (mk_head "r2" [ "a"; "a2" ])
+                  [ access "r1" [ "a" ]; access "r1" [ "a2" ] ] ] }
+        in
+        Alcotest.(check int) "no inlining" 2 (count_rules (Opt.inline_rules p)));
+    tc "flow breakers stop inlining" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule
+                  (mk_head ~group:(Some [ "a" ]) "g" [ "a"; "s" ])
+                  [ access "r" [ "a"; "b"; "_"; "_" ];
+                    Assign ("s", Agg (Sum, Var "b")) ];
+                mk_rule (mk_head "out" [ "a"; "s" ]) [ access "g" [ "a"; "s" ] ] ] }
+        in
+        Alcotest.(check int) "group rule kept" 2
+          (count_rules (Opt.inline_rules p))) ]
+
+(* ---------------- codegen --------------------------------------------- *)
+
+let gen_tests =
+  [ tc "simple rule to CTE" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "x" [ "a"; "b" ])
+                  [ access "r" [ "a"; "b"; "_"; "_" ];
+                    Cond (Binop (Gt, Var "a", Const (CInt 3))) ] ] }
+        in
+        Alcotest.(check string)
+          "sql"
+          "WITH x AS (SELECT r1.a AS a, r1.b AS b FROM r AS r1 WHERE r1.a > \
+           3)\nSELECT * FROM x"
+          (gen p));
+    tc "generated SQL parses and runs" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule
+                  (mk_head ~group:(Some [ "cu" ]) ~sort:[ ("s", Desc) ] "x"
+                     [ "cu"; "s" ])
+                  [ access "orders" [ "_"; "cu"; "t"; "_" ];
+                    Assign ("s", Agg (Sum, Var "t")) ] ] }
+        in
+        let sql = gen p in
+        let r = Sqldb.Db.execute (mini_db ()) sql in
+        Alcotest.(check int) "3 groups" 3 (Sqldb.Relation.n_rows r));
+    tc "exists correlates" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "x" [ "n" ])
+                  [ access "cust" [ "cid"; "n" ];
+                    Exists
+                      ( true,
+                        [ access "orders" [ "_"; "cid"; "_"; "_" ] ] ) ] ] }
+        in
+        let sql = gen p in
+        let r = Sqldb.Db.execute (mini_db ()) sql in
+        Alcotest.(check (list string)) "anti" [ "carol" ]
+          (Sqldb.Relation.canonical r));
+    tc "relation versioning on redefinition" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "v" [ "a" ]) [ access "r" [ "a"; "_"; "_"; "_" ] ];
+                mk_rule (mk_head "v" [ "a" ])
+                  [ access "v" [ "a" ]; Cond (Binop (Gt, Var "a", Const (CInt 0))) ] ] }
+        in
+        let sql = gen p in
+        Alcotest.(check bool) "versioned name appears" true
+          (contains_sub "v__v2" sql));
+    tc "dialects differ on year()" (fun () ->
+        let p =
+          { rules =
+              [ mk_rule (mk_head "x" [ "y" ])
+                  [ access "orders" [ "_"; "_"; "_"; "d" ];
+                    Assign ("y", Ext ("year", [ Var "d" ])) ] ] }
+        in
+        let duck = Sqlgen.Gen.generate ~dialect:Sqldb.Sql_print.duckdb ~base_columns p in
+        let hyper = Sqlgen.Gen.generate ~dialect:Sqldb.Sql_print.hyper ~base_columns p in
+        Alcotest.(check bool) "duck uses year()" true
+          (contains_sub "year(" duck);
+        Alcotest.(check bool) "hyper uses EXTRACT" true
+          (contains_sub "EXTRACT(YEAR FROM" hyper);
+        (* both execute identically on the engine *)
+        let r1 = Sqldb.Db.execute (mini_db ()) duck in
+        let r2 = Sqldb.Db.execute (mini_db ()) hyper in
+        check_rel "dialects agree" r1 r2) ]
+
+let suites =
+  [ ("tondir-pretty", pretty_tests);
+    ("tondir-validate", validate_tests);
+    ("tondir-flow", flow_tests);
+    ("optimizer", opt_tests);
+    ("sqlgen", gen_tests) ]

@@ -1,0 +1,7 @@
+(** Test runner: aggregates all suites. *)
+
+let () =
+  Alcotest.run "pytond"
+    (Test_storage.suites @ Test_engine.suites @ Test_ir.suites
+   @ Test_frontend.suites @ Test_tensor.suites @ Test_numpy_api.suites
+   @ Test_pipeline.suites)
