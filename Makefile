@@ -1,0 +1,26 @@
+# Convenience targets; CI runs `make check`.
+
+DUNE ?= dune
+SMOKE_SF ?= 0.005
+
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test: build
+	$(DUNE) runtest
+
+# Quick end-to-end benchmark pass at a tiny scale factor: exercises the
+# dictionary-vs-raw toggle, both backends and the JSON writer without
+# meaningful runtime.
+bench-smoke: build
+	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
+	  $(DUNE) exec bench/main.exe -- dict --json
+
+check: build test bench-smoke
+
+clean:
+	$(DUNE) clean

@@ -42,6 +42,44 @@ let geomean xs =
       (List.fold_left (fun acc x -> acc +. log x) 0. xs
       /. float_of_int (List.length xs))
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* (experiment, variant, threads, mean seconds), in measurement order. *)
+let results : (string * string * int * float) list ref = ref []
+
+let record ~experiment ~variant ~threads mean =
+  results := (experiment, variant, threads, mean) :: !results
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let rows = List.rev !results in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (e, v, t, m) ->
+      Printf.fprintf oc
+        "  {\"experiment\": \"%s\", \"variant\": \"%s\", \"threads\": %d, \
+         \"mean_seconds\": %.6f}%s\n"
+        (json_escape e) (json_escape v) t m
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements)\n%!" path (List.length rows)
+
 type alternative = {
   label : string;
   run : db:Sqldb.Db.t -> source:string -> threads:int -> unit;
@@ -83,11 +121,17 @@ let header alts =
   Printf.printf "%-22s %s\n" "workload"
     (String.concat " " (List.map (fun a -> Printf.sprintf "%13s" a.label) alts))
 
-let run_row ~name ~db ~source ~threads alts =
+let run_row ?(experiment = "") ~name ~db ~source ~threads alts =
   let times =
     List.map
       (fun a ->
-        try Some (measure (fun () -> a.run ~db ~source ~threads))
+        try
+          let t = measure (fun () -> a.run ~db ~source ~threads) in
+          if experiment <> "" then
+            record ~experiment
+              ~variant:(Printf.sprintf "%s/%s" a.label name)
+              ~threads t;
+          Some t
         with _ -> None)
       alts
   in
@@ -111,7 +155,10 @@ let fig_tpch ~threads ~figname () =
   let speedups_duck = ref [] and speedups_hyper = ref [] in
   List.iter
     (fun (name, source) ->
-      match run_row ~name ~db ~source ~threads standard_alternatives with
+      match
+        run_row ~experiment:figname ~name ~db ~source ~threads
+          standard_alternatives
+      with
       | [ Some py; _; _; Some duck; Some hyper; _ ] ->
         speedups_duck := (py /. duck) :: !speedups_duck;
         speedups_hyper := (py /. hyper) :: !speedups_hyper
@@ -133,7 +180,9 @@ let fig_ds ~threads ~figname () =
     (fun (name, load, source) ->
       let db = Sqldb.Db.create () in
       load db;
-      ignore (run_row ~name ~db ~source ~threads standard_alternatives))
+      ignore
+        (run_row ~experiment:figname ~name ~db ~source ~threads
+           standard_alternatives))
     Workloads.all
 
 (* ------------------------------------------------------------------ *)
@@ -280,6 +329,56 @@ let fig10 () =
     cases
 
 (* ------------------------------------------------------------------ *)
+(* Dictionary encoding: before/after on string-keyed TPC-H            *)
+(* ------------------------------------------------------------------ *)
+
+(* Same binary, two catalogs: one loaded with raw string columns (the
+   pre-change layout) and one dictionary-encoded. Queries chosen for string
+   predicates, string group keys and string join/probe columns. *)
+let dict_queries = [ "q1"; "q3"; "q4"; "q12"; "q16"; "q19" ]
+
+let fig_dict () =
+  Printf.printf
+    "\n== dict: dictionary-encoded strings vs raw, TPC-H SF=%g ==\n" sf;
+  let build enabled =
+    let prev = Sqldb.Db.dict_encoding_enabled () in
+    Sqldb.Db.set_dict_encoding enabled;
+    let db = Tpch.Dbgen.make_db sf in
+    Sqldb.Db.set_dict_encoding prev;
+    db
+  in
+  let db_raw = build false and db_dict = build true in
+  let backends = [ (Pytond.Vectorized, "duck"); (Pytond.Compiled, "hyper") ] in
+  Printf.printf "%-10s %-8s %12s %12s %10s\n" "query" "engine" "raw" "dict"
+    "speedup";
+  let speedups = ref [] in
+  List.iter
+    (fun q ->
+      let source = Tpch.Queries.find q in
+      List.iter
+        (fun (backend, blabel) ->
+          let time db =
+            measure (fun () ->
+                ignore
+                  (Pytond.run ~level:Pytond.O4 ~backend ~threads:1 ~db ~source
+                     ~fname:"query" ()))
+          in
+          let traw = time db_raw in
+          let tdict = time db_dict in
+          record ~experiment:"dict"
+            ~variant:(Printf.sprintf "raw/%s/%s" blabel q)
+            ~threads:1 traw;
+          record ~experiment:"dict"
+            ~variant:(Printf.sprintf "dict/%s/%s" blabel q)
+            ~threads:1 tdict;
+          speedups := (traw /. tdict) :: !speedups;
+          Printf.printf "%-10s %-8s %11.4fs %11.4fs %9.2fx\n%!" q blabel traw
+            tdict (traw /. tdict))
+        backends)
+    dict_queries;
+  Printf.printf "geomean speedup (dict vs raw): %.2fx\n" (geomean !speedups)
+
+(* ------------------------------------------------------------------ *)
 (* Table I: capability matrix                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,13 +460,17 @@ let experiments : (string * (unit -> unit)) list =
     ("fig8", fig8);
     ("fig9", fig9);
     ("fig10", fig10);
+    ("dict", fig_dict);
     ("micro", micro) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let names = List.filter (fun a -> a <> "--json") args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst (List.filter (fun (n, _) -> n <> "micro") experiments)
+    match names with
+    | _ :: _ -> names
+    | [] -> List.map fst (List.filter (fun (n, _) -> n <> "micro") experiments)
   in
   Printf.printf "PyTond benchmark harness (SF=%g, runs=%d, warmups=%d)\n" sf
     runs warmups;
@@ -378,4 +481,5 @@ let () =
       | None ->
         Printf.printf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  if json then write_json "BENCH_results.json"

@@ -134,7 +134,7 @@ module Series = struct
     (* coerce string dates against date columns *)
     let coerce (x : Column.t) (other_ty : ty) : Column.t =
       if x.Column.ty = TString && other_ty = TDate then
-        match x.Column.data with
+        match (Column.decode x).Column.data with
         | Column.S arr ->
           Column.of_dates (Array.map Value.date_of_iso arr)
         | _ -> x
@@ -146,6 +146,12 @@ module Series = struct
     | Column.F x, Column.F y -> Array.init n (fun i -> test (compare x.(i) y.(i)))
     | Column.S x, Column.S y ->
       Array.init n (fun i -> test (String.compare x.(i) y.(i)))
+    | Column.D (x, dx), Column.D (y, dy) when dx == dy ->
+      let rank = dx.Column.rank in
+      Array.init n (fun i -> test (compare rank.(x.(i)) rank.(y.(i))))
+    | (Column.D _ | Column.S _), (Column.D _ | Column.S _) ->
+      Array.init n (fun i ->
+          test (String.compare (Column.string_at a i) (Column.string_at b i)))
     | Column.I x, Column.F y ->
       Array.init n (fun i -> test (compare (float_of_int x.(i)) y.(i)))
     | Column.F x, Column.I y ->
@@ -303,16 +309,11 @@ let merge ?(how = Inner) ~left_on ~right_on (l : t) (r : t) : t =
       let tbl =
         Hash_util.build_table ~null_as_key:false r.Relation.cols rkeys ~n:nr
       in
-      let kf = Hash_util.key_fn ~null_as_key:false l.Relation.cols lkeys in
+      let pf = Hash_util.probe_fn tbl l.Relation.cols lkeys in
       let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
       let rmatched = Array.make nr false in
       for i = nl - 1 downto 0 do
-        let matches =
-          match kf i with
-          | None -> []
-          | Some k -> (
-            match Hashtbl.find_opt tbl k with Some rows -> rows | None -> [])
-        in
+        let matches = pf i in
         match matches with
         | [] ->
           if how = Left || how = Outer then begin

@@ -9,11 +9,18 @@ type acc = {
   mutable minv : Value.t;
   mutable maxv : Value.t;
   mutable seen : (string, unit) Hashtbl.t option; (* DISTINCT tracking *)
+  mutable seeni : (int, unit) Hashtbl.t option;
+      (* DISTINCT over int-like columns (ints, dictionary codes, bools):
+         unboxed keys instead of the packed strings of [seen]. Populated
+         lazily by the specialized updater in [update_fn]; a given
+         accumulator only ever uses one of [seen]/[seeni] because the
+         column representation is stable across the chunks of a query. *)
 }
 
 let create (spec : Plan.agg_spec) : acc =
   { count = 0; sumi = 0; sumf = 0.; minv = VNull; maxv = VNull;
-    seen = (if spec.distinct then Some (Hashtbl.create 16) else None) }
+    seen = (if spec.distinct then Some (Hashtbl.create 16) else None);
+    seeni = None }
 
 let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
   match spec.arg with
@@ -26,7 +33,13 @@ let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
         match acc.seen with
         | None -> true
         | Some seen ->
-          let k = Hash_util.pack_values [ Column.get c row ] in
+          (* one column per accumulator, so a dictionary code is a valid
+             distinct key on its own *)
+          let k =
+            match c.Column.data with
+            | Column.D (codes, _) -> "\x01" ^ string_of_int codes.(row)
+            | _ -> Hash_util.pack_values [ Column.get c row ]
+          in
           if Hashtbl.mem seen k then false
           else begin
             Hashtbl.add seen k ();
@@ -56,18 +69,99 @@ let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
       end
     end
 
+(* Pre-resolved per-row updater: the spec/column dispatch runs once at
+   closure creation instead of once per row. Falls back to [update] for the
+   rarer shapes (DISTINCT, min/max, non-numeric columns). The closures only
+   read their captured arrays, so they are safe to share across domains. *)
+let update_fn (spec : Plan.agg_spec) (cols : Column.t array) :
+    acc -> int -> unit =
+  let generic acc row = update spec acc cols row in
+  match spec.arg with
+  | None -> fun acc _ -> acc.count <- acc.count + 1
+  | Some i when spec.distinct -> (
+    let c = cols.(i) in
+    let code =
+      match c.Column.data with
+      | Column.I a -> Some (fun row -> a.(row))
+      | Column.D (codes, _) -> Some (fun row -> codes.(row))
+      | Column.B b -> Some (fun row -> Bool.to_int b.(row))
+      | _ -> None
+    in
+    match (spec.fn, code) with
+    | (Sql_ast.Count | Sql_ast.CountStar), Some code ->
+      let body acc row =
+        let seen =
+          match acc.seeni with
+          | Some s -> s
+          | None ->
+            let s = Hashtbl.create 16 in
+            acc.seeni <- Some s;
+            s
+        in
+        let k = code row in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          acc.count <- acc.count + 1
+        end
+      in
+      (match c.Column.nulls with
+      | None -> body
+      | Some m -> fun acc row -> if not (Bitset.get m row) then body acc row)
+    | _ -> generic)
+  | Some i -> (
+    let c = cols.(i) in
+    let counting body =
+      match c.Column.nulls with
+      | None ->
+        fun acc row ->
+          acc.count <- acc.count + 1;
+          body acc row
+      | Some m ->
+        fun acc row ->
+          if not (Bitset.get m row) then begin
+            acc.count <- acc.count + 1;
+            body acc row
+          end
+    in
+    match (spec.fn, c.Column.data) with
+    | (Sql_ast.Count | Sql_ast.CountStar), _ -> counting (fun _ _ -> ())
+    | Sql_ast.Sum, Column.I a ->
+      counting (fun acc row -> acc.sumi <- acc.sumi + a.(row))
+    | Sql_ast.Avg, Column.I a ->
+      counting (fun acc row ->
+          acc.sumi <- acc.sumi + a.(row);
+          acc.sumf <- acc.sumf +. float_of_int a.(row))
+    | (Sql_ast.Sum | Sql_ast.Avg), Column.F a ->
+      counting (fun acc row -> acc.sumf <- acc.sumf +. a.(row))
+    | _ -> generic)
+
+let update_fns (specs : Plan.agg_spec array) (cols : Column.t array) :
+    (acc -> int -> unit) array =
+  Array.map (fun spec -> update_fn spec cols) specs
+
 let merge (spec : Plan.agg_spec) (a : acc) (b : acc) =
-  (match (a.seen, b.seen) with
+  (match (a.seeni, b.seeni) with
   | Some sa, Some sb ->
-    (* Distinct accumulators merged across partitions: recount overlaps. *)
     Hashtbl.iter
       (fun k () -> if not (Hashtbl.mem sa k) then Hashtbl.add sa k ())
       sb;
     a.count <- Hashtbl.length sa
-  | _ ->
-    a.count <- a.count + b.count;
-    a.sumi <- a.sumi + b.sumi;
-    a.sumf <- a.sumf +. b.sumf);
+  | Some _, None when b.count = 0 -> ()
+  | None, Some sb when a.count = 0 ->
+    a.seeni <- Some sb;
+    a.count <- Hashtbl.length sb
+  | _ -> (
+    match (a.seen, b.seen) with
+    | Some sa, Some sb ->
+      (* Distinct accumulators merged across partitions: recount overlaps. *)
+      Hashtbl.iter
+        (fun k () -> if not (Hashtbl.mem sa k) then Hashtbl.add sa k ())
+        sb;
+      a.count <- Hashtbl.length sa
+    | _ ->
+      a.count <- a.count + b.count;
+      a.sumi <- a.sumi + b.sumi;
+      a.sumf <- a.sumf +. b.sumf));
   (match spec.fn with
   | Sql_ast.Min ->
     if

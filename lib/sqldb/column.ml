@@ -1,14 +1,43 @@
-(** Typed columnar vectors with optional null bitmap. *)
+(** Typed columnar vectors with optional null bitmap.
+
+    String columns come in two physical layouts: raw ([S]) and
+    dictionary-encoded ([D], DuckDB-style). A dictionary column stores one
+    small [dict] of distinct values plus an [int array] of codes; gathers
+    copy only codes, predicates can be evaluated once per distinct value,
+    and sorting compares precomputed lexicographic ranks instead of
+    strings. Both layouts carry [ty = TString], so the logical schema is
+    unaffected by the encoding choice. *)
 
 open Value
+
+(* A per-column string dictionary, shared by reference across gathers. *)
+type dict = {
+  values : string array; (* code -> value; entries are unique *)
+  rank : int array; (* code -> lexicographic rank among [values] *)
+  index : (string, int) Hashtbl.t; (* value -> code *)
+}
 
 type data =
   | I of int array (* TInt and TDate *)
   | F of float array
   | S of string array
   | B of bool array
+  | D of int array * dict (* dictionary-encoded TString *)
 
 type t = { ty : ty; data : data; nulls : Bitset.t option }
+
+let make_dict (values : string array) : dict =
+  let n = Array.length values in
+  let index = Hashtbl.create (2 * max 1 n) in
+  Array.iteri (fun i v -> if not (Hashtbl.mem index v) then Hashtbl.add index v i) values;
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> String.compare values.(a) values.(b)) order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos code -> rank.(code) <- pos) order;
+  { values; rank; index }
+
+let dict_find (d : dict) (s : string) : int option = Hashtbl.find_opt d.index s
+let dict_size (d : dict) = Array.length d.values
 
 let length c =
   match c.data with
@@ -16,6 +45,7 @@ let length c =
   | F a -> Array.length a
   | S a -> Array.length a
   | B a -> Array.length a
+  | D (a, _) -> Array.length a
 
 let is_null c i =
   match c.nulls with None -> false | Some m -> Bitset.get m i
@@ -29,6 +59,52 @@ let of_floats a = { ty = TFloat; data = F a; nulls = None }
 let of_strings a = { ty = TString; data = S a; nulls = None }
 let of_bools a = { ty = TBool; data = B a; nulls = None }
 
+(* Build a dictionary column directly from distinct values and codes
+   (generators that already know the value domain skip per-row strings). *)
+let of_coded (values : string array) (codes : int array) : t =
+  if Array.length values = 0 then of_strings [||]
+  else { ty = TString; data = D (codes, make_dict values); nulls = None }
+
+let is_dict c = match c.data with D _ -> true | _ -> false
+
+(* Dictionary-encode a raw string column when the number of distinct values
+   is at most [max_distinct]; null rows get code 0 and keep their null bit.
+   Returns the column unchanged for other layouts or high-cardinality data. *)
+let encode ?(max_distinct = 1024) (c : t) : t =
+  match c.data with
+  | S a when Array.length a > 0 ->
+    let n = Array.length a in
+    let index = Hashtbl.create 64 in
+    let values = ref [] and n_values = ref 0 in
+    let codes = Array.make n 0 in
+    (try
+       for i = 0 to n - 1 do
+         if not (is_null c i) then begin
+           let s = a.(i) in
+           match Hashtbl.find_opt index s with
+           | Some code -> codes.(i) <- code
+           | None ->
+             if !n_values >= max_distinct then raise Exit;
+             Hashtbl.add index s !n_values;
+             codes.(i) <- !n_values;
+             values := s :: !values;
+             incr n_values
+         end
+       done;
+       if !n_values = 0 then c (* all-null column: keep raw *)
+       else
+         let values = Array.of_list (List.rev !values) in
+         { c with data = D (codes, make_dict values) }
+     with Exit -> c)
+  | _ -> c
+
+(* Decode back to a raw string column (materialization / equivalence tests). *)
+let decode (c : t) : t =
+  match c.data with
+  | D (codes, d) ->
+    { c with data = S (Array.map (fun code -> d.values.(code)) codes) }
+  | _ -> c
+
 let get c i =
   if is_null c i then VNull
   else
@@ -38,6 +114,7 @@ let get c i =
     | _, F a -> VFloat a.(i)
     | _, S a -> VString a.(i)
     | _, B a -> VBool a.(i)
+    | _, D (a, d) -> VString d.values.(a.(i))
 
 (* Raw accessors ignoring nulls; used in tight loops after null checks. *)
 let int_at c i =
@@ -45,18 +122,19 @@ let int_at c i =
   | I a -> a.(i)
   | B a -> if a.(i) then 1 else 0
   | F a -> int_of_float a.(i)
-  | S _ -> invalid_arg "Column.int_at: string column"
+  | S _ | D _ -> invalid_arg "Column.int_at: string column"
 
 let float_at c i =
   match c.data with
   | F a -> a.(i)
   | I a -> float_of_int a.(i)
   | B a -> if a.(i) then 1. else 0.
-  | S _ -> invalid_arg "Column.float_at: string column"
+  | S _ | D _ -> invalid_arg "Column.float_at: string column"
 
 let string_at c i =
   match c.data with
   | S a -> a.(i)
+  | D (a, d) -> d.values.(a.(i))
   | _ -> Value.to_string (get c i)
 
 let bool_at c i =
@@ -64,7 +142,7 @@ let bool_at c i =
   | B a -> a.(i)
   | I a -> a.(i) <> 0
   | F a -> a.(i) <> 0.
-  | S _ -> invalid_arg "Column.bool_at: string column"
+  | S _ | D _ -> invalid_arg "Column.bool_at: string column"
 
 (* Build a column of type [ty] from boxed values (nulls allowed). *)
 let of_values ty (vs : Value.t array) =
@@ -121,7 +199,8 @@ let of_values ty (vs : Value.t array) =
   { ty; data; nulls = !nulls }
 
 (* Gather rows [idx] into a new column. [idx.(k) = -1] produces null, which
-   outer joins use for unmatched rows. *)
+   outer joins use for unmatched rows. Dictionary columns gather only codes
+   and share the dictionary with the source. *)
 let take c idx =
   let n = Array.length idx in
   let any_missing = Array.exists (fun i -> i < 0) idx in
@@ -147,6 +226,7 @@ let take c idx =
     | F a -> F (Array.map (fun i -> if i < 0 then 0. else a.(i)) idx)
     | S a -> S (Array.map (fun i -> if i < 0 then "" else a.(i)) idx)
     | B a -> B (Array.map (fun i -> if i < 0 then false else a.(i)) idx)
+    | D (a, d) -> D (Array.map (fun i -> if i < 0 then 0 else a.(i)) idx, d)
   in
   { ty = c.ty; data; nulls }
 
@@ -161,7 +241,8 @@ let concat cs =
         (fun c ->
           match (first.data, c.data) with
           | I _, I _ | F _, F _ | S _, S _ | B _, B _ -> true
-          | (I _ | F _ | S _ | B _), _ -> false)
+          | D (_, d1), D (_, d2) -> d1 == d2 (* shared dictionary only *)
+          | (I _ | F _ | S _ | B _ | D _), _ -> false)
         cs
     in
     if no_nulls && same_shape then
@@ -191,6 +272,13 @@ let concat cs =
                   (fun c ->
                     match c.data with B a -> a | _ -> assert false)
                   cs))
+        | D (_, d) ->
+          D (Array.concat
+               (List.map
+                  (fun c ->
+                    match c.data with D (a, _) -> a | _ -> assert false)
+                  cs),
+             d)
       in
       { ty = first.ty; data; nulls = None }
     else begin

@@ -17,8 +17,19 @@ let backend_name = function
 
 type t = { catalog : Catalog.t }
 
+(* Dictionary-encode low-cardinality string columns at ingest. On by default;
+   PYTOND_NO_DICT=1 (or [set_dict_encoding false]) keeps raw strings — the
+   bench harness uses the toggle for before/after comparisons. *)
+let dict_encoding = ref (Sys.getenv_opt "PYTOND_NO_DICT" = None)
+let set_dict_encoding b = dict_encoding := b
+let dict_encoding_enabled () = !dict_encoding
+
 let create () = { catalog = Catalog.create () }
-let load_table ?cons t name rel = Catalog.add ?cons t.catalog name rel
+
+let load_table ?cons t name rel =
+  let rel = if !dict_encoding then Relation.encode_strings rel else rel in
+  Catalog.add ?cons t.catalog name rel
+
 let catalog t = t.catalog
 
 let rec plan_has_window (p : Plan.plan) =
@@ -38,17 +49,29 @@ let plan t (sql : string) : Plan.bound_query =
   let ast = Sql_parse.parse sql in
   Planner.plan_query t.catalog ast
 
+(* PYTOND_TIMING=1 prints a parse/plan vs execute split to stderr. *)
+let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
+
 let execute ?(threads = 1) ?(backend = Vectorized) t (sql : string) :
     Relation.t =
+  let t0 = if timing then Unix.gettimeofday () else 0. in
   let bq = plan t sql in
-  match backend with
-  | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
-  | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
-  | Lingo ->
-    if
-      plan_has_window bq.Plan.main
-      || List.exists (fun (_, p) -> plan_has_window p) bq.Plan.ctes
-    then
-      raise
-        (Unsupported "lingodb-sim: window functions (row_number) not supported")
-    else Exec_compiled.run_query ~threads t.catalog bq
+  let t1 = if timing then Unix.gettimeofday () else 0. in
+  let r =
+    match backend with
+    | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
+    | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
+    | Lingo ->
+      if
+        plan_has_window bq.Plan.main
+        || List.exists (fun (_, p) -> plan_has_window p) bq.Plan.ctes
+      then
+        raise
+          (Unsupported
+             "lingodb-sim: window functions (row_number) not supported")
+      else Exec_compiled.run_query ~threads t.catalog bq
+  in
+  if timing then
+    Printf.eprintf "[timing] plan %.4fs  exec %.4fs\n%!" (t1 -. t0)
+      (Unix.gettimeofday () -. t1);
+  r

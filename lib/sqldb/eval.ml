@@ -29,25 +29,24 @@ let like_match (pattern : string) (s : string) : bool =
 let compile_like (pattern : string) : string -> bool =
   let n = String.length pattern in
   let plain = not (String.contains pattern '_') in
-  let starts_with p s =
-    String.length s >= String.length p
-    && String.equal (String.sub s 0 (String.length p)) p
+  (* allocation-free matchers: these run once per row in filter loops *)
+  let eq_at p s i =
+    let lp = String.length p in
+    let rec go j = j = lp || (s.[i + j] = p.[j] && go (j + 1)) in
+    go 0
   in
+  let starts_with p s = String.length s >= String.length p && eq_at p s 0 in
   let ends_with p s =
     let lp = String.length p and ls = String.length s in
-    ls >= lp && String.equal (String.sub s (ls - lp) lp) p
+    ls >= lp && eq_at p s (ls - lp)
   in
   let contains_sub p s =
     let lp = String.length p and ls = String.length s in
     if lp = 0 then true
     else
-      let rec at i =
-        i + lp <= ls && (String.equal (String.sub s i lp) p || at (i + 1))
-      in
+      let rec at i = i + lp <= ls && (eq_at p s i || at (i + 1)) in
       at 0
   in
-  let inner = if n >= 2 then String.sub pattern 1 (n - 2 + 1) else "" in
-  ignore inner;
   if plain && n >= 2 && pattern.[n - 1] = '%'
      && not (String.contains (String.sub pattern 0 (n - 1)) '%')
   then starts_with (String.sub pattern 0 (n - 1))
@@ -241,26 +240,78 @@ let cmp_test (op : Sql_ast.binop) : int -> bool =
   | Sql_ast.Ge -> fun c -> c >= 0
   | _ -> invalid_arg "Eval.cmp_test: not a comparison"
 
+(* ------------------------------------------------------------------ *)
+(* Dictionary fast paths                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A string predicate over a dictionary column costs one evaluation per
+   *distinct* value: build a bool table indexed by code, then each row is a
+   single array lookup. Null rows are always false (SQL three-valued logic
+   collapses to false in filter position). *)
+let dict_row_pred (c : Column.t) (f : string -> bool) : (int -> bool) option =
+  match c.Column.data with
+  | Column.D (codes, d) ->
+    let tbl = Array.map f d.Column.values in
+    Some
+      (match c.Column.nulls with
+      | None -> fun row -> tbl.(codes.(row))
+      | Some m -> fun row -> (not (Bitset.get m row)) && tbl.(codes.(row)))
+  | _ -> None
+
+(* Same table, materialized as a full bool column (vectorized executor). *)
+let dict_col_pred (c : Column.t) ~(n : int) (f : string -> bool) :
+    Column.t option =
+  match dict_row_pred c f with
+  | None -> None
+  | Some pred ->
+    let out = Array.make n false in
+    for i = 0 to n - 1 do
+      out.(i) <- pred i
+    done;
+    Some (Column.of_bools out)
+
 (* Compile a predicate into a fast boolean closure. *)
-let compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
+let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
+  let fallback e =
+    let f = compile_row cols e in
+    fun row -> ( match f row with VBool b -> b | _ -> false)
+  in
   match e with
-  | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), PCol i, PLit lit)
-    when not (Column.has_nulls cols.(i)) -> (
+  | PBin (Sql_ast.And, a, b) ->
+    let fa = compile_pred cols a and fb = compile_pred cols b in
+    fun row -> fa row && fb row
+  | PBin (Sql_ast.Or, a, b) ->
+    let fa = compile_pred cols a and fb = compile_pred cols b in
+    fun row -> fa row || fb row
+  | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), PCol i, PLit lit) -> (
     let c = cols.(i) in
     let test = cmp_test op in
     match (c.Column.data, lit) with
+    | Column.D _, VString k -> (
+      match dict_row_pred c (fun v -> test (String.compare v k)) with
+      | Some f -> f
+      | None -> fallback e)
+    | _ when Column.has_nulls c -> fallback e
     | Column.I a, (VInt k | VDate k) -> fun row -> test (compare a.(row) k)
     | Column.F a, VFloat k -> fun row -> test (compare a.(row) k)
     | Column.F a, VInt k ->
       let k = float_of_int k in
       fun row -> test (compare a.(row) k)
     | Column.S a, VString k -> fun row -> test (String.compare a.(row) k)
-    | _ ->
-      let f = compile_row cols e in
-      fun row -> ( match f row with VBool b -> b | _ -> false))
-  | _ ->
-    let f = compile_row cols e in
-    fun row -> ( match f row with VBool b -> b | _ -> false)
+    | _ -> fallback e)
+  | PLike (PCol i, pattern, negated) -> (
+    let matcher = compile_like pattern in
+    match dict_row_pred cols.(i) (fun v -> matcher v <> negated) with
+    | Some f -> f
+    | None -> fallback e)
+  | PInList (PCol i, items, negated) -> (
+    match
+      dict_row_pred cols.(i) (fun v ->
+          List.exists (Value.equal_values (VString v)) items <> negated)
+    with
+    | Some f -> f
+    | None -> fallback e)
+  | _ -> fallback e
 
 (* ------------------------------------------------------------------ *)
 (* Column-at-a-time evaluation (vectorized executor)                  *)
@@ -283,7 +334,17 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
     | PCol i -> cols.(i)
     | PLit v -> Column.const (type_of_pexpr schema e) v n
     | PBin (((Sql_ast.Add | Sub | Mul | Div) as op), a, b) -> arith op a b
-    | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) -> cmp op a b
+    | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), a, PLit (VString k))
+      -> (
+      (* String comparison against a literal: one compare per distinct
+         dictionary value instead of one per row. *)
+      let ca = eval a in
+      let test = cmp_test op in
+      match dict_col_pred ca ~n (fun v -> test (String.compare v k)) with
+      | Some col -> col
+      | None -> cmp_cols op ca (Column.const TString (VString k) n))
+    | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) ->
+      cmp_cols op (eval a) (eval b)
     | PBin (Sql_ast.And, a, b) -> boolean ( && ) a b
     | PBin (Sql_ast.Or, a, b) -> boolean ( || ) a b
     | PNot a -> (
@@ -298,15 +359,26 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
       | _ -> fallback e)
     | PLike (a, pattern, negated) -> (
       let ca = eval a in
-      match ca.Column.data with
-      | Column.S x ->
-        let matcher = compile_like pattern in
-        let out = Array.make n false in
-        for i = 0 to n - 1 do
-          out.(i) <- matcher x.(i) <> negated && not (Column.is_null ca i)
-        done;
-        Column.of_bools out
-      | _ -> fallback e)
+      let matcher = compile_like pattern in
+      match dict_col_pred ca ~n (fun v -> matcher v <> negated) with
+      | Some col -> col
+      | None -> (
+        match ca.Column.data with
+        | Column.S x ->
+          let out = Array.make n false in
+          for i = 0 to n - 1 do
+            out.(i) <- matcher x.(i) <> negated && not (Column.is_null ca i)
+          done;
+          Column.of_bools out
+        | _ -> fallback e))
+    | PInList (a, items, negated) -> (
+      let ca = eval a in
+      match
+        dict_col_pred ca ~n (fun v ->
+            List.exists (Value.equal_values (VString v)) items <> negated)
+      with
+      | Some col -> col
+      | None -> fallback e)
     | _ -> fallback e
   and arith op a b =
     let ca = eval a and cb = eval b in
@@ -375,8 +447,7 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
       done;
       { Column.ty = TFloat; data = Column.F out; nulls }
     | _ -> fallback (PBin (op, a, b))
-  and cmp op a b =
-    let ca = eval a and cb = eval b in
+  and cmp_cols op ca cb =
     let nulls = merged_nulls ca cb in
     let test = cmp_test op in
     let out = Array.make n false in
@@ -392,6 +463,28 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
     | Column.S x, Column.S y ->
       for i = 0 to n - 1 do
         out.(i) <- test (String.compare x.(i) y.(i))
+      done
+    | Column.D (x, dx), Column.D (y, dy) when dx == dy ->
+      (* Shared dictionary: the precomputed rank order substitutes for
+         string comparison entirely. *)
+      let rank = dx.Column.rank in
+      for i = 0 to n - 1 do
+        out.(i) <- test (compare rank.(x.(i)) rank.(y.(i)))
+      done
+    | Column.D (x, dx), Column.D (y, dy) ->
+      let vx = dx.Column.values and vy = dy.Column.values in
+      for i = 0 to n - 1 do
+        out.(i) <- test (String.compare vx.(x.(i)) vy.(y.(i)))
+      done
+    | Column.D (x, dx), Column.S y ->
+      let vx = dx.Column.values in
+      for i = 0 to n - 1 do
+        out.(i) <- test (String.compare vx.(x.(i)) y.(i))
+      done
+    | Column.S x, Column.D (y, dy) ->
+      let vy = dy.Column.values in
+      for i = 0 to n - 1 do
+        out.(i) <- test (String.compare x.(i) vy.(y.(i)))
       done
     | Column.B x, Column.B y ->
       for i = 0 to n - 1 do
@@ -456,3 +549,21 @@ let eval_filter (cols : Column.t array) ~(n : int) (e : pexpr) : int array =
     done;
     out
   | _ -> invalid_arg "Eval.eval_filter: predicate is not boolean"
+
+(* Selection-aware filter: evaluate [e] only on the base rows listed in
+   [sel], returning the surviving base indices in selection order. This is
+   what lets stacked filters compose without materializing intermediates. *)
+let eval_filter_sel (cols : Column.t array) ~(sel : int array) (e : pexpr) :
+    int array =
+  let pred = compile_pred cols e in
+  let n = Array.length sel in
+  let buf = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let row = sel.(i) in
+    if pred row then begin
+      buf.(!k) <- row;
+      incr k
+    end
+  done;
+  Array.sub buf 0 !k

@@ -45,19 +45,15 @@ let chunk_project items (c : chunk) : chunk =
 
 (* Inner/left probe of a pre-built hash table on the right relation. *)
 let chunk_probe ~left_outer (r : Relation.t)
-    (tbl : (Hash_util.key, int list) Hashtbl.t) (lkeys : int list)
+    (tbl : Hash_util.table) (lkeys : int list)
     (residual : pexpr option) (c : chunk) : chunk option =
   let n = Relation.n_rows c in
-  let lkf = Hash_util.key_fn ~null_as_key:false c.Relation.cols lkeys in
+  (* probe_fn is created per chunk, so its per-code memo never crosses
+     domains *)
+  let probe = Hash_util.probe_fn tbl c.Relation.cols lkeys in
   let li = ref [] and ri = ref [] and count = ref 0 in
   for row = n - 1 downto 0 do
-    let matches =
-      match lkf row with
-      | None -> []
-      | Some k -> (
-        match Hashtbl.find_opt tbl k with Some rows -> rows | None -> [])
-    in
-    match matches with
+    match probe row with
     | [] ->
       if left_outer then begin
         li := row :: !li;
@@ -87,23 +83,21 @@ let chunk_probe ~left_outer (r : Relation.t)
   end
 
 let chunk_semi ~anti (r : Relation.t)
-    (tbl : (Hash_util.key, int list) Hashtbl.t option) (lkeys : int list)
+    (tbl : Hash_util.table option) (lkeys : int list)
     (residual_check : (chunk -> int -> int -> bool) option) (c : chunk) :
     chunk option =
   let n = Relation.n_rows c in
   let nr = Relation.n_rows r in
-  let lkf = Hash_util.key_fn ~null_as_key:false c.Relation.cols lkeys in
+  let probe =
+    match tbl with
+    | Some tbl -> Hash_util.probe_fn tbl c.Relation.cols lkeys
+    | None ->
+      let all = List.init nr Fun.id in
+      fun _ -> all
+  in
   let keep = ref [] and count = ref 0 in
   for row = n - 1 downto 0 do
-    let candidates =
-      match tbl with
-      | Some tbl -> (
-        match lkf row with
-        | None -> []
-        | Some k -> (
-          match Hashtbl.find_opt tbl k with Some rows -> rows | None -> []))
-      | None -> List.init nr Fun.id
-    in
+    let candidates = probe row in
     let matched =
       match residual_check with
       | None -> candidates <> []
@@ -206,6 +200,27 @@ let rec compile_segment ctx (p : plan) : segment =
       (* still at the scan: fuse into the source predicate *)
       { seg with prefilter = seg.prefilter @ [ pred ] }
     else seg_then seg (chunk_filter pred)
+  | Project (sub, items)
+    when (match sub.node with Scan _ -> true | _ -> false)
+         && List.for_all
+              (fun (e, _) -> match e with PCol _ -> true | _ -> false)
+              items ->
+    (* Column-select directly above a scan (the pruning pass emits these):
+       narrow the source zero-copy so later filters still fuse into the
+       scan instead of becoming a chunk transform. *)
+    let src = lookup ctx (match sub.node with Scan n -> n | _ -> assert false) in
+    let source =
+      { Relation.names = Array.of_list (List.map snd items);
+        cols =
+          Array.of_list
+            (List.map
+               (fun (e, _) ->
+                 match e with
+                 | PCol i -> src.Relation.cols.(i)
+                 | _ -> assert false)
+               items) }
+    in
+    { source; prefilter = []; transform = None }
   | Project (sub, items) ->
     let seg = compile_segment ctx sub in
     seg_then seg (fun c -> Some (chunk_project items c))
@@ -364,7 +379,8 @@ and materialize ctx (p : plan) : Relation.t =
     let r = stream ctx sub in
     let n = Relation.n_rows r in
     let all_cols = List.init (Array.length r.Relation.cols) Fun.id in
-    let kf = Hash_util.key_fn ~null_as_key:true r.Relation.cols all_cols in
+    (* local keys: dictionary columns compare by code *)
+    let kf = Hash_util.key_fn ~local:true ~null_as_key:true r.Relation.cols all_cols in
     let seen = Hashtbl.create (max 16 n) in
     let keep = ref [] in
     for row = 0 to n - 1 do
@@ -414,24 +430,26 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
   | [] ->
     let fold_range start len =
       let accs = Array.map Agg_util.create specs_arr in
+      let n_specs = Array.length specs_arr in
       (match seg.transform with
       | None ->
         (* fused scan→filter→aggregate: no morsel materialization at all *)
         let cols = seg.source.Relation.cols in
         let preds = List.map (Eval.compile_pred cols) seg.prefilter in
+        let upds = Agg_util.update_fns specs_arr cols in
         for row = start to start + len - 1 do
           if List.for_all (fun p -> p row) preds then
-            Array.iteri
-              (fun i spec -> Agg_util.update spec accs.(i) cols row)
-              specs_arr
+            for i = 0 to n_specs - 1 do
+              upds.(i) accs.(i) row
+            done
         done
       | Some _ ->
         iter_morsels seg start len (fun c ->
-            let cols = c.Relation.cols in
+            let upds = Agg_util.update_fns specs_arr c.Relation.cols in
             for row = 0 to Relation.n_rows c - 1 do
-              Array.iteri
-                (fun i spec -> Agg_util.update spec accs.(i) cols row)
-                specs_arr
+              for i = 0 to n_specs - 1 do
+                upds.(i) accs.(i) row
+              done
             done));
       accs
     in
@@ -464,11 +482,20 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
           p.schema }
   | groups ->
     let n_groups = List.length groups in
+    let n_specs = Array.length specs_arr in
     let fold_range start len =
       let tbl : (Hash_util.key, Value.t array * Agg_util.acc array) Hashtbl.t =
         Hashtbl.create 1024
       in
+      (* Direct-indexed accumulators for small packed key domains; shared
+         across the chunks of this range (the packed domain is chunk-stable
+         by construction, see [consume_chunk]). *)
+      let gslots : (Value.t array * Agg_util.acc array) option array option ref
+          =
+        ref None
+      in
       let consume_rows cols kf lo hi passes =
+        let upds = Agg_util.update_fns specs_arr cols in
         for row = lo to hi do
           if passes row then
             match kf row with
@@ -486,23 +513,87 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
                   Hashtbl.add tbl k entry;
                   entry
               in
-              Array.iteri
-                (fun i spec -> Agg_util.update spec accs.(i) cols row)
-                specs_arr
+              for i = 0 to n_specs - 1 do
+                upds.(i) accs.(i) row
+              done
         done
+      in
+      (* [cross_chunk] matters twice over: the packed keys seed the partial
+         table merged across ranges below, and the dense slot array persists
+         across the chunks of one range — both need chunk-stable
+         encodings. *)
+      let consume_chunk ~cross_chunk cols lo hi passes =
+        match
+          Hash_util.dense_domain ~cross_chunk ~limit:(1 lsl 16) cols groups
+        with
+        | Some (pack, card)
+          when (match !gslots with
+               | Some s -> Array.length s = card
+               | None -> true) ->
+          let slots =
+            match !gslots with
+            | Some s -> s
+            | None ->
+              let s = Array.make card None in
+              gslots := Some s;
+              s
+          in
+          let upds = Agg_util.update_fns specs_arr cols in
+          for row = lo to hi do
+            if passes row then begin
+              let k = pack row in
+              let accs =
+                match slots.(k) with
+                | Some (_, a) -> a
+                | None ->
+                  let gvals =
+                    Array.of_list
+                      (List.map (fun g -> Column.get cols.(g) row) groups)
+                  in
+                  let a = Array.map Agg_util.create specs_arr in
+                  slots.(k) <- Some (gvals, a);
+                  a
+              in
+              for i = 0 to n_specs - 1 do
+                upds.(i) accs.(i) row
+              done
+            end
+          done
+        | _ ->
+          let kf =
+            Hash_util.key_fn ~local:true ~cross_chunk ~null_as_key:true cols
+              groups
+          in
+          consume_rows cols kf lo hi passes
       in
       (match seg.transform with
       | None ->
+        (* group chunks all view the same base columns (and thus the same
+           dictionaries), so dictionary codes — and int bounds — are valid
+           keys across the partial tables merged below *)
         let cols = seg.source.Relation.cols in
         let preds = List.map (Eval.compile_pred cols) seg.prefilter in
-        let kf = Hash_util.key_fn ~null_as_key:true cols groups in
-        consume_rows cols kf start (start + len - 1) (fun row ->
-            List.for_all (fun p -> p row) preds)
+        consume_chunk ~cross_chunk:false cols start (start + len - 1)
+          (fun row -> List.for_all (fun p -> p row) preds)
       | Some _ ->
         iter_morsels seg start len (fun c ->
-            let cols = c.Relation.cols in
-            let kf = Hash_util.key_fn ~null_as_key:true cols groups in
-            consume_rows cols kf 0 (Relation.n_rows c - 1) (fun _ -> true)));
+            (* chunk columns are gathers of the same base columns, so their
+               dictionaries (and codes) agree across chunks and domains;
+               cross_chunk keeps data-dependent (per-gather) key encodings
+               out of the shared tables *)
+            consume_chunk ~cross_chunk:true c.Relation.cols 0
+              (Relation.n_rows c - 1)
+              (fun _ -> true)));
+      (* fold the dense slots into the hash table keyed by packed slot *)
+      (match !gslots with
+      | Some slots ->
+        Array.iteri
+          (fun k entry ->
+            match entry with
+            | Some e -> Hashtbl.replace tbl (Hash_util.KInt k) e
+            | None -> ())
+          slots
+      | None -> ());
       tbl
     in
     let partials =

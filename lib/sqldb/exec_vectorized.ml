@@ -1,6 +1,10 @@
-(** Vectorized (DuckDB-style) executor: operator-at-a-time over full columns,
-    materializing every intermediate relation. Scans, filters, join probes
-    and aggregation are morsel-parallel over domains. *)
+(** Vectorized (DuckDB-style) executor: operator-at-a-time over full columns.
+    Operators exchange [srel] values — a base relation plus an optional
+    selection vector — so filters, semijoins, sorts and limits produce a
+    selection over the input columns instead of eagerly copying rows.
+    Materialization happens only at pipeline breakers: join output, group-by
+    output, window functions and projection. Scans, filters, join probes and
+    aggregation are morsel-parallel over domains. *)
 
 open Value
 open Plan
@@ -14,93 +18,149 @@ type ctx = {
 let relation_cols (r : Relation.t) = r.Relation.cols
 
 (* ------------------------------------------------------------------ *)
-(* Helpers                                                            *)
+(* Selection vectors                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let take_rows (r : Relation.t) idx = Relation.take r idx
+(* A relation viewed through an optional selection: [sel = Some idx] means
+   the logical rows are [rel]'s rows [idx.(0); idx.(1); ...] in that order;
+   [None] means all rows. Base-row indices in a selection are distinct. *)
+type srel = { rel : Relation.t; sel : int array option }
+
+let srel_all (r : Relation.t) : srel = { rel = r; sel = None }
+
+let srel_nrows (s : srel) =
+  match s.sel with Some idx -> Array.length idx | None -> Relation.n_rows s.rel
+
+(* Copy the selected rows out — the one place row copies still happen. *)
+let materialize (s : srel) : Relation.t =
+  match s.sel with None -> s.rel | Some idx -> Relation.take s.rel idx
+
+(* ------------------------------------------------------------------ *)
+(* Filtering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collect_parts parts =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 parts in
+  let idx = Array.make total 0 in
+  let k = ref 0 in
+  List.iter
+    (fun (rows, _) ->
+      List.iter
+        (fun row ->
+          idx.(!k) <- row;
+          incr k)
+        rows)
+    parts;
+  idx
 
 let filter_indices ~threads cols ~n pred =
   if threads <= 1 || n < 4096 then Eval.eval_filter cols ~n pred
-  else begin
-    let parts =
-      Parallel.map_chunks ~threads n (fun start len ->
-          (* evaluate predicate row-at-a-time per chunk *)
-          let test = Eval.compile_pred cols pred in
-          let out = ref [] and count = ref 0 in
-          for row = start + len - 1 downto start do
-            if test row then begin
-              out := row :: !out;
-              incr count
-            end
-          done;
-          (!out, !count))
-    in
-    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 parts in
-    let idx = Array.make total 0 in
-    let k = ref 0 in
-    List.iter
-      (fun (rows, _) ->
-        List.iter
-          (fun row ->
-            idx.(!k) <- row;
-            incr k)
-          rows)
-      parts;
-    idx
-  end
+  else
+    collect_parts
+      (Parallel.map_chunks ~threads n (fun start len ->
+           (* evaluate predicate row-at-a-time per chunk *)
+           let test = Eval.compile_pred cols pred in
+           let out = ref [] and count = ref 0 in
+           for row = start + len - 1 downto start do
+             if test row then begin
+               out := row :: !out;
+               incr count
+             end
+           done;
+           (!out, !count)))
+
+(* Filter an already-selected relation: the predicate runs only on the rows
+   in [sel] and the surviving base indices come back in selection order. *)
+let filter_sel ~threads cols (sel : int array) pred =
+  let n = Array.length sel in
+  if threads <= 1 || n < 4096 then Eval.eval_filter_sel cols ~sel pred
+  else
+    collect_parts
+      (Parallel.map_chunks ~threads n (fun start len ->
+           let test = Eval.compile_pred cols pred in
+           let out = ref [] and count = ref 0 in
+           for pos = start + len - 1 downto start do
+             let row = sel.(pos) in
+             if test row then begin
+               out := row :: !out;
+               incr count
+             end
+           done;
+           (!out, !count)))
 
 (* ------------------------------------------------------------------ *)
 (* Sorting                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let sort_indices (r : Relation.t) (keys : (int * bool) list) : int array =
-  let n = Relation.n_rows r in
-  let idx = Array.init n Fun.id in
-  let comparators =
-    List.map
-      (fun (i, asc) ->
-        let c = r.Relation.cols.(i) in
-        let cmp =
-          match c.Column.data with
-          | Column.I a -> fun x y -> compare a.(x) a.(y)
-          | Column.F a -> fun x y -> compare a.(x) a.(y)
-          | Column.S a -> fun x y -> String.compare a.(x) a.(y)
-          | Column.B a -> fun x y -> compare a.(x) a.(y)
-        in
-        let cmp =
-          if Column.has_nulls c then fun x y ->
-            (* nulls last *)
-            let nx = Column.is_null c x and ny = Column.is_null c y in
-            if nx && ny then 0
-            else if nx then 1
-            else if ny then -1
-            else cmp x y
-          else cmp
-        in
-        if asc then cmp else fun x y -> cmp y x)
-      keys
+let row_comparators (r : Relation.t) (keys : (int * bool) list) :
+    (int -> int -> int) list =
+  List.map
+    (fun (i, asc) ->
+      let c = r.Relation.cols.(i) in
+      let cmp =
+        match c.Column.data with
+        | Column.I a -> fun x y -> compare a.(x) a.(y)
+        | Column.F a -> fun x y -> compare a.(x) a.(y)
+        | Column.S a -> fun x y -> String.compare a.(x) a.(y)
+        | Column.B a -> fun x y -> compare a.(x) a.(y)
+        | Column.D (a, d) ->
+          (* Dictionary column: precomputed lexicographic rank replaces
+             string comparison in the sort loop. *)
+          let rank = d.Column.rank in
+          fun x y -> compare rank.(a.(x)) rank.(a.(y))
+      in
+      let cmp =
+        if Column.has_nulls c then fun x y ->
+          (* nulls last *)
+          let nx = Column.is_null c x and ny = Column.is_null c y in
+          if nx && ny then 0
+          else if nx then 1
+          else if ny then -1
+          else cmp x y
+        else cmp
+      in
+      if asc then cmp else fun x y -> cmp y x)
+    keys
+
+(* Sort the selection (or all rows), returning base indices in sort order.
+   The tiebreak is on logical position, keeping the sort stable w.r.t. the
+   incoming order. *)
+let sort_sel (r : Relation.t) (sel : int array option)
+    (keys : (int * bool) list) : int array =
+  let n =
+    match sel with Some s -> Array.length s | None -> Relation.n_rows r
   in
+  let comparators = row_comparators r keys in
+  let idx = Array.init n Fun.id in
+  let base = match sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
   let compare_rows x y =
+    let bx = base x and by = base y in
     let rec go = function
-      | [] -> compare x y (* stable tiebreak on original order *)
+      | [] -> compare x y (* stable tiebreak on incoming order *)
       | cmp :: rest ->
-        let c = cmp x y in
+        let c = cmp bx by in
         if c <> 0 then c else go rest
     in
     go comparators
   in
   Array.sort compare_rows idx;
-  idx
+  match sel with None -> idx | Some _ -> Array.map base idx
+
+let sort_indices (r : Relation.t) (keys : (int * bool) list) : int array =
+  sort_sel r None keys
 
 (* ------------------------------------------------------------------ *)
 (* Joins                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Gather matching (left_row, right_row) pairs for an equi-join; residual is
-   applied afterwards over the concatenated relation. *)
-let hash_join_pairs ~threads (l : Relation.t) (r : Relation.t)
-    (keys : (int * int) list) : (int array * int array) =
-  let nl = Relation.n_rows l and nr = Relation.n_rows r in
+(* Gather matching (left_row, right_row) pairs for an equi-join; indices are
+   base rows of [l.rel] / [r.rel]. Residual is applied afterwards over the
+   concatenated relation. *)
+let hash_join_pairs ~threads (l : srel) (r : srel) (keys : (int * int) list) :
+    int array * int array =
+  let nl = srel_nrows l and nr = srel_nrows r in
+  let lbase = match l.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
+  let rbase = match r.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
   match keys with
   | [] ->
     (* cross join *)
@@ -108,8 +168,8 @@ let hash_join_pairs ~threads (l : Relation.t) (r : Relation.t)
     let k = ref 0 in
     for i = 0 to nl - 1 do
       for j = 0 to nr - 1 do
-        li.(!k) <- i;
-        ri.(!k) <- j;
+        li.(!k) <- lbase i;
+        ri.(!k) <- rbase j;
         incr k
       done
     done;
@@ -117,24 +177,23 @@ let hash_join_pairs ~threads (l : Relation.t) (r : Relation.t)
   | keys ->
     let rkeys = List.map snd keys and lkeys = List.map fst keys in
     let tbl =
-      Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys ~n:nr
+      Hash_util.build_table ?sel:r.sel ~null_as_key:false (relation_cols r.rel)
+        rkeys ~n:(Relation.n_rows r.rel)
     in
-    let lkf = Hash_util.key_fn ~null_as_key:false (relation_cols l) lkeys in
+    let lcols = relation_cols l.rel in
     let probe start len =
+      (* one probe_fn per chunk: its per-code memo is chunk-private, so
+         domains never share mutable state *)
+      let pf = Hash_util.probe_fn tbl lcols lkeys in
       let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
-      for row = start + len - 1 downto start do
-        match lkf row with
-        | None -> ()
-        | Some k -> (
-          match Hashtbl.find_opt tbl k with
-          | None -> ()
-          | Some rows ->
-            List.iter
-              (fun rrow ->
-                lbuf := row :: !lbuf;
-                rbuf := rrow :: !rbuf;
-                incr count)
-              rows)
+      for pos = start + len - 1 downto start do
+        let row = lbase pos in
+        List.iter
+          (fun rrow ->
+            lbuf := row :: !lbuf;
+            rbuf := rrow :: !rbuf;
+            incr count)
+          (pf row)
       done;
       (!lbuf, !rbuf, !count)
     in
@@ -159,18 +218,54 @@ let concat_relations (l : Relation.t) (r : Relation.t) li ri : Relation.t =
   { Relation.names = Array.append l.Relation.names r.Relation.names;
     cols = Array.append lc rc }
 
+let apply_residual (l : Relation.t) (r : Relation.t) li ri residual =
+  match residual with
+  | None -> (li, ri)
+  | Some pred ->
+    let cand = concat_relations l r li ri in
+    let n = Relation.n_rows cand in
+    let sel = Eval.eval_filter (relation_cols cand) ~n pred in
+    (Array.map (fun k -> li.(k)) sel, Array.map (fun k -> ri.(k)) sel)
+
 (* ------------------------------------------------------------------ *)
 (* Executor                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rec run (ctx : ctx) (p : plan) : Relation.t =
+let dbg_nodes = Sys.getenv_opt "PYTOND_TIMING_NODES" <> None
+
+let node_name (p : plan) =
+  match p.node with
+  | Scan n -> "Scan " ^ n
+  | PValues _ -> "Values"
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Join _ -> "Join"
+  | SemiJoin _ -> "SemiJoin"
+  | Aggregate _ -> "Aggregate"
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | Window _ -> "Window"
+  | LimitN _ -> "Limit"
+
+let rec run_sel (ctx : ctx) (p : plan) : srel =
+  if dbg_nodes then begin
+    let t0 = Unix.gettimeofday () in
+    let r = run_sel_inner ctx p in
+    Printf.eprintf "[node] %-18s %.4fs (%d rows)\n%!" (node_name p)
+      (Unix.gettimeofday () -. t0)
+      (srel_nrows r);
+    r
+  end
+  else run_sel_inner ctx p
+
+and run_sel_inner (ctx : ctx) (p : plan) : srel =
   match p.node with
   | Scan name -> (
     match Hashtbl.find_opt ctx.ctes name with
-    | Some r -> r
+    | Some r -> srel_all r
     | None -> (
       match Catalog.find_opt ctx.catalog name with
-      | Some t -> t.Catalog.rel
+      | Some t -> srel_all t.Catalog.rel
       | None -> invalid_arg ("Exec: unknown relation " ^ name)))
   | PValues (schema, rows) ->
     let n = List.length rows in
@@ -181,257 +276,309 @@ let rec run (ctx : ctx) (p : plan) : Relation.t =
             (Array.of_list (List.map (fun row -> List.nth row i) rows)))
         schema
     in
-    { Relation.names = Array.map fst schema;
-      cols = (if Array.length schema = 0 then [||] else cols) }
-    |> fun r -> if Array.length schema = 0 then
+    let r =
+      if Array.length schema = 0 then
         (* zero-column relation with [n] rows is modelled as one int col *)
         { Relation.names = [| "dummy" |];
           cols = [| Column.of_ints (Array.make n 0) |] }
-      else r
-  | Filter (sub, pred) ->
-    let r = run ctx sub in
-    let n = Relation.n_rows r in
-    let idx = filter_indices ~threads:ctx.threads (relation_cols r) ~n pred in
-    take_rows r idx
-  | Project (sub, items) ->
-    let r = run ctx sub in
-    let n = Relation.n_rows r in
-    let cols = relation_cols r in
-    let eval_item (e, _) = Eval.eval_col cols ~n e in
-    let out_cols =
-      if ctx.threads > 1 && List.length items > 1 && n > 4096 then
-        Parallel.map_list ~threads:ctx.threads
-          (List.map (fun item () -> eval_item item) items)
-      else List.map eval_item items
+      else
+        { Relation.names = Array.map fst schema; cols }
     in
-    { Relation.names = Array.of_list (List.map snd items);
-      cols = Array.of_list out_cols }
+    srel_all r
+  | Filter (sub, pred) ->
+    let s = run_sel ctx sub in
+    let cols = relation_cols s.rel in
+    let sel' =
+      match s.sel with
+      | None ->
+        filter_indices ~threads:ctx.threads cols ~n:(Relation.n_rows s.rel)
+          pred
+      | Some sel -> filter_sel ~threads:ctx.threads cols sel pred
+    in
+    { rel = s.rel; sel = Some sel' }
+  | Project (sub, items) -> (
+    let s = run_sel ctx sub in
+    let n = srel_nrows s in
+    let project_over cols ~n =
+      let eval_item (e, _) = Eval.eval_col cols ~n e in
+      let out_cols =
+        if ctx.threads > 1 && List.length items > 1 && n > 4096 then
+          Parallel.map_list ~threads:ctx.threads
+            (List.map (fun item () -> eval_item item) items)
+        else List.map eval_item items
+      in
+      { Relation.names = Array.of_list (List.map snd items);
+        cols = Array.of_list out_cols }
+    in
+    let gathered () =
+      let cols =
+        match s.sel with
+        | None -> relation_cols s.rel
+        | Some idx ->
+          (* Gather only the columns the projection references; untouched
+             slots keep the (wrong-length) base column, whose type is the
+             only thing the evaluator reads for them. *)
+          let used = Array.make (Array.length s.rel.Relation.cols) false in
+          List.iter
+            (fun (e, _) ->
+              List.iter (fun i -> used.(i) <- true) (pexpr_cols [] e))
+            items;
+          Array.mapi
+            (fun i c -> if used.(i) then Column.take c idx else c)
+            s.rel.Relation.cols
+      in
+      srel_all (project_over cols ~n)
+    in
+    match s.sel with
+    | Some sel
+      when 2 * Array.length sel >= Relation.n_rows s.rel
+           && Relation.n_rows s.rel > 0 -> (
+      (* Dense selection: evaluating expressions over all base rows costs
+         less than gathering every referenced column, and bare column items
+         stay zero-copy. The selection survives the projection. *)
+      match project_over (relation_cols s.rel) ~n:(Relation.n_rows s.rel) with
+      | rel -> { rel; sel = Some sel }
+      | exception _ ->
+        (* an expression choked on a filtered-out row; take the copies *)
+        gathered ())
+    | _ -> gathered ())
   | Join { kind; left; right; keys; residual } ->
     run_join ctx kind left right keys residual
   | SemiJoin { anti; left; right; keys; residual } ->
     run_semijoin ctx anti left right keys residual
   | Aggregate (sub, groups, specs) -> run_aggregate ctx p sub groups specs
   | Sort (sub, keys) ->
-    let r = run ctx sub in
-    take_rows r (sort_indices r keys)
+    let s = run_sel ctx sub in
+    { rel = s.rel; sel = Some (sort_sel s.rel s.sel keys) }
   | LimitN (sub, n) ->
-    let r = run ctx sub in
-    let n = min n (Relation.n_rows r) in
-    take_rows r (Array.init n Fun.id)
+    let s = run_sel ctx sub in
+    let n = min n (srel_nrows s) in
+    let sel' =
+      match s.sel with
+      | None -> Array.init n Fun.id
+      | Some sel -> Array.sub sel 0 n
+    in
+    { rel = s.rel; sel = Some sel' }
   | Distinct sub ->
-    let r = run ctx sub in
-    let n = Relation.n_rows r in
-    let all_cols = List.init (Array.length r.Relation.cols) Fun.id in
-    let kf = Hash_util.key_fn ~null_as_key:true (relation_cols r) all_cols in
+    let s = run_sel ctx sub in
+    let n = srel_nrows s in
+    let base = match s.sel with Some sel -> fun pos -> sel.(pos) | None -> Fun.id in
+    let cols = relation_cols s.rel in
+    let all_cols = List.init (Array.length cols) Fun.id in
+    (* local keys: dictionary columns compare by code *)
+    let kf = Hash_util.key_fn ~local:true ~null_as_key:true cols all_cols in
     let seen = Hashtbl.create (max 16 n) in
-    let keep = ref [] and count = ref 0 in
-    for row = 0 to n - 1 do
+    let keep = ref [] in
+    for pos = 0 to n - 1 do
+      let row = base pos in
       match kf row with
       | None -> ()
       | Some k ->
         if not (Hashtbl.mem seen k) then begin
           Hashtbl.add seen k ();
-          keep := row :: !keep;
-          incr count
+          keep := row :: !keep
         end
     done;
-    take_rows r (Array.of_list (List.rev !keep))
+    { rel = s.rel; sel = Some (Array.of_list (List.rev !keep)) }
   | Window (sub, keys, _name) ->
-    let r = run ctx sub in
+    let r = materialize (run_sel ctx sub) in
     let n = Relation.n_rows r in
     let order = if keys = [] then Array.init n Fun.id else sort_indices r keys in
     let ranks = Array.make n 0 in
     Array.iteri (fun pos row -> ranks.(row) <- pos + 1) order;
-    { Relation.names = Array.append r.Relation.names [| snd3 p |];
-      cols = Array.append r.Relation.cols [| Column.of_ints ranks |] }
+    srel_all
+      { Relation.names = Array.append r.Relation.names [| snd3 p |];
+        cols = Array.append r.Relation.cols [| Column.of_ints ranks |] }
 
 and snd3 (p : plan) =
   match p.node with Window (_, _, name) -> name | _ -> "id"
 
 and run_join ctx kind left right keys residual =
-  let l = run ctx left and r = run ctx right in
-  let li, ri = hash_join_pairs ~threads:ctx.threads l r keys in
-  (* Apply residual predicate to candidate pairs. *)
-  let li, ri =
-    match residual with
-    | None -> (li, ri)
-    | Some pred ->
-      let cand = concat_relations l r li ri in
-      let n = Relation.n_rows cand in
-      let sel = Eval.eval_filter (relation_cols cand) ~n pred in
-      (Array.map (fun k -> li.(k)) sel, Array.map (fun k -> ri.(k)) sel)
-  in
-  let nl = Relation.n_rows l and nr = Relation.n_rows r in
   match kind with
-  | JInner -> concat_relations l r li ri
-  | JLeft ->
-    let matched = Array.make nl false in
-    Array.iter (fun i -> matched.(i) <- true) li;
-    let extra = ref [] in
-    for i = nl - 1 downto 0 do
-      if not matched.(i) then extra := i :: !extra
-    done;
-    let extra = Array.of_list !extra in
-    let li = Array.append li extra in
-    let ri = Array.append ri (Array.map (fun _ -> -1) extra) in
-    concat_relations l r li ri
-  | JRight ->
-    let matched = Array.make nr false in
-    Array.iter (fun i -> matched.(i) <- true) ri;
-    let extra = ref [] in
-    for i = nr - 1 downto 0 do
-      if not matched.(i) then extra := i :: !extra
-    done;
-    let extra = Array.of_list !extra in
-    let li = Array.append li (Array.map (fun _ -> -1) extra) in
-    let ri = Array.append ri extra in
-    concat_relations l r li ri
-  | JFull ->
-    let lmatched = Array.make nl false and rmatched = Array.make nr false in
-    Array.iter (fun i -> lmatched.(i) <- true) li;
-    Array.iter (fun i -> rmatched.(i) <- true) ri;
-    let lextra = ref [] and rextra = ref [] in
-    for i = nl - 1 downto 0 do
-      if not lmatched.(i) then lextra := i :: !lextra
-    done;
-    for i = nr - 1 downto 0 do
-      if not rmatched.(i) then rextra := i :: !rextra
-    done;
-    let lextra = Array.of_list !lextra and rextra = Array.of_list !rextra in
-    let li =
-      Array.concat [ li; lextra; Array.map (fun _ -> -1) rextra ]
+  | JInner ->
+    (* Inner join probes straight through both selections; only the join
+       output is materialized. *)
+    let ls = run_sel ctx left and rs = run_sel ctx right in
+    let li, ri = hash_join_pairs ~threads:ctx.threads ls rs keys in
+    let li, ri = apply_residual ls.rel rs.rel li ri residual in
+    srel_all (concat_relations ls.rel rs.rel li ri)
+  | JLeft | JRight | JFull ->
+    (* Outer joins need matched-row bookkeeping over whole sides;
+       materialize first and keep the eager logic. *)
+    let l = materialize (run_sel ctx left)
+    and r = materialize (run_sel ctx right) in
+    let li, ri =
+      hash_join_pairs ~threads:ctx.threads (srel_all l) (srel_all r) keys
     in
-    let ri =
-      Array.concat [ ri; Array.map (fun _ -> -1) lextra; rextra ]
+    let li, ri = apply_residual l r li ri residual in
+    let nl = Relation.n_rows l and nr = Relation.n_rows r in
+    let out =
+      match kind with
+      | JInner -> assert false
+      | JLeft ->
+        let matched = Array.make nl false in
+        Array.iter (fun i -> matched.(i) <- true) li;
+        let extra = ref [] in
+        for i = nl - 1 downto 0 do
+          if not matched.(i) then extra := i :: !extra
+        done;
+        let extra = Array.of_list !extra in
+        let li = Array.append li extra in
+        let ri = Array.append ri (Array.map (fun _ -> -1) extra) in
+        concat_relations l r li ri
+      | JRight ->
+        let matched = Array.make nr false in
+        Array.iter (fun i -> matched.(i) <- true) ri;
+        let extra = ref [] in
+        for i = nr - 1 downto 0 do
+          if not matched.(i) then extra := i :: !extra
+        done;
+        let extra = Array.of_list !extra in
+        let li = Array.append li (Array.map (fun _ -> -1) extra) in
+        let ri = Array.append ri extra in
+        concat_relations l r li ri
+      | JFull ->
+        let lmatched = Array.make nl false and rmatched = Array.make nr false in
+        Array.iter (fun i -> lmatched.(i) <- true) li;
+        Array.iter (fun i -> rmatched.(i) <- true) ri;
+        let lextra = ref [] and rextra = ref [] in
+        for i = nl - 1 downto 0 do
+          if not lmatched.(i) then lextra := i :: !lextra
+        done;
+        for i = nr - 1 downto 0 do
+          if not rmatched.(i) then rextra := i :: !rextra
+        done;
+        let lextra = Array.of_list !lextra and rextra = Array.of_list !rextra in
+        let li = Array.concat [ li; lextra; Array.map (fun _ -> -1) rextra ] in
+        let ri = Array.concat [ ri; Array.map (fun _ -> -1) lextra; rextra ] in
+        concat_relations l r li ri
     in
-    concat_relations l r li ri
+    srel_all out
 
 and run_semijoin ctx anti left right keys residual =
-  let l = run ctx left and r = run ctx right in
-  let nl = Relation.n_rows l and nr = Relation.n_rows r in
-  let keep =
-    match (keys, residual) with
-    | [], None ->
-      (* EXISTS over an uncorrelated subquery *)
-      let nonempty = nr > 0 in
-      Array.init nl (fun _ -> nonempty <> anti)
-    | _ ->
-      let rkeys = List.map snd keys and lkeys = List.map fst keys in
-      let tbl =
-        match keys with
-        | [] -> None
-        | _ ->
-          Some
-            (Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys
-               ~n:nr)
-      in
-      let lkf = Hash_util.key_fn ~null_as_key:false (relation_cols l) lkeys in
-      let residual_check =
-        match residual with
-        | None -> fun _ _ -> true
-        | Some pred ->
-          (* Evaluate over left row ++ right row. *)
-          let combined_cols =
-            Array.append (relation_cols l)
-              (Array.map
-                 (fun (c : Column.t) -> c)
-                 (relation_cols r))
-          in
-          ignore combined_cols;
-          let nlc = Array.length l.Relation.cols in
-          fun lrow rrow ->
-            (* build a 1-row pair context lazily via boxed eval *)
-            let get col =
-              if col < nlc then Column.get l.Relation.cols.(col) lrow
-              else Column.get r.Relation.cols.(col - nlc) rrow
-            in
-            let rec ev (e : pexpr) : Value.t =
-              match e with
-              | PCol i -> get i
-              | PLit v -> v
-              | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
-              | PNeg a -> (
-                match ev a with
-                | VInt i -> VInt (-i)
-                | VFloat f -> VFloat (-.f)
-                | _ -> VNull)
-              | PNot a -> (
-                match ev a with VBool b -> VBool (not b) | _ -> VBool false)
-              | PCase (whens, els) ->
-                let rec go = function
-                  | [] -> (
-                    match els with Some e -> ev e | None -> VNull)
-                  | (c, v) :: rest -> (
-                    match ev c with VBool true -> ev v | _ -> go rest)
-                in
-                go whens
-              | PFunc (name, args) -> Eval.apply_func name (List.map ev args)
-              | PLike (a, pat, neg) -> (
-                match ev a with
-                | VString s -> VBool (Eval.like_match pat s <> neg)
-                | _ -> VBool false)
-              | PInList (a, items, neg) ->
-                let v = ev a in
-                if Value.is_null v then VBool false
-                else VBool (List.exists (Value.equal_values v) items <> neg)
-              | PIsNull (a, neg) -> VBool (Value.is_null (ev a) <> neg)
-              | PCast (a, ty) -> (
-                match (ev a, ty) with
-                | VNull, _ -> VNull
-                | v, TInt -> VInt (Value.as_int v)
-                | v, TFloat -> VFloat (Value.as_float v)
-                | v, TString -> VString (Value.to_string v)
-                | v, TBool -> VBool (Value.as_int v <> 0)
-                | v, TDate -> VDate (Value.as_int v))
-            in
-            match ev pred with VBool b -> b | _ -> false
-      in
-      let probe lrow =
-        let candidates =
-          match tbl with
-          | Some tbl -> (
-            match lkf lrow with
-            | None -> []
-            | Some k -> (
-              match Hashtbl.find_opt tbl k with Some rows -> rows | None -> []))
-          | None -> List.init nr Fun.id
+  let ls = run_sel ctx left in
+  let r = materialize (run_sel ctx right) in
+  let l = ls.rel in
+  let nl = srel_nrows ls and nr = Relation.n_rows r in
+  let base = match ls.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
+  match (keys, residual) with
+  | [], None ->
+    (* EXISTS over an uncorrelated subquery: all-or-nothing *)
+    let nonempty = nr > 0 in
+    if nonempty <> anti then ls else { rel = l; sel = Some [||] }
+  | _ ->
+    let rkeys = List.map snd keys and lkeys = List.map fst keys in
+    let pf =
+      match keys with
+      | [] -> None
+      | _ ->
+        let t =
+          Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys
+            ~n:nr
         in
-        List.exists (fun rrow -> residual_check lrow rrow) candidates
+        Some (Hash_util.probe_fn t (relation_cols l) lkeys)
+    in
+    let residual_check =
+      match residual with
+      | None -> fun _ _ -> true
+      | Some pred ->
+        let nlc = Array.length l.Relation.cols in
+        fun lrow rrow ->
+          (* build a 1-row pair context lazily via boxed eval *)
+          let get col =
+            if col < nlc then Column.get l.Relation.cols.(col) lrow
+            else Column.get r.Relation.cols.(col - nlc) rrow
+          in
+          let rec ev (e : pexpr) : Value.t =
+            match e with
+            | PCol i -> get i
+            | PLit v -> v
+            | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
+            | PNeg a -> (
+              match ev a with
+              | VInt i -> VInt (-i)
+              | VFloat f -> VFloat (-.f)
+              | _ -> VNull)
+            | PNot a -> (
+              match ev a with VBool b -> VBool (not b) | _ -> VBool false)
+            | PCase (whens, els) ->
+              let rec go = function
+                | [] -> ( match els with Some e -> ev e | None -> VNull)
+                | (c, v) :: rest -> (
+                  match ev c with VBool true -> ev v | _ -> go rest)
+              in
+              go whens
+            | PFunc (name, args) -> Eval.apply_func name (List.map ev args)
+            | PLike (a, pat, neg) -> (
+              match ev a with
+              | VString s -> VBool (Eval.like_match pat s <> neg)
+              | _ -> VBool false)
+            | PInList (a, items, neg) ->
+              let v = ev a in
+              if Value.is_null v then VBool false
+              else VBool (List.exists (Value.equal_values v) items <> neg)
+            | PIsNull (a, neg) -> VBool (Value.is_null (ev a) <> neg)
+            | PCast (a, ty) -> (
+              match (ev a, ty) with
+              | VNull, _ -> VNull
+              | v, TInt -> VInt (Value.as_int v)
+              | v, TFloat -> VFloat (Value.as_float v)
+              | v, TString -> VString (Value.to_string v)
+              | v, TBool -> VBool (Value.as_int v <> 0)
+              | VString s, TDate -> VDate (Value.date_of_iso s)
+              | v, TDate -> VDate (Value.as_int v))
+          in
+          match ev pred with VBool b -> b | _ -> false
+    in
+    let probe lrow =
+      let candidates =
+        match pf with
+        | Some pf -> pf lrow
+        | None -> List.init nr Fun.id
       in
-      Array.init nl (fun lrow -> probe lrow <> anti)
-  in
-  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 keep in
-  let idx = Array.make count 0 in
-  let k = ref 0 in
-  Array.iteri
-    (fun i b ->
-      if b then begin
-        idx.(!k) <- i;
-        incr k
-      end)
-    keep;
-  take_rows l idx
+      List.exists (fun rrow -> residual_check lrow rrow) candidates
+    in
+    let keep = ref [] and count = ref 0 in
+    for pos = nl - 1 downto 0 do
+      let lrow = base pos in
+      if probe lrow <> anti then begin
+        keep := lrow :: !keep;
+        incr count
+      end
+    done;
+    { rel = l; sel = Some (Array.of_list !keep) }
+
+(* Direct-indexed aggregation costs O(card) in allocation and output scan,
+   so a large packed domain only pays off when the input amortizes it. *)
+and groups_dense ~n cols groups =
+  match Hash_util.dense_domain ~limit:(1 lsl 18) cols groups with
+  | Some (_, card) as r when card <= 1 lsl 16 || card <= n -> r
+  | _ -> None
 
 and run_aggregate ctx (p : plan) sub groups specs =
-  let r = run ctx sub in
-  let n = Relation.n_rows r in
-  let cols = relation_cols r in
-  let has_distinct = List.exists (fun s -> s.distinct) specs in
+  let s = run_sel ctx sub in
+  let n = srel_nrows s in
+  let cols = relation_cols s.rel in
+  let base = match s.sel with Some sel -> fun pos -> sel.(pos) | None -> Fun.id in
+  let has_distinct = List.exists (fun sp -> sp.distinct) specs in
   let specs_arr = Array.of_list specs in
   match groups with
   | [] ->
     (* Global aggregation: one output row even for empty input. *)
     let accs = Array.map Agg_util.create specs_arr in
+    let upds = Agg_util.update_fns specs_arr cols in
+    let n_specs = Array.length specs_arr in
     let partials =
       Parallel.map_chunks
         ~threads:(if has_distinct then 1 else ctx.threads)
         n
         (fun start len ->
           let local = Array.map Agg_util.create specs_arr in
-          for row = start to start + len - 1 do
-            Array.iteri
-              (fun i spec -> Agg_util.update spec local.(i) cols row)
-              specs_arr
+          for pos = start to start + len - 1 do
+            let row = base pos in
+            for i = 0 to n_specs - 1 do
+              upds.(i) local.(i) row
+            done
           done;
           local)
     in
@@ -440,18 +587,93 @@ and run_aggregate ctx (p : plan) sub groups specs =
         Array.iteri (fun i spec -> Agg_util.merge spec accs.(i) local.(i)) specs_arr)
       partials;
     let out_vals = Array.mapi (fun i spec -> Agg_util.finish spec accs.(i)) specs_arr in
-    { Relation.names = Array.map fst p.schema;
-      cols =
-        Array.mapi
-          (fun i (_, ty) -> Column.of_values ty [| out_vals.(i) |])
-          p.schema }
+    srel_all
+      { Relation.names = Array.map fst p.schema;
+        cols =
+          Array.mapi
+            (fun i (_, ty) -> Column.of_values ty [| out_vals.(i) |])
+            p.schema }
+  | groups when groups_dense ~n cols groups <> None ->
+    (* Small packed key domain (dictionary / bool / bounded-int group
+       columns): accumulate into a direct-indexed table, no hashing. Output
+       comes out in slot order, which is deterministic across runs. *)
+    let pack, card =
+      match groups_dense ~n cols groups with Some pc -> pc | None -> assert false
+    in
+    let upds = Agg_util.update_fns specs_arr cols in
+    let n_specs = Array.length specs_arr in
+    let run_range start len =
+      let reps = Array.make card (-1) in
+      let accs : Agg_util.acc array array = Array.make card [||] in
+      for pos = start to start + len - 1 do
+        let row = base pos in
+        let k = pack row in
+        if reps.(k) < 0 then begin
+          reps.(k) <- row;
+          accs.(k) <- Array.map Agg_util.create specs_arr
+        end;
+        let a = accs.(k) in
+        for i = 0 to n_specs - 1 do
+          upds.(i) a.(i) row
+        done
+      done;
+      (reps, accs)
+    in
+    let reps, accs =
+      if ctx.threads <= 1 || has_distinct || n < 8192 then run_range 0 n
+      else begin
+        let partials = Parallel.map_chunks ~threads:ctx.threads n run_range in
+        match partials with
+        | [] -> run_range 0 0
+        | (first_reps, first_accs) :: rest ->
+          List.iter
+            (fun (reps, accs) ->
+              for k = 0 to card - 1 do
+                if reps.(k) >= 0 then
+                  if first_reps.(k) < 0 then begin
+                    first_reps.(k) <- reps.(k);
+                    first_accs.(k) <- accs.(k)
+                  end
+                  else
+                    Array.iteri
+                      (fun i spec ->
+                        Agg_util.merge spec first_accs.(k).(i) accs.(k).(i))
+                      specs_arr
+              done)
+            rest;
+          (first_reps, first_accs)
+      end
+    in
+    let n_groups = List.length groups in
+    let group_cols = Array.of_list (List.map (fun g -> cols.(g)) groups) in
+    let n_out = Array.fold_left (fun c r -> if r >= 0 then c + 1 else c) 0 reps in
+    let out = Array.make_matrix (n_groups + Array.length specs_arr) n_out VNull in
+    let k = ref 0 in
+    Array.iteri
+      (fun slot row ->
+        if row >= 0 then begin
+          Array.iteri (fun g c -> out.(g).(!k) <- Column.get c row) group_cols;
+          Array.iteri
+            (fun i spec ->
+              out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(slot).(i))
+            specs_arr;
+          incr k
+        end)
+      reps;
+    srel_all
+      { Relation.names = Array.map fst p.schema;
+        cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
   | groups ->
-    let kf = Hash_util.key_fn ~null_as_key:true cols groups in
+    (* local keys: a dictionary group column keys on its codes *)
+    let kf = Hash_util.key_fn ~local:true ~null_as_key:true cols groups in
+    let upds = Agg_util.update_fns specs_arr cols in
+    let n_specs = Array.length specs_arr in
     let run_range start len =
       let tbl : (Hash_util.key, int * Agg_util.acc array) Hashtbl.t =
         Hashtbl.create 1024
       in
-      for row = start to start + len - 1 do
+      for pos = start to start + len - 1 do
+        let row = base pos in
         match kf row with
         | None -> ()
         | Some k ->
@@ -463,9 +685,9 @@ and run_aggregate ctx (p : plan) sub groups specs =
               Hashtbl.add tbl k entry;
               entry
           in
-          Array.iteri
-            (fun i spec -> Agg_util.update spec accs.(i) cols row)
-            specs_arr
+          for i = 0 to n_specs - 1 do
+            upds.(i) accs.(i) row
+          done
       done;
       tbl
     in
@@ -504,8 +726,13 @@ and run_aggregate ctx (p : plan) sub groups specs =
           specs_arr;
         incr k)
       tbl;
-    { Relation.names = Array.map fst p.schema;
-      cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
+    srel_all
+      { Relation.names = Array.map fst p.schema;
+        cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
+
+(* Materializing entry point, kept for callers that need a plain relation
+   (compiled executor, CTE evaluation). *)
+and run (ctx : ctx) (p : plan) : Relation.t = materialize (run_sel ctx p)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
@@ -514,9 +741,15 @@ and run_aggregate ctx (p : plan) sub groups specs =
 let run_query ?(threads = 1) (catalog : Catalog.t) (bq : bound_query) :
     Relation.t =
   let ctx = { catalog; ctes = Hashtbl.create 8; threads } in
+  let dbg = Sys.getenv_opt "PYTOND_TIMING" <> None in
   List.iter
     (fun (name, plan) ->
+      let t0 = if dbg then Unix.gettimeofday () else 0. in
       let r = run ctx plan in
+      if dbg then
+        Printf.eprintf "[timing]   cte %s: %.4fs (%d rows)\n%!" name
+          (Unix.gettimeofday () -. t0)
+          (Relation.n_rows r);
       (* apply CTE column renames from the plan schema *)
       let r = Relation.rename r (Array.map fst plan.schema) in
       Hashtbl.replace ctx.ctes name r)

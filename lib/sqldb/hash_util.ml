@@ -1,5 +1,14 @@
 (** Hash keys over one or more columns, shared by joins, grouping and
-    distinct. *)
+    distinct.
+
+    Dictionary-encoded string columns get two fast paths:
+    - [key_fn ~local:true] keys on the integer code directly. Codes are only
+      meaningful relative to one dictionary, so this is restricted to
+      single-relation uses (grouping, distinct) where every key comes from
+      the same column.
+    - [probe_fn] keys on the decoded string (safe across dictionaries) but
+      memoizes the hash lookup per code, so a join probe touches the hash
+      table once per *distinct* value and then runs on int indexing. *)
 
 open Value
 
@@ -21,17 +30,100 @@ let pack_values (vs : Value.t list) : string =
     vs;
   Buffer.contents buf
 
+(* Multi-column local keys: pack one small slot per column into a single
+   int, mixed-radix. Slot 0 is reserved for null, so nulls group together
+   (SQL GROUP BY) and are detectable for the null_as_key:false case.
+   Returns per-column [(slot_fn, radix)] or None when a column does not fit.
+   [cross_chunk] demands slots and radices that are identical across
+   take-gathered copies of the columns (the compiled executor builds one
+   key_fn per morsel and merges the partial tables by key): dictionary
+   radices come from the shared dict object so they qualify; int bounds are
+   data-dependent per copy so they do not. *)
+let mixed_radix ~cross_chunk (cs : Column.t list) :
+    ((int -> int) * int) list option =
+  let slot (c : Column.t) =
+    let nullable f =
+      match c.Column.nulls with
+      | None -> f
+      | Some m -> fun row -> if Bitset.get m row then 0 else f row
+    in
+    match c.Column.data with
+    | Column.D (a, d) ->
+      Some (nullable (fun row -> a.(row) + 1), Column.dict_size d + 1)
+    | Column.B a ->
+      Some (nullable (fun row -> if a.(row) then 2 else 1), 3)
+    | Column.I a when not cross_chunk ->
+      let n = Array.length a in
+      if n = 0 then Some ((fun _ -> 0), 2)
+      else begin
+        let lo = ref a.(0) and hi = ref a.(0) in
+        for i = 1 to n - 1 do
+          if a.(i) < !lo then lo := a.(i);
+          if a.(i) > !hi then hi := a.(i)
+        done;
+        let lo = !lo in
+        Some (nullable (fun row -> a.(row) - lo + 1), !hi - lo + 2)
+      end
+    | _ -> None
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+      match slot c with None -> None | Some s -> go (s :: acc) rest)
+  in
+  match go [] cs with
+  | Some parts ->
+    (* overflow check on the combined radix product *)
+    let prod =
+      List.fold_left (fun p (_, r) -> p *. float_of_int r) 1. parts
+    in
+    if prod < 4.0e18 then Some parts else None
+  | None -> None
+
+(* Dense grouping domain: when every key column packs into a small slot
+   range (dictionary codes, bools, bounded ints), grouping can use a
+   direct-indexed accumulator table instead of a hash table. Nulls take slot
+   0 per column, matching GROUP BY null semantics. Returns the packed-key
+   function and the domain cardinality. *)
+let dense_domain ?(cross_chunk = false) ~(limit : int) (cols : Column.t array)
+    (idxs : int list) : ((int -> int) * int) option =
+  match mixed_radix ~cross_chunk (List.map (fun i -> cols.(i)) idxs) with
+  | None -> None
+  | Some parts ->
+    let card = List.fold_left (fun p (_, r) -> p * r) 1 parts in
+    if card > limit then None
+    else
+      let slots = Array.of_list (List.map fst parts) in
+      let radices = Array.of_list (List.map snd parts) in
+      let k = Array.length slots in
+      let pack row =
+        let acc = ref 0 in
+        for i = 0 to k - 1 do
+          acc := (!acc * radices.(i)) + slots.(i) row
+        done;
+        !acc
+      in
+      Some (pack, card)
+
 (* Key extractor over [cols] at positions [idxs].
    [null_as_key]: grouping treats null as a regular key; joins return None so
-   the row never matches. *)
-let key_fn ~(null_as_key : bool) (cols : Column.t array) (idxs : int list) :
-    int -> key option =
+   the row never matches.
+   [local]: keys never leave this column set (grouping/distinct), so
+   dictionary codes can stand in for their strings.
+   [cross_chunk]: key values must stay comparable across key_fn instances
+   built on take-gathered copies of these columns (see [mixed_radix]). *)
+let key_fn ?(local = false) ?(cross_chunk = false) ~(null_as_key : bool)
+    (cols : Column.t array) (idxs : int list) : int -> key option =
   match idxs with
   | [ i ] -> (
     let c = cols.(i) in
     match (c.Column.data, c.Column.nulls) with
     | Column.I a, None -> fun row -> Some (KInt a.(row))
     | Column.S a, None -> fun row -> Some (KStr a.(row))
+    | Column.D (a, _), None when local -> fun row -> Some (KInt a.(row))
+    | Column.D (a, d), None ->
+      let values = d.Column.values in
+      fun row -> Some (KStr values.(a.(row)))
     | Column.I a, Some m ->
       fun row ->
         if Bitset.get m row then
@@ -42,30 +134,150 @@ let key_fn ~(null_as_key : bool) (cols : Column.t array) (idxs : int list) :
         if Bitset.get m row then
           if null_as_key then Some (KStr "\x00N") else None
         else Some (KStr a.(row))
+    | Column.D (a, _), Some m when local ->
+      fun row ->
+        if Bitset.get m row then
+          if null_as_key then Some (KStr "\x00N") else None
+        else Some (KInt a.(row))
+    | Column.D (a, d), Some m ->
+      let values = d.Column.values in
+      fun row ->
+        if Bitset.get m row then
+          if null_as_key then Some (KStr "\x00N") else None
+        else Some (KStr values.(a.(row)))
     | _ ->
       fun row ->
         let v = Column.get c row in
         if Value.is_null v then
           if null_as_key then Some (KStr "\x00N") else None
         else Some (KStr (pack_values [ v ])))
-  | idxs ->
+  | idxs -> (
     let cs = List.map (fun i -> cols.(i)) idxs in
-    fun row ->
-      let vs = List.map (fun c -> Column.get c row) cs in
-      if (not null_as_key) && List.exists Value.is_null vs then None
-      else Some (KStr (pack_values vs))
+    match if local then mixed_radix ~cross_chunk cs else None with
+    | Some parts ->
+      let slots = Array.of_list (List.map fst parts) in
+      let radices = Array.of_list (List.map snd parts) in
+      let k = Array.length slots in
+      fun row ->
+        let rec go i acc =
+          if i = k then Some (KInt acc)
+          else
+            let s = slots.(i) row in
+            if s = 0 && not null_as_key then None
+            else go (i + 1) ((acc * radices.(i)) + s)
+        in
+        go 0 0
+    | None ->
+      fun row ->
+        let vs = List.map (fun c -> Column.get c row) cs in
+        if (not null_as_key) && List.exists Value.is_null vs then None
+        else Some (KStr (pack_values vs)))
 
-(* Build a key -> row-index-list table over all [n] rows. *)
-let build_table ~null_as_key (cols : Column.t array) (idxs : int list) ~(n : int)
-    : (key, int list) Hashtbl.t =
-  let kf = key_fn ~null_as_key cols idxs in
-  let tbl = Hashtbl.create (max 16 n) in
-  for row = 0 to n - 1 do
-    match kf row with
-    | None -> ()
-    | Some k -> (
+(* A build-side table. A single int key column (the common join shape:
+   foreign keys) gets an unboxed int-keyed table — no [key] boxing on insert
+   or probe, and OCaml's immediate-int hashing. Everything else uses boxed
+   [key]s. *)
+type table =
+  | TInt of (int, int list) Hashtbl.t
+  | TBoxed of (key, int list) Hashtbl.t
+
+let lookup_key (t : table) (k : key) : int list =
+  match (t, k) with
+  | TBoxed tbl, k -> (
+    match Hashtbl.find_opt tbl k with Some rows -> rows | None -> [])
+  | TInt tbl, KInt i -> (
+    match Hashtbl.find_opt tbl i with Some rows -> rows | None -> [])
+  | TInt _, KStr _ -> []
+
+(* Build a key -> row-index-list table. Without [sel], over all [n] rows;
+   with [sel], over the listed base rows only (the table still stores base
+   row indices, so probe results compose with selection vectors). *)
+let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
+    ~(n : int) : table =
+  let n_log = match sel with Some s -> Array.length s | None -> n in
+  let iter_rows f =
+    match sel with
+    | None ->
+      for row = 0 to n_log - 1 do
+        f row
+      done
+    | Some s ->
+      for pos = 0 to n_log - 1 do
+        f s.(pos)
+      done
+  in
+  let int_col =
+    match idxs with
+    | [ i ] -> (
+      match cols.(i).Column.data with
+      | Column.I a when not (null_as_key && Column.has_nulls cols.(i)) ->
+        Some (a, cols.(i).Column.nulls)
+      | _ -> None)
+    | _ -> None
+  in
+  match int_col with
+  | Some (a, nulls) ->
+    (* unboxed build: null rows can't be int keys, so they are skipped
+       (valid because null_as_key is false whenever nulls are present) *)
+    let tbl = Hashtbl.create (max 16 n_log) in
+    let insert row =
+      let k = a.(row) in
       match Hashtbl.find_opt tbl k with
       | Some rows -> Hashtbl.replace tbl k (row :: rows)
-      | None -> Hashtbl.add tbl k [ row ])
-  done;
-  tbl
+      | None -> Hashtbl.add tbl k [ row ]
+    in
+    (match nulls with
+    | None -> iter_rows insert
+    | Some m -> iter_rows (fun row -> if not (Bitset.get m row) then insert row));
+    TInt tbl
+  | None ->
+    let kf = key_fn ~null_as_key cols idxs in
+    let tbl = Hashtbl.create (max 16 n_log) in
+    iter_rows (fun row ->
+        match kf row with
+        | None -> ()
+        | Some k -> (
+          match Hashtbl.find_opt tbl k with
+          | Some rows -> Hashtbl.replace tbl k (row :: rows)
+          | None -> Hashtbl.add tbl k [ row ]));
+    TBoxed tbl
+
+(* Join-probe closure: probe row -> matching build rows. Nulls never match
+   (join semantics). A single dictionary-encoded probe key memoizes the
+   lookup per code; a single int probe key against a [TInt] table runs
+   unboxed. The memo is mutable, so callers running probes on multiple
+   domains should create one probe_fn per chunk (the [table] itself is
+   shared). *)
+let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
+    int -> int list =
+  match idxs with
+  | [ i ] -> (
+    let c = cols.(i) in
+    match (c.Column.data, t) with
+    | Column.I a, TInt itbl -> (
+      let lookup row =
+        match Hashtbl.find_opt itbl a.(row) with Some rows -> rows | None -> []
+      in
+      match c.Column.nulls with
+      | None -> lookup
+      | Some m -> fun row -> if Bitset.get m row then [] else lookup row)
+    | Column.D (codes, d), _ -> (
+      let values = d.Column.values in
+      let memo : int list option array = Array.make (Array.length values) None in
+      let lookup code =
+        match memo.(code) with
+        | Some rows -> rows
+        | None ->
+          let rows = lookup_key t (KStr values.(code)) in
+          memo.(code) <- Some rows;
+          rows
+      in
+      match c.Column.nulls with
+      | None -> fun row -> lookup codes.(row)
+      | Some m -> fun row -> if Bitset.get m row then [] else lookup codes.(row))
+    | _ ->
+      let kf = key_fn ~null_as_key:false cols idxs in
+      fun row -> ( match kf row with None -> [] | Some k -> lookup_key t k))
+  | idxs ->
+    let kf = key_fn ~null_as_key:false cols idxs in
+    fun row -> ( match kf row with None -> [] | Some k -> lookup_key t k)

@@ -28,7 +28,11 @@ let saved = Atomic.make 0. (* single-writer in Simulated mode *)
 let reset_saved () = Atomic.set saved 0.
 let saved_time () = Atomic.get saved
 
-let add_saved dt = Atomic.set saved (Atomic.get saved +. dt)
+(* CAS loop: a get-then-set would drop updates if two domains ever account
+   saved time concurrently. *)
+let rec add_saved dt =
+  let cur = Atomic.get saved in
+  if not (Atomic.compare_and_set saved cur (cur +. dt)) then add_saved dt
 
 (* Split [n] items into [k] contiguous chunks as (start, len) pairs. *)
 let chunks ~k n =

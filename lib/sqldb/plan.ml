@@ -159,6 +159,24 @@ let rec pexpr_cols acc = function
   | PInList (a, _, _) -> pexpr_cols acc a
   | PIsNull (a, _) -> pexpr_cols acc a
 
+(* Rewrite every column reference through [f] (projection pruning, schema
+   remaps). *)
+let rec map_cols f = function
+  | PCol i -> PCol (f i)
+  | PLit v -> PLit v
+  | PBin (op, a, b) -> PBin (op, map_cols f a, map_cols f b)
+  | PNeg a -> PNeg (map_cols f a)
+  | PNot a -> PNot (map_cols f a)
+  | PCase (whens, els) ->
+    PCase
+      ( List.map (fun (c, v) -> (map_cols f c, map_cols f v)) whens,
+        Option.map (map_cols f) els )
+  | PFunc (fn, args) -> PFunc (fn, List.map (map_cols f) args)
+  | PLike (a, p, n) -> PLike (map_cols f a, p, n)
+  | PInList (a, items, n) -> PInList (map_cols f a, items, n)
+  | PIsNull (a, n) -> PIsNull (map_cols f a, n)
+  | PCast (a, ty) -> PCast (map_cols f a, ty)
+
 (* Shift all column references by [k] (used when moving an expression onto a
    concatenated schema). *)
 let rec shift_cols k = function

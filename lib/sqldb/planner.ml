@@ -174,7 +174,27 @@ let comp_of_src (s : src) (plan : plan) : comp =
 
 let comp_owns (c : comp) v = Hashtbl.mem c.vmap v
 
+(* Static per-row cost of a predicate, used to order conjuncts at bind time.
+   Column-vs-literal comparisons and IN/LIKE on a bare column are exactly the
+   shapes the evaluator turns into dictionary-code table lookups, so they run
+   first and cheaper conjuncts short-circuit the expensive ones. *)
+let rec pred_cost (e : pexpr) : int =
+  match e with
+  | PBin ((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge), PCol _, PLit _)
+  | PBin ((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge), PLit _, PCol _)
+  | PIsNull (PCol _, _) -> 0
+  | PInList (PCol _, _, _) -> 1
+  | PLike (PCol _, _, _) -> 2
+  | PBin ((Sql_ast.And | Sql_ast.Or), a, b) -> max (pred_cost a) (pred_cost b)
+  | PNot a -> pred_cost a
+  | _ -> 3
+
 let comp_filter (c : comp) (preds : pexpr list) : comp =
+  let preds =
+    List.stable_sort
+      (fun a b -> compare (pred_cost a) (pred_cost b))
+      preds
+  in
   match conj (List.map (rewrite_via c.vmap) preds) with
   | None -> c
   | Some pred ->
@@ -987,4 +1007,4 @@ and plan_query_inner env ~outer (q : Sql_ast.query) : bound_query =
 
 let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
   let env = { catalog; cte_schemas = [] } in
-  plan_query_inner env ~outer:[] q
+  Prune.prune_query (plan_query_inner env ~outer:[] q)

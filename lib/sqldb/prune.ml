@@ -1,0 +1,270 @@
+(** Column pruning over bound plans.
+
+    The dataframe frontend projects every input column into each CTE, so a
+    join CTE materializes the full width of both sides even when downstream
+    steps touch a handful of columns. This pass computes, per CTE and per
+    base-table scan, the set of columns actually referenced downstream and
+    narrows plans to that set. Narrowing a scan is a zero-copy [Project] of
+    bare [PCol]s; the payoff is at pipeline breakers — a join gathers (and a
+    CTE stores) only the surviving columns.
+
+    Two phases over a [bound_query]:
+    - {b analyze}: walk main and then the CTEs in reverse definition order
+      (consumers before producers), propagating a required-column set down to
+      every [Scan] and accumulating the union per CTE name.
+    - {b rewrite}: walk producers before consumers, rebuilding each plan so
+      every node carries only the columns its ancestors need. A node may keep
+      a superset of the request (a filter also keeps its predicate columns);
+      the returned old-index → new-index map tells the caller where its
+      columns went. *)
+
+open Plan
+module IS = Set.Make (Int)
+
+let full n = IS.of_list (List.init n Fun.id)
+let cols_of e = IS.of_list (pexpr_cols [] e)
+
+let key_cols keys s = List.fold_left (fun s (k, _) -> IS.add k s) s keys
+
+(* Requirements each join side inherits from the output request, the join
+   keys and the residual predicate (indexed over the concatenated schema). *)
+let join_side_reqs ~nl keys residual (req : IS.t) =
+  let all =
+    match residual with None -> req | Some e -> IS.union req (cols_of e)
+  in
+  let lreq = IS.filter (fun i -> i < nl) all in
+  let rreq = IS.map (fun i -> i - nl) (IS.filter (fun i -> i >= nl) all) in
+  let lreq = List.fold_left (fun s (l, _) -> IS.add l s) lreq keys in
+  let rreq = List.fold_left (fun s (_, r) -> IS.add r s) rreq keys in
+  (lreq, rreq)
+
+let agg_input_req groups specs =
+  List.fold_left
+    (fun s (sp : agg_spec) ->
+      match sp.arg with Some i -> IS.add i s | None -> s)
+    (IS.of_list groups) specs
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: per-CTE required-column sets                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec analyze (note : string -> IS.t -> unit) (p : plan) (req : IS.t) : unit
+    =
+  match p.node with
+  | Scan name -> note name req
+  | PValues _ -> ()
+  | Filter (sub, pred) -> analyze note sub (IS.union req (cols_of pred))
+  | Project (sub, items) ->
+    let items = Array.of_list items in
+    let req' =
+      IS.fold
+        (fun i acc -> IS.union acc (cols_of (fst items.(i))))
+        req IS.empty
+    in
+    analyze note sub req'
+  | Join { left; right; keys; residual; _ } ->
+    let nl = Array.length left.schema in
+    let lreq, rreq = join_side_reqs ~nl keys residual req in
+    analyze note left lreq;
+    analyze note right rreq
+  | SemiJoin { left; right; keys; residual; _ } ->
+    let nl = Array.length left.schema in
+    (* output is the left side only; the residual still spans left ++ right *)
+    let lreq, rreq = join_side_reqs ~nl keys residual req in
+    analyze note left (IS.union req lreq);
+    analyze note right rreq
+  | Aggregate (sub, groups, specs) ->
+    analyze note sub (agg_input_req groups specs)
+  | Sort (sub, keys) -> analyze note sub (key_cols keys req)
+  | LimitN (sub, _) -> analyze note sub req
+  | Distinct sub ->
+    (* DISTINCT dedupes whole rows: every input column is significant *)
+    analyze note sub (full (Array.length sub.schema))
+  | Window (sub, keys, _) ->
+    let nsub = Array.length sub.schema in
+    analyze note sub (key_cols keys (IS.filter (fun i -> i < nsub) req))
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: rewrite                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let identity n = Array.init n Fun.id
+
+(* Old-index → new-index array; -1 marks a dropped column. Hitting one is a
+   pass bug: a consumer referenced a column the analysis did not request. *)
+let apply (m : int array) i =
+  let j = m.(i) in
+  if j < 0 then invalid_arg "Prune: reference to pruned column";
+  j
+
+let remap m e = map_cols (apply m) e
+
+let inverse ~old_arity (kept : int array) =
+  let m = Array.make old_arity (-1) in
+  Array.iteri (fun newi oldi -> m.(oldi) <- newi) kept;
+  m
+
+(* [rewrite cte_kept p req] returns the narrowed plan plus the index map for
+   its (possibly superset-of-[req]) output columns. [cte_kept] records, for
+   every already-rewritten CTE, which original columns its stored result
+   retains. *)
+let rec rewrite (cte_kept : (string, int array) Hashtbl.t) (p : plan)
+    (req : IS.t) : plan * int array =
+  let arity = Array.length p.schema in
+  (* an empty request would produce a zero-column relation with no row
+     count; keep one column as the row-multiplicity witness *)
+  let req = if IS.is_empty req then IS.singleton 0 else req in
+  match p.node with
+  | PValues _ -> (p, identity arity)
+  | Scan name -> (
+    match Hashtbl.find_opt cte_kept name with
+    | Some kept ->
+      (* the CTE result itself was narrowed; re-point at its layout *)
+      let schema = Array.map (fun oldi -> p.schema.(oldi)) kept in
+      ({ p with node = Scan name; schema }, inverse ~old_arity:arity kept)
+    | None ->
+      if IS.cardinal req = arity then (p, identity arity)
+      else
+        (* base table: zero-copy column select above the scan *)
+        let kept = Array.of_list (IS.elements req) in
+        let items =
+          Array.to_list
+            (Array.map (fun oldi -> (PCol oldi, fst p.schema.(oldi))) kept)
+        in
+        let schema = Array.map (fun oldi -> p.schema.(oldi)) kept in
+        ( { node = Project (p, items); schema; est = p.est },
+          inverse ~old_arity:arity kept ))
+  | Filter (sub, pred) ->
+    let sub', m = rewrite cte_kept sub (IS.union req (cols_of pred)) in
+    ( { node = Filter (sub', remap m pred); schema = sub'.schema; est = p.est },
+      m )
+  | Project (sub, items) ->
+    let items_a = Array.of_list items in
+    let kept = Array.of_list (IS.elements req) in
+    let subreq =
+      Array.fold_left
+        (fun acc oldi -> IS.union acc (cols_of (fst items_a.(oldi))))
+        IS.empty kept
+    in
+    let sub', m = rewrite cte_kept sub subreq in
+    let items' =
+      Array.to_list
+        (Array.map
+           (fun oldi ->
+             let e, nm = items_a.(oldi) in
+             (remap m e, nm))
+           kept)
+    in
+    let schema = Array.map (fun oldi -> p.schema.(oldi)) kept in
+    ( { node = Project (sub', items'); schema; est = p.est },
+      inverse ~old_arity:arity kept )
+  | Join { kind; left; right; keys; residual } ->
+    let nl = Array.length left.schema in
+    let lreq, rreq = join_side_reqs ~nl keys residual req in
+    let left', lm = rewrite cte_kept left lreq in
+    let right', rm = rewrite cte_kept right rreq in
+    let nl' = Array.length left'.schema in
+    let keys' = List.map (fun (l, r) -> (apply lm l, apply rm r)) keys in
+    let mapc i =
+      if i < nl then lm.(i)
+      else
+        let j = rm.(i - nl) in
+        if j < 0 then -1 else nl' + j
+    in
+    let residual' = Option.map (map_cols (fun i ->
+        let j = mapc i in
+        if j < 0 then invalid_arg "Prune: reference to pruned column";
+        j)) residual
+    in
+    ( { node = Join { kind; left = left'; right = right'; keys = keys';
+                      residual = residual' };
+        schema = Array.append left'.schema right'.schema;
+        est = p.est },
+      Array.init arity mapc )
+  | SemiJoin { anti; left; right; keys; residual } ->
+    let nl = Array.length left.schema in
+    let lreq, rreq = join_side_reqs ~nl keys residual req in
+    let left', lm = rewrite cte_kept left (IS.union req lreq) in
+    let right', rm = rewrite cte_kept right rreq in
+    let nl' = Array.length left'.schema in
+    let residual' =
+      Option.map
+        (map_cols (fun i ->
+             if i < nl then apply lm i else nl' + apply rm (i - nl)))
+        residual
+    in
+    ( { node = SemiJoin { anti; left = left'; right = right'; keys =
+                            List.map (fun (l, r) -> (apply lm l, apply rm r))
+                              keys;
+                          residual = residual' };
+        schema = left'.schema;
+        est = p.est },
+      lm )
+  | Aggregate (sub, groups, specs) ->
+    let sub', m = rewrite cte_kept sub (agg_input_req groups specs) in
+    let groups' = List.map (apply m) groups in
+    let specs' =
+      List.map
+        (fun (sp : agg_spec) ->
+          { sp with arg = Option.map (apply m) sp.arg })
+        specs
+    in
+    ( { node = Aggregate (sub', groups', specs'); schema = p.schema;
+        est = p.est },
+      identity arity )
+  | Sort (sub, keys) ->
+    let sub', m = rewrite cte_kept sub (key_cols keys req) in
+    let keys' = List.map (fun (k, d) -> (apply m k, d)) keys in
+    ({ node = Sort (sub', keys'); schema = sub'.schema; est = p.est }, m)
+  | LimitN (sub, k) ->
+    let sub', m = rewrite cte_kept sub req in
+    ({ node = LimitN (sub', k); schema = sub'.schema; est = p.est }, m)
+  | Distinct sub ->
+    let sub', m = rewrite cte_kept sub (full (Array.length sub.schema)) in
+    ({ node = Distinct sub'; schema = sub'.schema; est = p.est }, m)
+  | Window (sub, keys, name) ->
+    let nsub = Array.length sub.schema in
+    let sub', m =
+      rewrite cte_kept sub (key_cols keys (IS.filter (fun i -> i < nsub) req))
+    in
+    let keys' = List.map (fun (k, d) -> (apply m k, d)) keys in
+    let nsub' = Array.length sub'.schema in
+    ( { node = Window (sub', keys', name);
+        schema = Array.append sub'.schema [| p.schema.(arity - 1) |];
+        est = p.est },
+      Array.init arity (fun i -> if i = nsub then nsub' else m.(i)) )
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prune_query (bq : bound_query) : bound_query =
+  let cte_req : (string, IS.t ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (n, _) -> Hashtbl.replace cte_req n (ref IS.empty)) bq.ctes;
+  let note name req =
+    match Hashtbl.find_opt cte_req name with
+    | Some r -> r := IS.union !r req
+    | None -> () (* base table *)
+  in
+  (* consumers before producers: main, then CTEs last-to-first *)
+  analyze note bq.main (full (Array.length bq.main.schema));
+  List.iter
+    (fun (name, p) ->
+      let req = !(Hashtbl.find cte_req name) in
+      let req = if IS.is_empty req then IS.singleton 0 else req in
+      analyze note p req)
+    (List.rev bq.ctes);
+  (* producers before consumers: each Scan of a CTE needs its final layout *)
+  let cte_kept : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+  let ctes' =
+    List.map
+      (fun (name, p) ->
+        let p', m = rewrite cte_kept p !(Hashtbl.find cte_req name) in
+        let kept = Array.make (Array.length p'.schema) (-1) in
+        Array.iteri (fun oldi newi -> if newi >= 0 then kept.(newi) <- oldi) m;
+        Hashtbl.replace cte_kept name kept;
+        (name, p'))
+      bq.ctes
+  in
+  let main', _ = rewrite cte_kept bq.main (full (Array.length bq.main.schema)) in
+  { ctes = ctes'; main = main' }

@@ -47,6 +47,13 @@ let row t i = Array.map (fun c -> Column.get c i) t.cols
 let take t idx =
   { t with cols = Array.map (fun c -> Column.take c idx) t.cols }
 
+(* Dictionary-encode every low-cardinality string column (catalog ingest). *)
+let encode_strings ?max_distinct t =
+  { t with cols = Array.map (Column.encode ?max_distinct) t.cols }
+
+(* Decode all dictionary columns back to raw strings (equivalence tests). *)
+let decode_strings t = { t with cols = Array.map Column.decode t.cols }
+
 let rename t names =
   if Array.length names <> n_cols t then
     invalid_arg "Relation.rename: arity mismatch";

@@ -97,6 +97,13 @@ let mk_comment rng n_words =
 let date_lo = Value.date_of_iso "1992-01-01"
 let date_hi = Value.date_of_iso "1998-08-02"
 
+(* Categorical column from a known domain: built dictionary-coded (no
+   per-row string allocation) when encoding is enabled, raw strings when the
+   PYTOND_NO_DICT toggle asks for the unencoded baseline. *)
+let coded (values : string array) (codes : int array) : Column.t =
+  if Db.dict_encoding_enabled () then Column.of_coded values codes
+  else Column.of_strings (Array.map (fun c -> values.(c)) codes)
+
 type tables = {
   region : Relation.t;
   nation : Relation.t;
@@ -174,18 +181,40 @@ let generate ?(seed = 20240114) (sf : float) : tables =
                   (Rng.int rng 1000 9999)));
          Column.of_floats
            (Array.init n_cust (fun _ -> Rng.float rng (-999.99) 9999.99));
-         Column.of_strings (Array.init n_cust (fun _ -> Rng.pick rng segments));
+         coded segments
+           (Array.init n_cust (fun _ ->
+                Rng.int rng 0 (Array.length segments - 1)));
          Column.of_strings (Array.init n_cust (fun _ -> mk_comment rng 10)) |]
   in
-  (* part *)
-  let p_types =
-    Array.init n_part (fun _ ->
-        Printf.sprintf "%s %s %s" (Rng.pick rng type_syl1)
-          (Rng.pick rng type_syl2) (Rng.pick rng type_syl3))
+  (* part: categorical columns enumerate their full domain once and are
+     generated directly as codes into it *)
+  let mfgr_values =
+    Array.init 5 (fun i -> Printf.sprintf "Manufacturer#%d" (i + 1))
   in
-  let p_brands =
+  let brand_values =
+    Array.init 25 (fun i ->
+        Printf.sprintf "Brand#%d%d" ((i / 5) + 1) ((i mod 5) + 1))
+  in
+  let type_values =
+    Array.init (6 * 5 * 5) (fun i ->
+        Printf.sprintf "%s %s %s" type_syl1.(i / 25)
+          type_syl2.(i / 5 mod 5) type_syl3.(i mod 5))
+  in
+  let container_values =
+    Array.init (5 * 8) (fun i -> containers1.(i / 8) ^ " " ^ containers2.(i mod 8))
+  in
+  let p_type_codes =
     Array.init n_part (fun _ ->
-        Printf.sprintf "Brand#%d%d" (Rng.int rng 1 5) (Rng.int rng 1 5))
+        let a = Rng.int rng 0 5 in
+        let b = Rng.int rng 0 4 in
+        let c = Rng.int rng 0 4 in
+        (a * 25) + (b * 5) + c)
+  in
+  let p_brand_codes =
+    Array.init n_part (fun _ ->
+        let a = Rng.int rng 1 5 in
+        let b = Rng.int rng 1 5 in
+        ((a - 1) * 5) + (b - 1))
   in
   let part =
     let keys = Array.init n_part (fun i -> i + 1) in
@@ -198,15 +227,15 @@ let generate ?(seed = 20240114) (sf : float) : tables =
                 Printf.sprintf "%s %s %s %s %s" (Rng.pick rng colors)
                   (Rng.pick rng colors) (Rng.pick rng colors)
                   (Rng.pick rng colors) (Rng.pick rng colors)));
-         Column.of_strings
-           (Array.init n_part (fun _ ->
-                Printf.sprintf "Manufacturer#%d" (Rng.int rng 1 5)));
-         Column.of_strings p_brands;
-         Column.of_strings p_types;
+         coded mfgr_values (Array.init n_part (fun _ -> Rng.int rng 0 4));
+         coded brand_values p_brand_codes;
+         coded type_values p_type_codes;
          Column.of_ints (Array.init n_part (fun _ -> Rng.int rng 1 50));
-         Column.of_strings
+         coded container_values
            (Array.init n_part (fun _ ->
-                Rng.pick rng containers1 ^ " " ^ Rng.pick rng containers2));
+                let a = Rng.int rng 0 4 in
+                let b = Rng.int rng 0 7 in
+                (a * 8) + b));
          Column.of_floats
            (Array.init n_part (fun i ->
                 900. +. (float_of_int ((i + 1) mod 1000) /. 10.)));
@@ -236,14 +265,21 @@ let generate ?(seed = 20240114) (sf : float) : tables =
   let o_key = Array.make n_orders 0 in
   let o_cust = Array.make n_orders 0 in
   let o_date = Array.make n_orders 0 in
-  let o_prio = Array.make n_orders "" in
+  let o_prio = Array.make n_orders 0 in
   let o_comment = Array.make n_orders "" in
-  let o_clerk = Array.make n_orders "" in
+  let o_clerk = Array.make n_orders 0 in
   let o_ship = Array.make n_orders 0 in
   let li = ref [] in
   let n_li = ref 0 in
   let o_total = Array.make n_orders 0. in
-  let o_status = Array.make n_orders "" in
+  let o_status = Array.make n_orders 0 in
+  let n_clerks = max 1 (n_orders / 1000) in
+  let clerk_values =
+    Array.init n_clerks (fun i -> Printf.sprintf "Clerk#%09d" (i + 1))
+  in
+  let status_values = [| "F"; "O"; "P" |] in
+  let flag_values = [| "R"; "A"; "N" |] in
+  let linestatus_values = [| "O"; "F" |] in
   let current_date = Value.date_of_iso "1995-06-17" in
   for i = 0 to n_orders - 1 do
     o_key.(i) <- i + 1;
@@ -254,8 +290,8 @@ let generate ?(seed = 20240114) (sf : float) : tables =
     in
     o_cust.(i) <- pick_cust ();
     o_date.(i) <- Rng.int rng date_lo (date_hi - 151);
-    o_prio.(i) <- Rng.pick rng priorities;
-    o_clerk.(i) <- Printf.sprintf "Clerk#%09d" (Rng.int rng 1 (max 1 (n_orders / 1000)));
+    o_prio.(i) <- Rng.int rng 0 (Array.length priorities - 1);
+    o_clerk.(i) <- Rng.int rng 1 n_clerks - 1;
     o_ship.(i) <- 0;
     o_comment.(i) <-
       (if Rng.int rng 0 99 < 2 then "dolphins special deposits requests haggle"
@@ -277,23 +313,25 @@ let generate ?(seed = 20240114) (sf : float) : tables =
       let ship = o_date.(i) + Rng.int rng 1 121 in
       let commit = o_date.(i) + Rng.int rng 30 90 in
       let receipt = ship + Rng.int rng 1 30 in
+      (* string-valued line attributes are tracked as dictionary codes *)
       let returnflag =
-        if receipt <= current_date then (if Rng.int rng 0 1 = 0 then "R" else "A")
-        else "N"
+        if receipt <= current_date then (if Rng.int rng 0 1 = 0 then 0 else 1)
+        else 2
       in
-      let linestatus = if ship > current_date then "O" else "F" in
-      if linestatus = "O" then all_f := false else all_o := false;
+      let linestatus = if ship > current_date then 0 else 1 in
+      if linestatus = 0 then all_f := false else all_o := false;
       total := !total +. (price *. (1. -. disc) *. (1. +. tax));
       incr n_li;
       li :=
         (i + 1, partkey, suppkey, l, qty, price, disc, tax, returnflag,
          linestatus, ship, commit, receipt,
-         Rng.pick rng ship_instructs, Rng.pick rng ship_modes,
+         Rng.int rng 0 (Array.length ship_instructs - 1),
+         Rng.int rng 0 (Array.length ship_modes - 1),
          mk_comment rng 4)
         :: !li
     done;
     o_total.(i) <- !total;
-    o_status.(i) <- (if !all_f then "F" else if !all_o then "O" else "P")
+    o_status.(i) <- (if !all_f then 0 else if !all_o then 1 else 2)
   done;
   let orders =
     Relation.create
@@ -302,11 +340,11 @@ let generate ?(seed = 20240114) (sf : float) : tables =
          "o_comment" |]
       [| Column.of_ints o_key;
          Column.of_ints o_cust;
-         Column.of_strings o_status;
+         coded status_values o_status;
          Column.of_floats o_total;
          Column.of_dates o_date;
-         Column.of_strings o_prio;
-         Column.of_strings o_clerk;
+         coded priorities o_prio;
+         coded clerk_values o_clerk;
          Column.of_ints o_ship;
          Column.of_strings o_comment |]
   in
@@ -315,6 +353,7 @@ let generate ?(seed = 20240114) (sf : float) : tables =
   let geti f = Column.of_ints (Array.map f lines) in
   let getf f = Column.of_floats (Array.map f lines) in
   let gets f = Column.of_strings (Array.map f lines) in
+  let getc values f = coded values (Array.map f lines) in
   let getd f = Column.of_dates (Array.map f lines) in
   let lineitem =
     Relation.create
@@ -330,13 +369,13 @@ let generate ?(seed = 20240114) (sf : float) : tables =
          getf (fun (_, _, _, _, _, f, _, _, _, _, _, _, _, _, _, _) -> f);
          getf (fun (_, _, _, _, _, _, g, _, _, _, _, _, _, _, _, _) -> g);
          getf (fun (_, _, _, _, _, _, _, h, _, _, _, _, _, _, _, _) -> h);
-         gets (fun (_, _, _, _, _, _, _, _, i, _, _, _, _, _, _, _) -> i);
-         gets (fun (_, _, _, _, _, _, _, _, _, j, _, _, _, _, _, _) -> j);
+         getc flag_values (fun (_, _, _, _, _, _, _, _, i, _, _, _, _, _, _, _) -> i);
+         getc linestatus_values (fun (_, _, _, _, _, _, _, _, _, j, _, _, _, _, _, _) -> j);
          getd (fun (_, _, _, _, _, _, _, _, _, _, k, _, _, _, _, _) -> k);
          getd (fun (_, _, _, _, _, _, _, _, _, _, _, l, _, _, _, _) -> l);
          getd (fun (_, _, _, _, _, _, _, _, _, _, _, _, m, _, _, _) -> m);
-         gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, n, _, _) -> n);
-         gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, _, o, _) -> o);
+         getc ship_instructs (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, n, _, _) -> n);
+         getc ship_modes (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, _, o, _) -> o);
          gets (fun (_, _, _, _, _, _, _, _, _, _, _, _, _, _, _, p) -> p) |]
   in
   ignore !n_li;
