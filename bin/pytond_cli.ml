@@ -5,6 +5,7 @@
      dune exec bin/pytond_cli.exe -- explain --dataset tpch --sf 0.01 my.py
      dune exec bin/pytond_cli.exe -- run --dataset crime_index my.py
      dune exec bin/pytond_cli.exe -- run --dataset tpch --query q6   # built-in
+     dune exec bin/pytond_cli.exe -- run --dataset tpch --query q1 --timeout-ms 500
 *)
 
 open Cmdliner
@@ -36,9 +37,21 @@ let read_source file query =
     let s = really_input_string ic n in
     close_in ic;
     s
-  | None, Some q -> Tpch.Queries.find q
+  | None, Some q -> (
+    try Tpch.Queries.find q
+    with Invalid_argument _ ->
+      prerr_endline ("pytond: unknown query " ^ q ^ " (expected q1..q22)");
+      exit 1)
   | None, None ->
     prerr_endline "provide a .py file or --query qN";
+    exit 1
+
+(* Pipeline failures exit 1 with a one-line typed diagnostic instead of a
+   backtrace. *)
+let or_die f =
+  try f ()
+  with Pytond.Error e ->
+    prerr_endline ("pytond: " ^ Pytond.Errors.to_string e);
     exit 1
 
 let dataset_arg =
@@ -66,6 +79,13 @@ let level_arg =
 let threads_arg =
   Arg.(value & opt int 1 & info [ "threads" ] ~doc:"engine threads")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ]
+        ~doc:"abort execution after this many milliseconds (typed exec error)")
+
 let fname_arg =
   Arg.(value & opt string "query" & info [ "function" ] ~doc:"decorated function name")
 
@@ -76,22 +96,45 @@ let query_arg =
   Arg.(value & opt (some string) None & info [ "query" ] ~doc:"built-in TPC-H query (q1..q22)")
 
 let explain_cmd =
-  let run dataset sf file query fname level =
+  let run dataset sf file query fname level backend =
     let db = load_dataset dataset sf in
     let source = read_source file query in
-    print_endline (Pytond.explain ~level ~db ~source ~fname ())
+    let dialect =
+      match backend with Pytond.Compiled -> "hyper" | _ -> "duckdb"
+    in
+    or_die (fun () ->
+        print_endline (Pytond.explain ~level ~dialect ~db ~source ~fname ()))
   in
   Cmd.v (Cmd.info "explain" ~doc:"show TondIR (before/after optimization) and SQL")
-    Term.(const run $ dataset_arg $ sf_arg $ file_arg $ query_arg $ fname_arg $ level_arg)
+    Term.(
+      const run $ dataset_arg $ sf_arg $ file_arg $ query_arg $ fname_arg
+      $ level_arg $ backend_arg)
 
 let run_cmd =
-  let run dataset sf file query fname level backend threads baseline =
+  let run dataset sf file query fname level backend threads baseline auto
+      timeout_ms =
     let db = load_dataset dataset sf in
     let source = read_source file query in
     let t0 = Unix.gettimeofday () in
     let r =
-      if baseline then Pytond.run_python ~db ~source ~fname ()
-      else Pytond.run ~level ~backend ~threads ~db ~source ~fname ()
+      or_die (fun () ->
+          if baseline then Pytond.run_python ~db ~source ~fname ()
+          else if auto then begin
+            let a =
+              Pytond.run_auto ~level ~backend ~threads ?timeout_ms ~db ~source
+                ~fname ()
+            in
+            (match a.Pytond.fallback_reason with
+            | Some e ->
+              Printf.eprintf "pytond: fell back to %s: %s\n%!"
+                (Pytond.engine_name a.Pytond.engine)
+                (Pytond.Errors.to_string e)
+            | None -> ());
+            a.Pytond.relation
+          end
+          else
+            Pytond.run ~level ~backend ~threads ?timeout_ms ~db ~source ~fname
+              ())
     in
     let dt = Unix.gettimeofday () -. t0 in
     print_string (Sqldb.Relation.to_string ~max_rows:40 r);
@@ -100,10 +143,17 @@ let run_cmd =
   let baseline_arg =
     Arg.(value & flag & info [ "baseline" ] ~doc:"run the eager Python baseline instead")
   in
+  let auto_arg =
+    Arg.(
+      value & flag
+      & info [ "auto" ]
+          ~doc:"fall back to the Python baseline when the SQL pipeline fails")
+  in
   Cmd.v (Cmd.info "run" ~doc:"execute a @pytond function in-database")
     Term.(
       const run $ dataset_arg $ sf_arg $ file_arg $ query_arg $ fname_arg
-      $ level_arg $ backend_arg $ threads_arg $ baseline_arg)
+      $ level_arg $ backend_arg $ threads_arg $ baseline_arg $ auto_arg
+      $ timeout_arg)
 
 let () =
   let info = Cmd.info "pytond" ~doc:"PyTond: Python data science on SQL engines" in

@@ -1,33 +1,53 @@
 (* tpch_cli: run the bundled TPC-H suite on any backend.
 
    Example: dune exec bin/tpch_cli.exe -- --sf 0.05 --backend hyper --threads 2 q1 q6
-*)
+   A query that trips --timeout-ms is reported as a typed error line, and the
+   suite moves on to the next query. *)
 
 open Cmdliner
 
-let run sf backend threads check queries =
+let run sf backend threads check timeout_ms queries =
   let db = Tpch.Dbgen.make_db sf in
   let queries = if queries = [] then List.map fst Tpch.Queries.all else queries in
+  let failed = ref false in
   List.iter
     (fun q ->
-      let source = Tpch.Queries.find q in
-      let t0 = Unix.gettimeofday () in
-      let r = Pytond.run ~backend ~threads ~db ~source ~fname:"query" () in
-      let dt = Unix.gettimeofday () -. t0 in
-      let status =
-        if not check then ""
-        else begin
-          let base = Pytond.run_python ~db ~source ~fname:"query" () in
-          if
-            Sqldb.Relation.canonical ~digits:3 base
-            = Sqldb.Relation.canonical ~digits:3 r
-          then "  [check: OK]"
-          else "  [check: MISMATCH]"
-        end
+      let source =
+        try Tpch.Queries.find q
+        with Invalid_argument _ ->
+          prerr_endline
+            ("tpch: unknown query " ^ q ^ " (expected q1..q22)");
+          exit 1
       in
-      Printf.printf "%-4s %6d rows  %8.3fs%s\n%!" q (Sqldb.Relation.n_rows r)
-        dt status)
-    queries
+      let t0 = Unix.gettimeofday () in
+      match
+        Pytond.run ~backend ~threads ?timeout_ms ~db ~source ~fname:"query" ()
+      with
+      | exception Pytond.Error e ->
+        failed := true;
+        Printf.printf "%-4s FAILED  %8.3fs  %s\n%!" q
+          (Unix.gettimeofday () -. t0)
+          (Pytond.Errors.to_string e)
+      | r ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let status =
+          if not check then ""
+          else begin
+            let base = Pytond.run_python ~db ~source ~fname:"query" () in
+            if
+              Sqldb.Relation.canonical ~digits:3 base
+              = Sqldb.Relation.canonical ~digits:3 r
+            then "  [check: OK]"
+            else begin
+              failed := true;
+              "  [check: MISMATCH]"
+            end
+          end
+        in
+        Printf.printf "%-4s %6d rows  %8.3fs%s\n%!" q (Sqldb.Relation.n_rows r)
+          dt status)
+    queries;
+  if !failed then exit 1
 
 let () =
   let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"scale factor") in
@@ -42,9 +62,15 @@ let () =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"verify against the Python baseline")
   in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~doc:"per-query execution deadline in milliseconds")
+  in
   let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY") in
   let cmd =
     Cmd.v (Cmd.info "tpch" ~doc:"run TPC-H via PyTond")
-      Term.(const run $ sf $ backend $ threads $ check $ queries)
+      Term.(const run $ sf $ backend $ threads $ check $ timeout_ms $ queries)
   in
   exit (Cmd.eval cmd)

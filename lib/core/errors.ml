@@ -1,0 +1,123 @@
+(** Typed error taxonomy for the whole pipeline.
+
+    Every layer raises its own structured exception (lexer line numbers,
+    parser token positions, translator API names, optimizer pass ids, SQL
+    fragments); this module classifies any of them into a single [t] value
+    tagged with the pipeline {!stage} that failed.  [Pytond] entry points
+    re-raise them as {!Error} and the Result variants return them directly,
+    so callers can switch on the stage — e.g. [run_auto] falls back to the
+    interpreter only for stages the baseline could still handle. *)
+
+(** Pipeline stage at which an error arose (paper Fig. 1 order). *)
+type stage =
+  | Lex         (** tokenizing Python source *)
+  | Parse       (** parsing tokens to the Python AST *)
+  | Anf         (** A-normal-form conversion *)
+  | Translate   (** Pandas/NumPy → TondIR translation *)
+  | Optimize    (** TondIR rewrite passes (O1–O4) *)
+  | Codegen     (** TondIR → SQL generation *)
+  | Plan        (** SQL parsing / binding against the catalog *)
+  | Exec        (** backend execution (incl. guards and faults) *)
+
+let stage_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Anf -> "anf"
+  | Translate -> "translate"
+  | Optimize -> "optimize"
+  | Codegen -> "codegen"
+  | Plan -> "plan"
+  | Exec -> "exec"
+
+type t = {
+  stage : stage;
+  code : string;  (** short machine-readable discriminator, e.g. ["timeout"] *)
+  message : string;
+  context : (string * string) list;
+      (** source location, rule id, SQL fragment, … — key/value pairs *)
+}
+
+exception Error of t
+
+let make ?(code = "error") ?(context = []) stage message =
+  { stage; code; message; context }
+
+let fail ?code ?context stage fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error (make ?code ?context stage message)))
+    fmt
+
+let to_string (e : t) : string =
+  let ctx =
+    match e.context with
+    | [] -> ""
+    | kvs ->
+      " ("
+      ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+      ^ ")"
+  in
+  Printf.sprintf "[%s/%s] %s%s" (stage_name e.stage) e.code e.message ctx
+
+(* ------------------------------------------------------------------ *)
+(* Classifier                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Map a per-layer exception to its typed error, or [None] for exceptions
+    the pipeline does not own (Stack_overflow, Out_of_memory, …). *)
+let of_exn : exn -> t option = function
+  | Error e -> Some e
+  | Frontend.Lexer.Lex_error { msg; line } ->
+    Some
+      (make ~code:"lex" ~context:[ ("line", string_of_int line) ] Lex msg)
+  | Frontend.Parser.Parse_error { msg; pos; token } ->
+    Some
+      (make ~code:"syntax"
+         ~context:[ ("token", token); ("pos", string_of_int pos) ]
+         Parse msg)
+  | Frontend.Anf.Anf_error msg -> Some (make ~code:"anf" Anf msg)
+  | Translate.Pandas_tr.Unsupported { api; msg } ->
+    let context = match api with Some a -> [ ("api", a) ] | None -> [] in
+    Some (make ~code:"unsupported" ~context Translate msg)
+  | Optimizer.Passes.Optimize_error { pass; msg } ->
+    Some (make ~code:"pass" ~context:[ ("pass", pass) ] Optimize msg)
+  | Sqlgen.Gen.Codegen_error msg -> Some (make ~code:"codegen" Codegen msg)
+  | Sqldb.Sql_parse.Parse_error msg -> Some (make ~code:"sql-parse" Plan msg)
+  | Sqldb.Planner.Bind_error msg -> Some (make ~code:"bind" Plan msg)
+  | Sqldb.Db.Unsupported msg -> Some (make ~code:"backend" Exec msg)
+  | Sqldb.Guard.Trip { reason; detail } ->
+    Some (make ~code:(Sqldb.Guard.trip_name reason) Exec detail)
+  | Sqldb.Faults.Injected { kind; site } ->
+    Some
+      (make ~code:"fault"
+         ~context:[ ("site", site) ]
+         Exec
+         (Printf.sprintf "injected %s fault escaped recovery"
+            (Sqldb.Faults.kind_name kind)))
+  | Interp.Runtime_error msg -> Some (make ~code:"interp" Exec msg)
+  | Division_by_zero -> Some (make ~code:"div-by-zero" Exec "division by zero")
+  | _ -> None
+
+(* [Failure] / [Invalid_argument] carry no layer tag; attribute them to the
+   stage the caller was running when they escaped. *)
+let of_exn_in (stage : stage) (exn : exn) : t option =
+  match of_exn exn with
+  | Some e -> Some e
+  | None -> (
+    match exn with
+    | Failure msg -> Some (make ~code:"failure" stage msg)
+    | Invalid_argument msg -> Some (make ~code:"invalid" stage msg)
+    | _ -> None)
+
+(** Run [f], converting any classifiable exception to [Result.Error].
+    [stage] attributes untagged [Failure]/[Invalid_argument] escapes. *)
+let protect ~(stage : stage) (f : unit -> 'a) : ('a, t) result =
+  try Ok (f ()) with
+  | Error e -> Result.Error e
+  | exn -> (
+    match of_exn_in stage exn with
+    | Some e -> Result.Error e
+    | None -> raise exn)
+
+(** Like {!protect} but re-raises as {!Error} instead of returning. *)
+let guard ~(stage : stage) (f : unit -> 'a) : 'a =
+  match protect ~stage f with Ok v -> v | Result.Error e -> raise (Error e)

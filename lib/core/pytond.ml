@@ -3,7 +3,13 @@
     the same source on the eager Pandas/NumPy baseline interpreter.
 
     Pipeline (paper Fig. 1): Python source → AST → ANF → TondIR →
-    optimization (O1–O4) → SQL → backend execution. *)
+    optimization (O1–O4) → SQL → backend execution.
+
+    Every entry point reports failures as {!Error} carrying a typed
+    {!Errors.t} (stage + code + context); the [_result] variants return the
+    same value in a [result] instead of raising.  {!run_auto} additionally
+    falls back to the interpreter baseline when the SQL pipeline cannot
+    handle the program. *)
 
 module Ast = Frontend.Ast
 module Ir = Tondir.Ir
@@ -13,8 +19,9 @@ module Column = Sqldb.Column
 module Value = Sqldb.Value
 module Catalog = Sqldb.Catalog
 module Opt = Optimizer.Passes
+module Errors = Errors
 
-exception Error of string
+exception Error = Errors.Error
 
 type backend = Sqldb.Db.backend = Vectorized | Compiled | Lingo
 
@@ -30,7 +37,9 @@ type compiled = {
 let find_function (m : Ast.module_) (name : string) : Ast.func =
   match List.find_opt (fun (f : Ast.func) -> String.equal f.fname name) m.funcs with
   | Some f -> f
-  | None -> raise (Error (Printf.sprintf "no function %s in source" name))
+  | None ->
+    Errors.fail ~code:"no-function" Errors.Parse "no function %s in source"
+      name
 
 let decorator_of (f : Ast.func) : Ast.decorator option =
   List.find_opt
@@ -62,33 +71,46 @@ let uniqueness_of_catalog (catalog : Catalog.t) : Opt.context =
 (** Parse [source], locate [func], normalize to ANF and translate to
     (unoptimized) TondIR using catalog + decorator context. *)
 let front ~(db : Db.t) ~(source : string) ~(fname : string) : compiled =
-  let m = Frontend.Parser.parse_module source in
+  let m =
+    Errors.guard ~stage:Errors.Parse (fun () ->
+        Frontend.Parser.parse_module source)
+  in
   let f = find_function m fname in
   (match decorator_of f with
   | Some _ -> ()
   | None ->
-    raise (Error (Printf.sprintf "function %s lacks a @pytond decorator" fname)));
-  let f = Frontend.Anf.normalize_func_def f in
+    Errors.fail ~code:"no-decorator"
+      ~context:[ ("function", fname) ]
+      Errors.Translate "function %s lacks a @pytond decorator" fname);
+  let f =
+    Errors.guard ~stage:Errors.Anf (fun () -> Frontend.Anf.normalize_func_def f)
+  in
   let base = Translate.Context.of_catalog (Db.catalog db) in
   let ctx =
     match decorator_of f with
     | Some d -> Translate.Context.of_decorator ~base d
     | None -> base
   in
-  try
-    let ir = Translate.Pandas_tr.translate ~ctx f in
-    { func = f; ctx; ir }
-  with Translate.Pandas_tr.Unsupported msg ->
-    raise (Error (Printf.sprintf "translation of %s failed: %s" fname msg))
+  let ir =
+    Errors.guard ~stage:Errors.Translate (fun () ->
+        Translate.Pandas_tr.translate ~ctx f)
+  in
+  { func = f; ctx; ir }
 
 let optimize ~(db : Db.t) ~(level : opt_level) (c : compiled) : Ir.program =
   let ctx = uniqueness_of_catalog (Db.catalog db) in
-  Opt.optimize ~level ~ctx c.ir
+  Errors.guard ~stage:Errors.Optimize (fun () -> Opt.optimize ~level ~ctx c.ir)
 
 let base_columns_of_db (db : Db.t) (name : string) : string list option =
   match Catalog.find_opt (Db.catalog db) name with
   | Some t -> Some (Array.to_list (t.Catalog.rel).Relation.names)
   | None -> None
+
+let generate_sql ~(dialect : string) ~(db : Db.t) (ir : Ir.program) : string =
+  Errors.guard ~stage:Errors.Codegen (fun () ->
+      Sqlgen.Gen.generate
+        ~dialect:(Sqldb.Sql_print.dialect_of_name dialect)
+        ~base_columns:(base_columns_of_db db) ir)
 
 (** Compile a @pytond function to SQL text. [level] defaults to O4 (all
     optimizations); [O0] reproduces the "Grizzly-simulated" competitor. *)
@@ -96,33 +118,45 @@ let compile ?(level = O4) ?(dialect = "duckdb") ~(db : Db.t)
     ~(source : string) ~(fname : string) () : string =
   let c = front ~db ~source ~fname in
   let ir = optimize ~db ~level c in
-  try
-    Sqlgen.Gen.generate
-      ~dialect:(Sqldb.Sql_print.dialect_of_name dialect)
-      ~base_columns:(base_columns_of_db db) ir
-  with Sqlgen.Gen.Codegen_error msg ->
-    raise (Error (Printf.sprintf "code generation failed: %s" msg))
+  generate_sql ~dialect ~db ir
 
 (** Compile and show the intermediate TondIR (before and after optimization)
-    alongside the generated SQL — for inspection and documentation. *)
-let explain ?(level = O4) ~db ~source ~fname () : string =
+    alongside the generated SQL — for inspection and documentation.
+    [dialect] selects the SQL flavor shown ("duckdb" or "hyper"). *)
+let explain ?(level = O4) ?(dialect = "duckdb") ~db ~source ~fname () : string =
   let c = front ~db ~source ~fname in
   let opt = optimize ~db ~level c in
-  let sql =
-    Sqlgen.Gen.generate ~base_columns:(base_columns_of_db db) opt
-  in
+  let sql = generate_sql ~dialect ~db opt in
   Printf.sprintf
     "-- TondIR (translated)\n%s\n\n-- TondIR (optimized, %s)\n%s\n\n-- SQL\n%s"
     (Ir.program_to_string c.ir)
     (match level with O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3" | O4 -> "O4")
     (Ir.program_to_string opt) sql
 
-(** Full in-database execution: compile then run on a backend. *)
-let run ?(level = O4) ?(backend = Vectorized) ?(threads = 1) ~(db : Db.t)
-    ~(source : string) ~(fname : string) () : Relation.t =
+(** Full in-database execution: compile then run on a backend.
+    [timeout_ms] / [row_budget] install a cooperative execution guard;
+    expiry surfaces as [Error] with stage [Exec] and code ["timeout"] /
+    ["row-budget"]. *)
+let run ?(level = O4) ?(backend = Vectorized) ?(threads = 1) ?timeout_ms
+    ?row_budget ~(db : Db.t) ~(source : string) ~(fname : string) () :
+    Relation.t =
   let dialect = match backend with Compiled -> "hyper" | _ -> "duckdb" in
   let sql = compile ~level ~dialect ~db ~source ~fname () in
-  Db.execute ~threads ~backend db sql
+  Errors.guard ~stage:Errors.Exec (fun () ->
+      Db.execute ~threads ~backend ?timeout_ms ?row_budget db sql)
+
+(** {!compile} returning the typed error instead of raising. *)
+let compile_result ?level ?dialect ~db ~source ~fname () :
+    (string, Errors.t) result =
+  Errors.protect ~stage:Errors.Exec (fun () ->
+      compile ?level ?dialect ~db ~source ~fname ())
+
+(** {!run} returning the typed error instead of raising. *)
+let run_result ?level ?backend ?threads ?timeout_ms ?row_budget ~db ~source
+    ~fname () : (Relation.t, Errors.t) result =
+  Errors.protect ~stage:Errors.Exec (fun () ->
+      run ?level ?backend ?threads ?timeout_ms ?row_budget ~db ~source ~fname
+        ())
 
 (* ------------------------------------------------------------------ *)
 (* Python-baseline execution                                          *)
@@ -136,7 +170,10 @@ let python_args ~(db : Db.t) (c : compiled) : Interp.value list =
   List.map
     (fun p ->
       match Catalog.find_opt catalog p with
-      | None -> raise (Error (Printf.sprintf "no table %s for parameter" p))
+      | None ->
+        Errors.fail ~code:"no-table"
+          ~context:[ ("parameter", p) ]
+          Errors.Exec "no table %s for parameter" p
       | Some t -> (
         let rel = t.Catalog.rel in
         match List.assoc_opt p c.ctx.Translate.Context.layouts with
@@ -191,15 +228,16 @@ let value_to_relation (v : Interp.value) : Relation.t =
                 Column.of_floats
                   (Array.init rows (fun i -> data.((i * cols) + j))))))
   | v ->
-    raise
-      (Error
-         (Printf.sprintf "baseline returned a non-relational %s"
-            (Interp.type_name v)))
+    Errors.fail ~code:"non-relational" Errors.Exec
+      "baseline returned a non-relational %s" (Interp.type_name v)
 
 (** Run the same function on the eager Pandas/NumPy baseline. *)
 let run_python ~(db : Db.t) ~(source : string) ~(fname : string) () :
     Relation.t =
-  let m = Frontend.Parser.parse_module source in
+  let m =
+    Errors.guard ~stage:Errors.Parse (fun () ->
+        Frontend.Parser.parse_module source)
+  in
   let f = find_function m fname in
   let base = Translate.Context.of_catalog (Db.catalog db) in
   let ctx =
@@ -209,4 +247,50 @@ let run_python ~(db : Db.t) ~(source : string) ~(fname : string) () :
   in
   let c = { func = f; ctx; ir = { Ir.rules = [] } } in
   let args = python_args ~db c in
-  value_to_relation (Interp.run_function m ~fname ~args)
+  Errors.guard ~stage:Errors.Exec (fun () ->
+      value_to_relation (Interp.run_function m ~fname ~args))
+
+(* ------------------------------------------------------------------ *)
+(* Automatic fallback                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Which engine produced a {!run_auto} result. *)
+type engine = Sql of backend | Interp
+
+let engine_name = function
+  | Sql b -> Db.backend_name b
+  | Interp -> "interp"
+
+type auto_result = {
+  relation : Relation.t;
+  engine : engine;
+  fallback_reason : Errors.t option;
+      (** [Some e] iff the SQL pipeline failed with [e] and the interpreter
+          baseline produced [relation] instead. *)
+}
+
+(* Fallback policy: the interpreter can rescue programs the SQL pipeline
+   cannot translate, optimize, compile or execute — but a program that does
+   not even lex/parse (or has no such function) fails identically on both
+   engines, so those errors propagate. *)
+let fallback_applies (e : Errors.t) =
+  match e.Errors.stage with
+  | Errors.Lex | Errors.Parse | Errors.Anf -> false
+  | Errors.Translate | Errors.Optimize | Errors.Codegen | Errors.Plan
+  | Errors.Exec -> true
+
+(** Compile and execute on [backend]; on any translate/codegen/plan/exec
+    failure (including guard trips and escaped faults), re-run on the
+    interpreter baseline and report the typed reason for the fallback. *)
+let run_auto ?(level = O4) ?(backend = Vectorized) ?(threads = 1) ?timeout_ms
+    ?row_budget ~(db : Db.t) ~(source : string) ~(fname : string) () :
+    auto_result =
+  match
+    run_result ~level ~backend ~threads ?timeout_ms ?row_budget ~db ~source
+      ~fname ()
+  with
+  | Ok relation -> { relation; engine = Sql backend; fallback_reason = None }
+  | Result.Error e when fallback_applies e ->
+    let relation = run_python ~db ~source ~fname () in
+    { relation; engine = Interp; fallback_reason = Some e }
+  | Result.Error e -> raise (Error e)

@@ -7,6 +7,8 @@
 
 open Ast
 
+exception Anf_error of string
+
 type state = { mutable counter : int; used : (string, unit) Hashtbl.t;
                mutable out : stmt list }
 
@@ -167,6 +169,8 @@ let normalize_body (body : stmt list) : stmt list =
                           shallow st e))
       | SAssign (TAttr (b, a), e) ->
         emit st (SAssign (TAttr (atomize st b, a), shallow st e))
+      | SAssign (TTuple [], _) ->
+        raise (Anf_error "empty tuple assignment target")
       | SAssign (TTuple ns, e) -> emit st (SAssign (TTuple ns, shallow st e))
       | SExpr e -> emit st (SExpr (shallow st e))
       | SReturn e -> emit st (SReturn (atomize st e)))

@@ -1,7 +1,10 @@
 (** Tokenizer for the Python subset, with INDENT/DEDENT synthesis and
     implicit line joining inside brackets. *)
 
-exception Lex_error of string
+exception Lex_error of { msg : string; line : int }
+
+let lex_error ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Lex_error { msg; line })) fmt
 
 type token =
   | NAME of string
@@ -42,6 +45,14 @@ let two_char_ops =
 
 let tokenize (src : string) : token list =
   let n = String.length src in
+  (* 1-based source line of offset [i], for error reporting *)
+  let line_of i =
+    let line = ref 1 in
+    for k = 0 to min i (n - 1) - 1 do
+      if src.[k] = '\n' then incr line
+    done;
+    !line
+  in
   let toks = ref [] in
   let push t = toks := t :: !toks in
   let indents = ref [ 0 ] in
@@ -66,7 +77,7 @@ let tokenize (src : string) : token list =
         | _ :: rest -> indents := rest
         | [] -> ());
         push DEDENT;
-        if width > top () then raise (Lex_error "inconsistent dedent")
+        if width > top () then lex_error ~line:(line_of !i) "inconsistent dedent"
       done
   in
   while !i < n do
@@ -136,7 +147,7 @@ let tokenize (src : string) : token list =
         let buf = Buffer.create 16 in
         let closed = ref false in
         while not !closed do
-          if !i >= n then raise (Lex_error "unterminated string")
+          if !i >= n then lex_error ~line:(line_of (n - 1)) "unterminated string"
           else if src.[!i] = '\\' && !i + 1 < n then begin
             (match src.[!i + 1] with
             | 'n' -> Buffer.add_char buf '\n'
@@ -194,7 +205,7 @@ let tokenize (src : string) : token list =
             | '-' | '*' | '/' | '%' | '<' | '>' | '&' | '|' | '~' | '@' | ';' ->
               push (OP s)
             | other ->
-              raise (Lex_error (Printf.sprintf "unexpected character %c" other)));
+              lex_error ~line:(line_of !i) "unexpected character %c" other);
             incr i)
       end
     end

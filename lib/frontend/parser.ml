@@ -5,7 +5,7 @@
 open Ast
 open Lexer
 
-exception Parse_error of string
+exception Parse_error of { msg : string; pos : int; token : string }
 
 type state = { toks : token array; mutable pos : int }
 
@@ -14,10 +14,7 @@ let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) el
 let advance st = st.pos <- st.pos + 1
 
 let error st msg =
-  raise
-    (Parse_error
-       (Printf.sprintf "%s (at token %d: %s)" msg st.pos
-          (token_str (peek st))))
+  raise (Parse_error { msg; pos = st.pos; token = token_str (peek st) })
 
 let expect_op st op =
   match peek st with

@@ -595,12 +595,23 @@ let inline_rules (p : program) : program =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
+exception Optimize_error of { pass : string; msg : string }
+
+(* A pass that raises leaves the program in an unknown state; tag the
+   escaping exception with the pass name so the caller can report which
+   rewrite failed (and, for [Pytond.run_auto], fall back to the baseline). *)
+let guarded pass f p =
+  try f p
+  with
+  | Optimize_error _ as e -> raise e
+  | e -> raise (Optimize_error { pass; msg = Printexc.to_string e })
+
 let optimize ?(level = O4) ?(ctx = no_context) (p : program) : program =
   let li = level_to_int level in
-  let p = if li >= 1 then global_dce p else p in
-  let p = if li >= 2 then group_agg_elim ctx p else p in
-  let p = if li >= 3 then self_join_elim ctx p else p in
-  let p = if li >= 2 then global_dce p else p in
-  let p = if li >= 4 then inline_rules p else p in
-  let p = if li >= 1 then global_dce p else p in
+  let p = if li >= 1 then guarded "global-dce" global_dce p else p in
+  let p = if li >= 2 then guarded "group-agg-elim" (group_agg_elim ctx) p else p in
+  let p = if li >= 3 then guarded "self-join-elim" (self_join_elim ctx) p else p in
+  let p = if li >= 2 then guarded "global-dce" global_dce p else p in
+  let p = if li >= 4 then guarded "inline-rules" inline_rules p else p in
+  let p = if li >= 1 then guarded "global-dce" global_dce p else p in
   p

@@ -52,26 +52,38 @@ let plan t (sql : string) : Plan.bound_query =
 (* PYTOND_TIMING=1 prints a parse/plan vs execute split to stderr. *)
 let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
 
-let execute ?(threads = 1) ?(backend = Vectorized) t (sql : string) :
-    Relation.t =
-  let t0 = if timing then Unix.gettimeofday () else 0. in
-  let bq = plan t sql in
-  let t1 = if timing then Unix.gettimeofday () else 0. in
-  let r =
-    match backend with
-    | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
-    | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
-    | Lingo ->
-      if
-        plan_has_window bq.Plan.main
-        || List.exists (fun (_, p) -> plan_has_window p) bq.Plan.ctes
-      then
-        raise
-          (Unsupported
-             "lingodb-sim: window functions (row_number) not supported")
-      else Exec_compiled.run_query ~threads t.catalog bq
+(** Execute [sql] on [backend]. [timeout_ms] / [row_budget] install a
+    cooperative {!Guard} for the duration of the call; on expiry the query
+    unwinds with {!Guard.Trip}. Injected faults ({!Faults}) that escape
+    in-engine recovery are retried once with injection suppressed — a
+    detected storage fault is recovered by re-reading, never by returning a
+    partial or corrupt relation. *)
+let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
+    (sql : string) : Relation.t =
+  let run_once () =
+    let t0 = if timing then Unix.gettimeofday () else 0. in
+    let bq = plan t sql in
+    let t1 = if timing then Unix.gettimeofday () else 0. in
+    let r =
+      match backend with
+      | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
+      | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
+      | Lingo ->
+        if
+          plan_has_window bq.Plan.main
+          || List.exists (fun (_, p) -> plan_has_window p) bq.Plan.ctes
+        then
+          raise
+            (Unsupported
+               "lingodb-sim: window functions (row_number) not supported")
+        else Exec_compiled.run_query ~threads t.catalog bq
+    in
+    if timing then
+      Printf.eprintf "[timing] plan %.4fs  exec %.4fs\n%!" (t1 -. t0)
+        (Unix.gettimeofday () -. t1);
+    r
   in
-  if timing then
-    Printf.eprintf "[timing] plan %.4fs  exec %.4fs\n%!" (t1 -. t0)
-      (Unix.gettimeofday () -. t1);
-  r
+  Guard.with_guard ?timeout_ms ?row_budget (fun () ->
+      try run_once ()
+      with Faults.Injected _ when not (Faults.suppressed ()) ->
+        Faults.with_suppressed run_once)

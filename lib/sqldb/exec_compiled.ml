@@ -288,6 +288,9 @@ let rec compile_segment ctx (p : plan) : segment =
     { source = materialize ctx p; prefilter = []; transform = None }
 
 and lookup ctx name =
+  (* a fired dictionary-corruption fault models a detected storage fault on
+     this table's dictionary pages; Db.execute retries cleanly *)
+  Faults.dict_corrupt_point ~site:("compiled.scan." ^ name);
   match Hashtbl.find_opt ctx.ctes name with
   | Some r -> r
   | None -> (
@@ -306,6 +309,8 @@ and iter_morsels (seg : segment) start len (consume : chunk -> unit) : unit =
   let passes row = List.for_all (fun p -> p row) preds in
   let pos = ref start in
   while !pos < start + len do
+    (* morsel boundary: cooperative deadline / cancellation checkpoint *)
+    Guard.check ();
     let step = min morsel_size (start + len - !pos) in
     let idx =
       match preds with
@@ -321,6 +326,7 @@ and iter_morsels (seg : segment) start len (consume : chunk -> unit) : unit =
         Array.of_list !buf
     in
     if Array.length idx > 0 then begin
+      Guard.add_rows (Array.length idx);
       let chunk = Relation.take seg.source idx in
       match transform chunk with
       | Some c when Relation.n_rows c > 0 -> consume c
@@ -438,6 +444,8 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
         let preds = List.map (Eval.compile_pred cols) seg.prefilter in
         let upds = Agg_util.update_fns specs_arr cols in
         for row = start to start + len - 1 do
+          (* the fused loop has no morsel boundary: check every ~8K rows *)
+          if (row - start) land 8191 = 0 then Guard.check ();
           if List.for_all (fun p -> p row) preds then
             for i = 0 to n_specs - 1 do
               upds.(i) accs.(i) row
@@ -497,6 +505,7 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
       let consume_rows cols kf lo hi passes =
         let upds = Agg_util.update_fns specs_arr cols in
         for row = lo to hi do
+          if (row - lo) land 8191 = 0 then Guard.check ();
           if passes row then
             match kf row with
             | None -> ()
@@ -540,6 +549,7 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
           in
           let upds = Agg_util.update_fns specs_arr cols in
           for row = lo to hi do
+            if (row - lo) land 8191 = 0 then Guard.check ();
             if passes row then begin
               let k = pack row in
               let accs =

@@ -33,7 +33,11 @@ let srel_nrows (s : srel) =
 
 (* Copy the selected rows out — the one place row copies still happen. *)
 let materialize (s : srel) : Relation.t =
-  match s.sel with None -> s.rel | Some idx -> Relation.take s.rel idx
+  match s.sel with
+  | None -> s.rel
+  | Some idx ->
+    Guard.add_rows (Array.length idx);
+    Relation.take s.rel idx
 
 (* ------------------------------------------------------------------ *)
 (* Filtering                                                          *)
@@ -213,6 +217,7 @@ let hash_join_pairs ~threads (l : srel) (r : srel) (keys : (int * int) list) :
     (li, ri)
 
 let concat_relations (l : Relation.t) (r : Relation.t) li ri : Relation.t =
+  Guard.add_rows (Array.length li);
   let lc = Array.map (fun c -> Column.take c li) l.Relation.cols in
   let rc = Array.map (fun c -> Column.take c ri) r.Relation.cols in
   { Relation.names = Array.append l.Relation.names r.Relation.names;
@@ -247,7 +252,10 @@ let node_name (p : plan) =
   | Window _ -> "Window"
   | LimitN _ -> "Limit"
 
+(* Every operator boundary is a cooperative guard checkpoint: a tripped
+   deadline unwinds from the next node instead of hanging the query. *)
 let rec run_sel (ctx : ctx) (p : plan) : srel =
+  Guard.check ();
   if dbg_nodes then begin
     let t0 = Unix.gettimeofday () in
     let r = run_sel_inner ctx p in
@@ -261,6 +269,9 @@ let rec run_sel (ctx : ctx) (p : plan) : srel =
 and run_sel_inner (ctx : ctx) (p : plan) : srel =
   match p.node with
   | Scan name -> (
+    (* a fired dictionary-corruption fault models a detected storage fault
+       on this table's dictionary pages; Db.execute retries cleanly *)
+    Faults.dict_corrupt_point ~site:("vectorized.scan." ^ name);
     match Hashtbl.find_opt ctx.ctes name with
     | Some r -> srel_all r
     | None -> (

@@ -1,0 +1,84 @@
+(** Cooperative execution guards: a per-query deadline / cancellation token
+    plus a processed-row budget.
+
+    A guard is installed for the duration of one [Db.execute] call and
+    checked cooperatively at morsel boundaries ({!Parallel} chunk dispatch,
+    the compiled executor's morsel loop) and at pipeline breakers (vectorized
+    operator boundaries, aggregation sinks). Nothing is preempted: a tripped
+    guard raises {!Trip} from the next checkpoint, which unwinds the query
+    and leaves the engine reusable.
+
+    Only one query guard is active per process at a time (queries do not
+    nest); worker domains observe the guard through an [Atomic]. When no
+    guard is installed every checkpoint is a single atomic load. *)
+
+type trip = Timeout | Row_budget | Cancelled
+
+exception Trip of { reason : trip; detail : string }
+
+let trip_name = function
+  | Timeout -> "timeout"
+  | Row_budget -> "row-budget"
+  | Cancelled -> "cancelled"
+
+type t = {
+  deadline : float option; (* absolute, in Unix.gettimeofday seconds *)
+  row_budget : int option; (* max rows materialized across breakers *)
+  rows : int Atomic.t;
+  cancelled : bool Atomic.t;
+}
+
+let active : t option Atomic.t = Atomic.make None
+
+let install ?timeout_ms ?row_budget () : t option =
+  match (timeout_ms, row_budget) with
+  | None, None -> None
+  | _ ->
+    let g =
+      { deadline =
+          Option.map
+            (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+            timeout_ms;
+        row_budget;
+        rows = Atomic.make 0;
+        cancelled = Atomic.make false }
+    in
+    Atomic.set active (Some g);
+    Some g
+
+let clear () = Atomic.set active None
+
+let cancel g = Atomic.set g.cancelled true
+
+(* Checkpoint: free when no guard is installed. *)
+let check () =
+  match Atomic.get active with
+  | None -> ()
+  | Some g ->
+    if Atomic.get g.cancelled then
+      raise (Trip { reason = Cancelled; detail = "query cancelled" });
+    (match g.deadline with
+    | Some d when Unix.gettimeofday () > d ->
+      raise (Trip { reason = Timeout; detail = "deadline exceeded" })
+    | _ -> ())
+
+(* Account [n] materialized rows against the budget (if any). *)
+let add_rows n =
+  match Atomic.get active with
+  | None -> ()
+  | Some { row_budget = None; _ } -> ()
+  | Some ({ row_budget = Some budget; _ } as g) ->
+    let total = Atomic.fetch_and_add g.rows n + n in
+    if total > budget then
+      raise
+        (Trip
+           { reason = Row_budget;
+             detail =
+               Printf.sprintf "row budget %d exceeded (%d rows materialized)"
+                 budget total })
+
+(* Run [f] under a guard; a no-op wrapper when neither limit is given. *)
+let with_guard ?timeout_ms ?row_budget (f : unit -> 'a) : 'a =
+  match install ?timeout_ms ?row_budget () with
+  | None -> f ()
+  | Some _ -> Fun.protect ~finally:clear f

@@ -443,7 +443,11 @@ let to_query ~(base_columns : string -> string list option) (p : program) :
     let ctes =
       List.map
         (fun r ->
-          let select, out_names = rule_to_select ~columns_of r in
+          let select, out_names =
+            try rule_to_select ~columns_of r
+            with Codegen_error msg ->
+              err "in rule %s: %s" r.head.rel.rel msg
+          in
           Hashtbl.replace rule_columns r.head.rel.rel out_names;
           ( r.head.rel.rel,
             [],

@@ -11,9 +11,16 @@ open Frontend.Ast
 open Tondir.Ir
 module Value = Sqldb.Value
 
-exception Unsupported of string
+(* [api] names the Pandas/NumPy surface that failed to translate (method,
+   attribute or aggregate) so callers can report which operation forced a
+   fallback to the Python baseline. *)
+exception Unsupported of { api : string option; msg : string }
 
-let err fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+let err fmt =
+  Printf.ksprintf (fun msg -> raise (Unsupported { api = None; msg })) fmt
+
+let err_api api fmt =
+  Printf.ksprintf (fun msg -> raise (Unsupported { api = Some api; msg })) fmt
 
 type rel_info = { rname : string; rcols : (string * Value.ty) list }
 
@@ -430,7 +437,7 @@ let agg_fn_of_string = function
   | "count" -> Count
   | "nunique" -> CountDistinct
   | "size" -> CountStar
-  | s -> err "unknown aggregate %s" s
+  | s -> err_api s "unknown aggregate %s" s
 
 (* aggs: output name, input term, fn *)
 let emit_groupby st ~name (src : rel_info) (keys : string list)
@@ -946,7 +953,7 @@ and translate_attr st (recv : sym) (attr : string) : sym =
   | STensor ({ tshape = `M; _ } as t), "T" when t.trows <> None ->
     err "transpose of %s must go through einsum" t.trel
   | SRel r, c -> err "relation %s has no column %s" r.rname c
-  | s, a -> err "unsupported attribute .%s on %s" a (match s with
+  | s, a -> err_api a "unsupported attribute .%s on %s" a (match s with
       | SRel r -> r.rname | _ -> "value")
 
 (* Resolve a call's receiver spine: Attr(Attr(atom, a1), a2)... The final
@@ -1522,7 +1529,7 @@ and translate_call st ~target (func : expr) (args : expr list)
   | STensor _, ("transpose" | "T") -> err "transpose must go through einsum"
   | SScalar _, "item" -> recv
   | s, m ->
-    err "unsupported method .%s on %s" m
+    err_api m "unsupported method .%s on %s" m
       (match s with
       | SRel r -> "DataFrame " ^ r.rname
       | STensor t -> "ndarray " ^ t.trel
@@ -1567,7 +1574,7 @@ and translate_module_call st ~target (m : string) (fn : string)
   | "pd", "to_datetime", [ a ] -> translate_atom st a
   | _ ->
     ignore kwargs;
-    err "unsupported module call %s.%s" m fn
+    err_api (m ^ "." ^ fn) "unsupported module call %s.%s" m fn
 
 (* ------------------------------------------------------------------ *)
 (* Statements / function translation                                  *)

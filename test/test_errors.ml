@@ -1,0 +1,311 @@
+(** Typed-error taxonomy tests: every malformed input fails with the right
+    pipeline stage, and {!Pytond.run_auto} falls back to the interpreter
+    exactly when the baseline can still answer (paper-level robustness: a
+    program never crashes the process and never silently degrades). *)
+
+open Helpers
+module Errors = Pytond.Errors
+
+(* Run [f]; return the typed error it raises. *)
+let typed (f : unit -> 'a) : Errors.t =
+  match f () with
+  | _ -> Alcotest.fail "expected a Pytond.Error"
+  | exception Pytond.Error e -> e
+
+let check_stage msg expected (e : Errors.t) =
+  Alcotest.(check string)
+    msg
+    (Errors.stage_name expected)
+    (Errors.stage_name e.Errors.stage)
+
+let check_code msg expected (e : Errors.t) =
+  Alcotest.(check string) msg expected e.Errors.code
+
+(* ------------------------------------------------------------------ *)
+(* Frontend stages                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let frontend_tests =
+  [ tc "unterminated string is a lex error with a line" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db
+                ~source:"@pytond\ndef query(orders):\n    x = 'oops\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Lex e;
+        Alcotest.(check bool)
+          "has line context" true
+          (List.mem_assoc "line" e.Errors.context));
+    tc "unexpected character is a lex error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db ~source:"@pytond\ndef query(orders):\n    x = ?\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Lex e);
+    tc "malformed syntax is a parse error with token context" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db ~source:"@pytond\ndef query((:\n    return 1\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Parse e;
+        Alcotest.(check bool)
+          "has token context" true
+          (List.mem_assoc "token" e.Errors.context));
+    tc "missing function is a parse-stage error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db
+                ~source:"@pytond\ndef other(orders):\n    return orders\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Parse e;
+        check_code "code" "no-function" e);
+    tc "missing @pytond decorator is a translate-stage error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.compile ~db
+                ~source:"def query(orders):\n    return orders\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Translate e;
+        check_code "code" "no-decorator" e) ]
+
+(* ------------------------------------------------------------------ *)
+(* Translate stage                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let translate_tests =
+  [ tc "unknown column is a typed translate error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db
+                ~source:
+                  "@pytond\ndef query(orders):\n\
+                  \    return orders[orders['nope'] > 60.0]\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Translate e;
+        check_code "code" "unsupported" e);
+    tc "unknown table is a typed translate error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db
+                ~source:
+                  "@pytond\ndef query(mystery):\n\
+                  \    return mystery[mystery['x'] > 1.0]\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Translate e);
+    tc "unsupported pandas op carries the API name" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~db
+                ~source:
+                  "@pytond\ndef query(orders):\n\
+                  \    return orders.assign(d=orders['o_total'] * 2.0)\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Translate e;
+        Alcotest.(check (option string))
+          "api context" (Some "assign")
+          (List.assoc_opt "api" e.Errors.context)) ]
+
+(* ------------------------------------------------------------------ *)
+(* run_auto fallback                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let assign_src =
+  "@pytond\ndef query(orders):\n\
+  \    return orders.assign(double_total=orders['o_total'] * 2.0)\n"
+
+let auto_tests =
+  [ tc "unsupported op falls back to the interpreter" (fun () ->
+        let db = mini_db () in
+        let a = Pytond.run_auto ~db ~source:assign_src ~fname:"query" () in
+        Alcotest.(check string)
+          "engine" "interp"
+          (Pytond.engine_name a.Pytond.engine);
+        (match a.Pytond.fallback_reason with
+        | Some e ->
+          check_stage "fallback stage" Errors.Translate e;
+          check_code "fallback code" "unsupported" e
+        | None -> Alcotest.fail "expected a fallback reason");
+        let expected = Pytond.run_python ~db ~source:assign_src ~fname:"query" () in
+        check_rel "fallback result matches baseline" expected
+          a.Pytond.relation);
+    tc "supported program stays on the SQL engine" (fun () ->
+        let db = mini_db () in
+        let source =
+          "@pytond\ndef query(orders):\n\
+          \    return orders[orders['o_total'] > 60.0]\n"
+        in
+        let a = Pytond.run_auto ~db ~source ~fname:"query" () in
+        Alcotest.(check bool)
+          "no fallback" true
+          (a.Pytond.fallback_reason = None);
+        let expected = Pytond.run_python ~db ~source ~fname:"query" () in
+        check_rel "sql result matches baseline" expected a.Pytond.relation);
+    tc "parse errors do not fall back" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run_auto ~db ~source:"@pytond\ndef query((:\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Parse e);
+    tc "fallback re-raises when the baseline also fails" (fun () ->
+        (* unknown table: translation fails AND the interpreter has no
+           binding for the parameter — the typed error must surface, not a
+           crash from the fallback path *)
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run_auto ~db
+                ~source:
+                  "@pytond\ndef query(mystery):\n\
+                  \    return mystery[mystery['x'] > 1.0]\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Exec e;
+        check_code "code" "no-table" e) ]
+
+(* ------------------------------------------------------------------ *)
+(* Execution guards                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let guard_tests =
+  [ tc "timeout trips as a typed exec error and engine stays usable"
+      (fun () ->
+        let db = Tpch.Dbgen.make_db 0.005 in
+        let source = Tpch.Queries.find "q1" in
+        let e =
+          typed (fun () ->
+              Pytond.run ~timeout_ms:0 ~db ~source ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Exec e;
+        check_code "code" "timeout" e;
+        (* the guard is cleared on unwind: the same query runs fine now *)
+        let r = Pytond.run ~db ~source ~fname:"query" () in
+        Alcotest.(check bool) "reusable" true (Sqldb.Relation.n_rows r > 0));
+    tc "timeout trips the compiled backend too" (fun () ->
+        let db = Tpch.Dbgen.make_db 0.005 in
+        let e =
+          typed (fun () ->
+              Pytond.run ~backend:Pytond.Compiled ~timeout_ms:0 ~db
+                ~source:(Tpch.Queries.find "q1") ~fname:"query" ())
+        in
+        check_code "code" "timeout" e);
+    tc "row budget trips as a typed exec error" (fun () ->
+        let db = mini_db () in
+        let e =
+          typed (fun () ->
+              Pytond.run ~row_budget:1 ~db
+                ~source:
+                  "@pytond\ndef query(orders):\n\
+                  \    return orders[orders['o_total'] > 60.0]\n"
+                ~fname:"query" ())
+        in
+        check_stage "stage" Errors.Exec e;
+        check_code "code" "row-budget" e);
+    tc "run_auto rescues a timed-out query via the interpreter" (fun () ->
+        let db = Tpch.Dbgen.make_db 0.002 in
+        let a =
+          Pytond.run_auto ~timeout_ms:0 ~db ~source:(Tpch.Queries.find "q6")
+            ~fname:"query" ()
+        in
+        Alcotest.(check string)
+          "engine" "interp"
+          (Pytond.engine_name a.Pytond.engine);
+        match a.Pytond.fallback_reason with
+        | Some e -> check_code "reason" "timeout" e
+        | None -> Alcotest.fail "expected a fallback reason") ]
+
+(* ------------------------------------------------------------------ *)
+(* Numeric edge cases: never crash, same answer everywhere            *)
+(* ------------------------------------------------------------------ *)
+
+let edge_tests =
+  [ tc "division by zero yields a value, not a crash" (fun () ->
+        let db = mini_db () in
+        let r =
+          execute_everywhere db "SELECT o_id, o_total / 0.0 AS r FROM orders"
+        in
+        Alcotest.(check int) "rows" 5 (Sqldb.Relation.n_rows r));
+    tc "aggregate over the empty set yields a NULL row" (fun () ->
+        let db = mini_db () in
+        let r =
+          execute_everywhere db
+            "SELECT SUM(o_total) AS s FROM orders WHERE o_total > 1000000.0"
+        in
+        Alcotest.(check int) "one row" 1 (Sqldb.Relation.n_rows r));
+    tc "Errors.of_exn classifies division by zero" (fun () ->
+        match Errors.of_exn Division_by_zero with
+        | Some e ->
+          check_stage "stage" Errors.Exec e;
+          check_code "code" "div-by-zero" e
+        | None -> Alcotest.fail "expected a classification") ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel mode selection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_tests =
+  [ tc "PYTOND_PARALLEL selects the dispatch mode via force" (fun () ->
+        let saved = Sqldb.Parallel.current_mode () in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.putenv "PYTOND_PARALLEL" "";
+            Sqldb.Parallel.set_mode saved)
+          (fun () ->
+            Unix.putenv "PYTOND_PARALLEL" "simulated";
+            Sqldb.Parallel.force ();
+            Alcotest.(check bool)
+              "simulated" true
+              (Sqldb.Parallel.current_mode () = Sqldb.Parallel.Simulated);
+            Unix.putenv "PYTOND_PARALLEL" "sequential";
+            Sqldb.Parallel.force ();
+            Alcotest.(check bool)
+              "sequential" true
+              (Sqldb.Parallel.current_mode () = Sqldb.Parallel.Sequential_only);
+            Unix.putenv "PYTOND_PARALLEL" "domains";
+            Sqldb.Parallel.force ();
+            Alcotest.(check bool)
+              "domains" true
+              (Sqldb.Parallel.current_mode () = Sqldb.Parallel.Domains)));
+    tc "every mode computes the same result" (fun () ->
+        let db = mini_db () in
+        let sql = "SELECT o_cust, SUM(o_total) AS t FROM orders GROUP BY o_cust" in
+        let saved = Sqldb.Parallel.current_mode () in
+        Fun.protect
+          ~finally:(fun () -> Sqldb.Parallel.set_mode saved)
+          (fun () ->
+            let reference = Sqldb.Db.execute ~threads:1 db sql in
+            List.iter
+              (fun mode ->
+                Sqldb.Parallel.set_mode mode;
+                List.iter
+                  (fun backend ->
+                    check_rel "mode-invariant" reference
+                      (Sqldb.Db.execute ~threads:3 ~backend db sql))
+                  [ Sqldb.Db.Vectorized; Sqldb.Db.Compiled ])
+              [ Sqldb.Parallel.Sequential_only; Sqldb.Parallel.Domains;
+                Sqldb.Parallel.Simulated ])) ]
+
+let suites =
+  [ ("errors-frontend", frontend_tests);
+    ("errors-translate", translate_tests);
+    ("errors-auto", auto_tests);
+    ("errors-guards", guard_tests);
+    ("errors-edges", edge_tests);
+    ("errors-parallel", parallel_tests) ]

@@ -272,7 +272,9 @@ let e2e_lingo =
                (Pytond.run ~backend:Pytond.Lingo ~db:db2
                   ~source:Workloads.hybrid_covar_src ~fname:"query" ());
              false
-           with Sqldb.Db.Unsupported _ -> true)) ]
+           with Pytond.Error e ->
+             e.Pytond.Errors.stage = Pytond.Errors.Exec
+             && e.Pytond.Errors.code = "backend")) ]
 
 let suites =
   [ ("dataframe", df_tests);
