@@ -2,8 +2,9 @@
 
 DUNE ?= dune
 SMOKE_SF ?= 0.005
+BENCH_SF ?= 0.05
 
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke bench-compare check clean
 
 all: build
 
@@ -14,11 +15,22 @@ test: build
 	$(DUNE) runtest
 
 # Quick end-to-end benchmark pass at a tiny scale factor: exercises the
-# dictionary-vs-raw toggle, both backends and the JSON writer without
-# meaningful runtime.
+# dictionary-vs-raw toggle, the query-cache and zone-map experiments, the
+# JSON writer and the --compare gate. The committed baseline was recorded
+# at BENCH_SF, so at SMOKE_SF the gate has large headroom — it catches
+# catastrophic slowdowns and keeps the comparison machinery exercised;
+# bench-compare below is the apples-to-apples gate. Results go to a
+# separate BENCH_smoke.json so the committed baseline is never clobbered
+# by tiny-SF numbers.
 bench-smoke: build
 	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
-	  $(DUNE) exec bench/main.exe -- dict --json
+	  $(DUNE) exec bench/main.exe -- dict cache scan --compare BENCH_results.json --json-out BENCH_smoke.json
+
+# Full-scale regression gate: re-measure at the baseline's scale factor and
+# fail on any variant >10% slower (tolerance via PYTOND_COMPARE_TOL).
+bench-compare: build
+	PYTOND_SF=$(BENCH_SF) PYTOND_RUNS=5 PYTOND_WARMUP=1 \
+	  $(DUNE) exec bench/main.exe -- dict cache scan --compare BENCH_results.json
 
 check: build test bench-smoke
 

@@ -18,21 +18,33 @@ let sf = try float_of_string (Sys.getenv "PYTOND_SF") with Not_found -> 0.02
 let runs = try int_of_string (Sys.getenv "PYTOND_RUNS") with Not_found -> 3
 let warmups = try int_of_string (Sys.getenv "PYTOND_WARMUP") with Not_found -> 1
 
-(* Mean wall time over [runs], after [warmups]; parallel regions are
-   credited with their critical path (cf. Sqldb.Parallel.Simulated). *)
+(* Timing honesty: with the query cache on, the warmup run would populate it
+   and every timed run would be a cache hit. All experiments measure with
+   the cache off; the dedicated [cache] experiment re-enables it locally. *)
+let () = Sqldb.Db.set_cache_enabled false
+
+(* Median wall time over [runs], after [warmups]; parallel regions are
+   credited with their critical path (cf. Sqldb.Parallel.Simulated). The
+   median shrugs off GC/scheduler outliers that poison a mean — a single
+   slow run would otherwise read as a phantom regression in --compare. *)
 let measure (f : unit -> unit) : float =
   for _ = 1 to warmups do
     f ()
   done;
-  let total = ref 0. in
-  for _ = 1 to runs do
+  let samples = Array.make runs 0. in
+  for i = 0 to runs - 1 do
     Sqldb.Parallel.reset_saved ();
     let t0 = Unix.gettimeofday () in
     f ();
     let wall = Unix.gettimeofday () -. t0 in
-    total := !total +. (wall -. Sqldb.Parallel.saved_time ())
+    samples.(i) <- wall -. Sqldb.Parallel.saved_time ()
   done;
-  !total /. float_of_int runs
+  (* Minimum over runs, not mean or median: on shared hosts the sample
+     distribution is the true cost plus occasional scheduler-steal and GC
+     stalls, so the minimum is the low-variance estimator of the
+     machine-independent cost. Applied uniformly to every variant, ratios
+     between alternatives stay honest. *)
+  Array.fold_left Float.min samples.(0) samples
 
 let geomean xs =
   match xs with
@@ -64,8 +76,25 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* forward-declared so write_json can merge with an existing file; the
+   parser is defined with the --compare machinery below *)
+let read_baseline_ref : (string -> (string * string * int * float) list) ref =
+  ref (fun _ -> [])
+
+(* Merge-write: entries from experiments NOT run this invocation (e.g. the
+   hand-recorded seed-baseline markers, or the dict figures during a
+   cache-only run) are carried over from the existing file. *)
 let write_json path =
-  let rows = List.rev !results in
+  let fresh = List.rev !results in
+  let ran =
+    List.sort_uniq compare (List.map (fun (e, _, _, _) -> e) fresh)
+  in
+  let preserved =
+    if Sys.file_exists path then
+      List.filter (fun (e, _, _, _) -> not (List.mem e ran)) (!read_baseline_ref path)
+    else []
+  in
+  let rows = preserved @ fresh in
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
@@ -78,7 +107,104 @@ let write_json path =
     rows;
   output_string oc "]\n";
   close_out oc;
-  Printf.printf "wrote %s (%d measurements)\n%!" path (List.length rows)
+  Printf.printf "wrote %s (%d measurements, %d carried over)\n%!" path
+    (List.length rows) (List.length preserved)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--compare FILE)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse a BENCH_results.json written by [write_json]: one object per line
+   with string fields "experiment"/"variant" and numeric "threads" /
+   "mean_seconds". Hand-rolled to keep the harness dependency-free. *)
+let read_baseline path : (string * string * int * float) list =
+  let field_str line key =
+    let pat = Printf.sprintf "\"%s\": \"" key in
+    match
+      let rec find i =
+        if i + String.length pat > String.length line then None
+        else if String.sub line i (String.length pat) = pat then
+          Some (i + String.length pat)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> None
+    | Some start ->
+      let e = String.index_from line start '"' in
+      Some (String.sub line start (e - start))
+  in
+  let field_num line key =
+    let pat = Printf.sprintf "\"%s\": " key in
+    let rec find i =
+      if i + String.length pat > String.length line then None
+      else if String.sub line i (String.length pat) = pat then
+        Some (i + String.length pat)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+      let e = ref start in
+      while
+        !e < String.length line
+        && (match line.[!e] with '0' .. '9' | '.' | '-' | 'e' -> true | _ -> false)
+      do
+        incr e
+      done;
+      float_of_string_opt (String.sub line start (!e - start))
+  in
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( field_str line "experiment",
+           field_str line "variant",
+           field_num line "threads",
+           field_num line "mean_seconds" )
+       with
+       | Some e, Some v, Some t, Some m ->
+         out := (e, v, int_of_float t, m) :: !out
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+let () = read_baseline_ref := read_baseline
+
+let compare_tol =
+  try float_of_string (Sys.getenv "PYTOND_COMPARE_TOL") with Not_found -> 0.10
+
+(* Compare this run's measurements against a saved baseline; returns false
+   when any shared variant regressed by more than [compare_tol] (and by more
+   than a 2ms absolute floor — tiny-SF timings are noise-dominated). *)
+let compare_against path : bool =
+  let base = read_baseline path in
+  let fresh = List.rev !results in
+  Printf.printf "\n== compare vs %s (tolerance %.0f%%) ==\n" path
+    (100. *. compare_tol);
+  Printf.printf "%-44s %10s %10s %9s\n" "variant" "baseline" "now" "speedup";
+  let ok = ref true in
+  List.iter
+    (fun (e, v, t, m) ->
+      match
+        List.find_opt (fun (e', v', t', _) -> e' = e && v' = v && t' = t) base
+      with
+      | None -> ()
+      | Some (_, _, _, m0) ->
+        let regressed = m > (m0 *. (1. +. compare_tol)) +. 0.002 in
+        if regressed then ok := false;
+        Printf.printf "%-44s %9.4fs %9.4fs %8.2fx%s\n"
+          (Printf.sprintf "%s/%s (t=%d)" e v t)
+          m0 m (m0 /. m)
+          (if regressed then "  REGRESSION" else ""))
+    fresh;
+  if !ok then Printf.printf "compare: no regression beyond tolerance\n"
+  else Printf.printf "compare: REGRESSIONS detected\n";
+  !ok
 
 type alternative = {
   label : string;
@@ -347,36 +473,175 @@ let fig_dict () =
     Sqldb.Db.set_dict_encoding prev;
     db
   in
-  let db_raw = build false and db_dict = build true in
   let backends = [ (Pytond.Vectorized, "duck"); (Pytond.Compiled, "hyper") ] in
+  (* One variant's database live at a time: with both resident, every major
+     GC marks twice the heap and the allocation-heavy raw-string queries
+     slow down 3-5x purely from collector pressure, polluting the pairing. *)
+  let run_variant enabled =
+    let db = build enabled in
+    List.concat_map
+      (fun q ->
+        let source = Tpch.Queries.find q in
+        List.map
+          (fun (backend, blabel) ->
+            (* start each timing pass from a compacted heap so earlier
+               queries' garbage does not skew later ones *)
+            Gc.compact ();
+            let t =
+              measure (fun () ->
+                  ignore
+                    (Pytond.run ~level:Pytond.O4 ~backend ~threads:1 ~db
+                       ~source ~fname:"query" ()))
+            in
+            ((q, blabel), t))
+          backends)
+      dict_queries
+  in
+  (* Alternating raw/dict rounds, keeping each variant's best time: a
+     transient slow window (scheduler steal on shared hosts) then has to
+     cover all of a variant's rounds to distort its number, so the
+     raw-vs-dict pairing no longer rides on which phase drew the bad
+     window. The within-round variant order flips between rounds so
+     neither variant systematically runs on the fresher heap. *)
+  let acc = Hashtbl.create 64 in
+  for round = 1 to 4 do
+    List.iter
+      (fun enabled ->
+        List.iter
+          (fun (k, t) ->
+            let key = (enabled, k) in
+            match Hashtbl.find_opt acc key with
+            | Some t0 when t0 <= t -> ()
+            | _ -> Hashtbl.replace acc key t)
+          (run_variant enabled);
+        Gc.compact ())
+      (if round land 1 = 1 then [ false; true ] else [ true; false ])
+  done;
+  let collect enabled =
+    List.concat_map
+      (fun q ->
+        List.filter_map
+          (fun (_, blabel) ->
+            Hashtbl.find_opt acc (enabled, (q, blabel))
+            |> Option.map (fun t -> ((q, blabel), t)))
+          backends)
+      dict_queries
+  in
+  let raws = collect false in
+  let dicts = collect true in
   Printf.printf "%-10s %-8s %12s %12s %10s\n" "query" "engine" "raw" "dict"
     "speedup";
   let speedups = ref [] in
   List.iter
-    (fun q ->
-      let source = Tpch.Queries.find q in
-      List.iter
-        (fun (backend, blabel) ->
-          let time db =
-            measure (fun () ->
-                ignore
-                  (Pytond.run ~level:Pytond.O4 ~backend ~threads:1 ~db ~source
-                     ~fname:"query" ()))
-          in
-          let traw = time db_raw in
-          let tdict = time db_dict in
-          record ~experiment:"dict"
-            ~variant:(Printf.sprintf "raw/%s/%s" blabel q)
-            ~threads:1 traw;
-          record ~experiment:"dict"
-            ~variant:(Printf.sprintf "dict/%s/%s" blabel q)
-            ~threads:1 tdict;
-          speedups := (traw /. tdict) :: !speedups;
-          Printf.printf "%-10s %-8s %11.4fs %11.4fs %9.2fx\n%!" q blabel traw
-            tdict (traw /. tdict))
-        backends)
-    dict_queries;
+    (fun ((q, blabel), traw) ->
+      let tdict = List.assoc (q, blabel) dicts in
+      record ~experiment:"dict"
+        ~variant:(Printf.sprintf "raw/%s/%s" blabel q)
+        ~threads:1 traw;
+      record ~experiment:"dict"
+        ~variant:(Printf.sprintf "dict/%s/%s" blabel q)
+        ~threads:1 tdict;
+      speedups := (traw /. tdict) :: !speedups;
+      Printf.printf "%-10s %-8s %11.4fs %11.4fs %9.2fx\n%!" q blabel traw
+        tdict (traw /. tdict))
+    raws;
   Printf.printf "geomean speedup (dict vs raw): %.2fx\n" (geomean !speedups)
+
+(* ------------------------------------------------------------------ *)
+(* Query cache: first run vs cached repeat                            *)
+(* ------------------------------------------------------------------ *)
+
+let cache_queries = [ "q1"; "q3"; "q6"; "q12" ]
+
+let fig_cache () =
+  Printf.printf
+    "\n== cache: first execution vs cached repeat, TPC-H SF=%g ==\n" sf;
+  let db = Tpch.Dbgen.make_db sf in
+  Printf.printf "%-10s %8s %12s %12s %10s\n" "query" "threads" "first"
+    "cached" "speedup";
+  Sqldb.Db.set_cache_enabled true;
+  Fun.protect ~finally:(fun () -> Sqldb.Db.set_cache_enabled false) (fun () ->
+      List.iter
+        (fun threads ->
+          List.iter
+            (fun q ->
+              let source = Tpch.Queries.find q in
+              let sql =
+                Pytond.compile ~dialect:"duckdb" ~db ~source ~fname:"query" ()
+              in
+              let exec () =
+                ignore (Sqldb.Db.execute ~threads ~backend:Sqldb.Db.Vectorized db sql)
+              in
+              (* cold: clear before every run so each measurement pays
+                 plan + execute; warm: populate once, then every run hits *)
+              let tfirst =
+                measure (fun () -> Sqldb.Db.clear_cache db; exec ())
+              in
+              exec ();
+              let tcached = measure exec in
+              record ~experiment:"cache"
+                ~variant:(Printf.sprintf "first/duck/%s" q)
+                ~threads tfirst;
+              record ~experiment:"cache"
+                ~variant:(Printf.sprintf "cached/duck/%s" q)
+                ~threads tcached;
+              Printf.printf "%-10s %8d %11.5fs %11.5fs %9.0fx\n%!" q threads
+                tfirst tcached
+                (tfirst /. Float.max 1e-9 tcached))
+            cache_queries)
+        [ 1; 3 ]);
+  let st = Sqldb.Db.cache_stats db in
+  Printf.printf "cache counters: %d hits, %d plan hits, %d misses, %d evictions\n"
+    st.Sqldb.Db.hits st.Sqldb.Db.plan_hits st.Sqldb.Db.misses
+    st.Sqldb.Db.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Zone-map scan skipping: clustered range predicates                 *)
+(* ------------------------------------------------------------------ *)
+
+(* l_orderkey is generation-ordered, so block zone maps are tight on it and
+   a selective range drops nearly every block before evaluation. The
+   unclustered l_shipdate predicate is a control: zones are wide, nothing
+   skips, and the cost is one block test per morsel. *)
+let fig_scan () =
+  Printf.printf "\n== scan: zone-map skipping on range scans, SF=%g ==\n" sf;
+  let db = Tpch.Dbgen.make_db sf in
+  let key_hi =
+    (* ~1% prefix of the orderkey domain *)
+    let r = Sqldb.Catalog.relation (Sqldb.Db.catalog db) "orders" in
+    max 8 (Sqldb.Relation.n_rows r / 25)
+  in
+  let cases =
+    [ ( "clustered-1pct",
+        Printf.sprintf
+          "SELECT COUNT(*) AS c, SUM(l_quantity) AS s FROM lineitem WHERE \
+           l_orderkey < %d"
+          key_hi );
+      ( "unclustered",
+        "SELECT COUNT(*) AS c, SUM(l_quantity) AS s FROM lineitem WHERE \
+         l_shipdate >= DATE '1997-01-01'" ) ]
+  in
+  Printf.printf "%-18s %8s %12s %12s\n" "case" "threads" "duck" "hyper";
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun (name, sql) ->
+          let time backend =
+            measure (fun () ->
+                ignore (Sqldb.Db.execute ~threads ~backend db sql))
+          in
+          let tduck = time Sqldb.Db.Vectorized in
+          let thyper = time Sqldb.Db.Compiled in
+          record ~experiment:"scan"
+            ~variant:(Printf.sprintf "duck/%s" name)
+            ~threads tduck;
+          record ~experiment:"scan"
+            ~variant:(Printf.sprintf "hyper/%s" name)
+            ~threads thyper;
+          Printf.printf "%-18s %8d %11.5fs %11.5fs\n%!" name threads tduck
+            thyper)
+        cases)
+    [ 1; 3 ]
 
 (* ------------------------------------------------------------------ *)
 (* Table I: capability matrix                                         *)
@@ -461,11 +726,29 @@ let experiments : (string * (unit -> unit)) list =
     ("fig9", fig9);
     ("fig10", fig10);
     ("dict", fig_dict);
+    ("cache", fig_cache);
+    ("scan", fig_scan);
     ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json = List.mem "--json" args in
+  (* --compare FILE: after the requested experiments, diff against a saved
+     BENCH_results.json and exit non-zero on regression beyond tolerance *)
+  let rec split_compare acc = function
+    | "--compare" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_compare (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let compare_file, args = split_compare [] args in
+  (* --json-out FILE: like --json but to an explicit path, so smoke runs
+     can emit an artifact without clobbering the committed baseline *)
+  let rec split_json_out acc = function
+    | "--json-out" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | a :: rest -> split_json_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_out, args = split_json_out [] args in
   let names = List.filter (fun a -> a <> "--json") args in
   let requested =
     match names with
@@ -482,4 +765,8 @@ let () =
         Printf.printf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments)))
     requested;
-  if json then write_json "BENCH_results.json"
+  (* compare before --json overwrites the baseline file *)
+  let ok = match compare_file with None -> true | Some f -> compare_against f in
+  if json then write_json "BENCH_results.json";
+  (match json_out with Some f -> write_json f | None -> ());
+  if not ok then exit 1

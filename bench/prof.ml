@@ -1,0 +1,46 @@
+(* Interleaved A/B timing of raw vs dict for one query: runs of the two
+   variants alternate so machine drift hits both equally. Scratch tool —
+   not part of the bench suite. *)
+let () =
+  let q = if Array.length Sys.argv > 1 then Sys.argv.(1) else "q4" in
+  let backend =
+    if Array.length Sys.argv > 2 && Sys.argv.(2) = "hyper" then
+      Sqldb.Db.Compiled
+    else Sqldb.Db.Vectorized
+  in
+  let reps = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 9 in
+  let sf =
+    match Sys.getenv_opt "PYTOND_SF" with Some s -> float_of_string s | None -> 0.05
+  in
+  Sqldb.Db.set_cache_enabled false;
+  let mk dict =
+    Sqldb.Db.set_dict_encoding dict;
+    let db = Tpch.Dbgen.make_db sf in
+    let source = Tpch.Queries.find q in
+    let dialect = if backend = Sqldb.Db.Vectorized then "duckdb" else "hyper" in
+    let sql = Pytond.compile ~dialect ~db ~source ~fname:"query" () in
+    (db, sql)
+  in
+  let db_raw, sql_raw = mk false in
+  let db_dict, sql_dict = mk true in
+  let time db sql =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sqldb.Db.execute ~backend db sql);
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time db_raw sql_raw);
+  ignore (time db_dict sql_dict);
+  let traw = Array.make reps 0. and tdict = Array.make reps 0. in
+  for i = 0 to reps - 1 do
+    traw.(i) <- time db_raw sql_raw;
+    tdict.(i) <- time db_dict sql_dict
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+  in
+  Printf.printf "%s %s: raw median %.4fs  dict median %.4fs  speedup %.2fx\n" q
+    (if backend = Sqldb.Db.Vectorized then "duck" else "hyper")
+    (median traw) (median tdict)
+    (median traw /. median tdict)

@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run sf backend threads check timeout_ms queries =
+let run sf backend threads check explain timeout_ms queries =
   let db = Tpch.Dbgen.make_db sf in
   let queries = if queries = [] then List.map fst Tpch.Queries.all else queries in
   let failed = ref false in
@@ -19,6 +19,14 @@ let run sf backend threads check timeout_ms queries =
             ("tpch: unknown query " ^ q ^ " (expected q1..q22)");
           exit 1
       in
+      if explain then begin
+        let dialect = if backend = Pytond.Vectorized then "duckdb" else "hyper" in
+        let sql =
+          Pytond.compile ~dialect ~db ~source ~fname:"query" ()
+        in
+        Printf.printf "-- %s plan (estimated vs actual rows)\n%s\n%!" q
+          (Pytond.Db.explain db sql)
+      end;
       let t0 = Unix.gettimeofday () in
       match
         Pytond.run ~backend ~threads ?timeout_ms ~db ~source ~fname:"query" ()
@@ -62,6 +70,12 @@ let () =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"verify against the Python baseline")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"print each query's plan with estimated vs actual rows")
+  in
   let timeout_ms =
     Arg.(
       value
@@ -71,6 +85,8 @@ let () =
   let queries = Arg.(value & pos_all string [] & info [] ~docv:"QUERY") in
   let cmd =
     Cmd.v (Cmd.info "tpch" ~doc:"run TPC-H via PyTond")
-      Term.(const run $ sf $ backend $ threads $ check $ timeout_ms $ queries)
+      Term.(
+        const run $ sf $ backend $ threads $ check $ explain $ timeout_ms
+        $ queries)
   in
   exit (Cmd.eval cmd)

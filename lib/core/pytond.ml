@@ -127,11 +127,19 @@ let explain ?(level = O4) ?(dialect = "duckdb") ~db ~source ~fname () : string =
   let c = front ~db ~source ~fname in
   let opt = optimize ~db ~level c in
   let sql = generate_sql ~dialect ~db opt in
+  (* Physical plan with the optimizer's cardinality estimates against the
+     actual per-operator row counts from an instrumented run. *)
+  let plan_txt =
+    match Errors.protect ~stage:Errors.Plan (fun () -> Db.explain db sql) with
+    | Ok s -> s
+    | Result.Error e -> Printf.sprintf "(plan unavailable: %s)" (Errors.to_string e)
+  in
   Printf.sprintf
-    "-- TondIR (translated)\n%s\n\n-- TondIR (optimized, %s)\n%s\n\n-- SQL\n%s"
+    "-- TondIR (translated)\n%s\n\n-- TondIR (optimized, %s)\n%s\n\n-- SQL\n%s\n\n\
+     -- Plan (estimated vs actual rows)\n%s"
     (Ir.program_to_string c.ir)
     (match level with O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3" | O4 -> "O4")
-    (Ir.program_to_string opt) sql
+    (Ir.program_to_string opt) sql plan_txt
 
 (** Full in-database execution: compile then run on a backend.
     [timeout_ms] / [row_budget] install a cooperative execution guard;

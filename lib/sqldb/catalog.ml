@@ -1,7 +1,12 @@
-(** Database catalog: named base tables plus integrity constraints.
+(** Database catalog: named base tables plus integrity constraints and
+    per-table statistics.
 
     PyTond queries the catalog during translation for schema information and
-    uniqueness facts that drive group/aggregate and self-join elimination. *)
+    uniqueness facts that drive group/aggregate and self-join elimination.
+    The planner additionally reads {!Stats.table_stats} (computed here at
+    ingest) for cost estimation, and the executors resolve zone maps through
+    {!zones_for}. The [version] / [stats_epoch] counters tick on every
+    ingest and key the query cache in {!Db}. *)
 
 type constraints = {
   primary_key : string list; (* empty list = none *)
@@ -11,15 +16,28 @@ type constraints = {
 
 let no_constraints = { primary_key = []; unique = []; foreign_keys = [] }
 
-type table = { rel : Relation.t; cons : constraints }
-type t = (string, table) Hashtbl.t
+type table = { rel : Relation.t; cons : constraints; stats : Stats.table_stats }
 
-let create () : t = Hashtbl.create 16
+type t = {
+  tables : (string, table) Hashtbl.t;
+  mutable version : int; (* keys cached plans *)
+  mutable stats_epoch : int; (* gates cached results *)
+}
+
+let create () : t = { tables = Hashtbl.create 16; version = 0; stats_epoch = 0 }
 
 let add ?(cons = no_constraints) t name rel =
-  Hashtbl.replace t name { rel; cons }
+  let unique =
+    Array.map
+      (fun nm -> cons.primary_key = [ nm ] || List.mem [ nm ] cons.unique)
+      rel.Relation.names
+  in
+  let stats = Stats.compute ~unique rel in
+  t.version <- t.version + 1;
+  t.stats_epoch <- t.stats_epoch + 1;
+  Hashtbl.replace t.tables name { rel; cons; stats }
 
-let find_opt (t : t) name = Hashtbl.find_opt t name
+let find_opt (t : t) name = Hashtbl.find_opt t.tables name
 
 let find t name =
   match find_opt t name with
@@ -27,8 +45,37 @@ let find t name =
   | None -> invalid_arg ("Catalog.find: no table " ^ name)
 
 let relation t name = (find t name).rel
-let mem (t : t) name = Hashtbl.mem t name
-let names (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+let mem (t : t) name = Hashtbl.mem t.tables name
+let names (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+let version t = t.version
+let stats_epoch t = t.stats_epoch
+
+let stats_opt t name = Option.map (fun tb -> tb.stats) (find_opt t name)
+
+(* Resolve the zone maps for [c] by physical identity of its data array:
+   selection vectors and zero-copy projections hand the executors base-table
+   columns directly, so a linear sweep over the (small) catalog recovers the
+   block min/max computed at ingest. Gathered columns are backed by fresh
+   arrays and correctly resolve to nothing. *)
+let zones_for (t : t) (c : Column.t) : Stats.zone array option =
+  match Stats.data_key c with
+  | None -> None
+  | Some k ->
+    Hashtbl.fold
+      (fun _ tb acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let cols = tb.rel.Relation.cols in
+          let rec go i =
+            if i >= Array.length cols then None
+            else
+              match Stats.data_key cols.(i) with
+              | Some k' when k' == k -> tb.stats.Stats.zones.(i)
+              | _ -> go (i + 1)
+          in
+          go 0)
+      t.tables None
 
 (* Is [cols] (or a subset of it) known unique in [name]?  Grouping by a
    superset of a unique key yields singleton groups. *)

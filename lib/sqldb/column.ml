@@ -39,6 +39,30 @@ let make_dict (values : string array) : dict =
 let dict_find (d : dict) (s : string) : int option = Hashtbl.find_opt d.index s
 let dict_size (d : dict) = Array.length d.values
 
+(* Rank two dictionaries against a merged ordering, so cross-dictionary
+   comparisons (e.g. l_commitdate < l_receiptdate) run on ints instead of
+   per-row string compares. Equal strings get equal merged ranks. Cost is
+   one sort of |dx| + |dy| entries, amortized over every row. *)
+let cross_ranks (dx : dict) (dy : dict) : int array * int array =
+  let nx = Array.length dx.values and ny = Array.length dy.values in
+  let tagged =
+    Array.init (nx + ny) (fun k ->
+        if k < nx then (dx.values.(k), true, k)
+        else (dy.values.(k - nx), false, k - nx))
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> String.compare a b) tagged;
+  let rx = Array.make nx 0 and ry = Array.make ny 0 in
+  let rank = ref 0 in
+  Array.iteri
+    (fun k (v, from_x, code) ->
+      if k > 0 then begin
+        let pv, _, _ = tagged.(k - 1) in
+        if pv <> v then incr rank
+      end;
+      if from_x then rx.(code) <- !rank else ry.(code) <- !rank)
+    tagged;
+  (rx, ry)
+
 let length c =
   match c.data with
   | I a -> Array.length a

@@ -4,7 +4,13 @@
     - [Vectorized] — DuckDB-like operator-at-a-time columnar execution;
     - [Compiled] — Hyper-like fused pipelines (morsel-driven);
     - [Lingo] — the compiled engine with window functions disabled,
-      reproducing LingoDB's missing [row_number] support (paper §V-A). *)
+      reproducing LingoDB's missing [row_number] support (paper §V-A).
+
+    Repeated queries hit a bounded LRU cache keyed by normalized SQL text,
+    backend and thread count: plans are reused while the catalog version is
+    unchanged, full results while the statistics epoch is unchanged (both
+    tick on every ingest, which also clears the cache outright). The cache
+    is disabled under fault injection and via [PYTOND_CACHE=0]. *)
 
 type backend = Vectorized | Compiled | Lingo
 
@@ -15,7 +21,100 @@ let backend_name = function
   | Compiled -> "hyper-sim"
   | Lingo -> "lingodb-sim"
 
-type t = { catalog : Catalog.t }
+(* ------------------------------------------------------------------ *)
+(* Query cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cap = 64
+
+type cache_entry = {
+  bq : Plan.bound_query;
+  plan_version : int; (* catalog version the plan was bound against *)
+  mutable result : (int * Relation.t) option; (* stats epoch, rows *)
+  mutable tick : int; (* LRU clock *)
+}
+
+type t = {
+  catalog : Catalog.t;
+  cache : (string, cache_entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int; (* full result served *)
+  mutable plan_hits : int; (* plan reused, execution re-run *)
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type cache_stats = {
+  hits : int;
+  plan_hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+let cache_enabled =
+  ref (match Sys.getenv_opt "PYTOND_CACHE" with Some "0" -> false | _ -> true)
+
+let set_cache_enabled b = cache_enabled := b
+let cache_enabled_now () = !cache_enabled
+
+let cache_stats (t : t) : cache_stats =
+  { hits = t.hits;
+    plan_hits = t.plan_hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.cache }
+
+let clear_cache t = Hashtbl.reset t.cache
+
+(* Collapse whitespace runs to a single space outside single-quoted string
+   literals, so formatting differences don't defeat the cache. Identifier
+   case is left alone: a conservative key can only cost a duplicate entry,
+   never a wrong answer. *)
+let normalize_sql (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let in_str = ref false and pending = ref false in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if !in_str then begin
+      Buffer.add_char buf c;
+      if c = '\'' then in_str := false
+    end
+    else
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> pending := true
+      | c ->
+        if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c;
+        if c = '\'' then in_str := true
+  done;
+  Buffer.contents buf
+
+let cache_key backend threads sql =
+  Printf.sprintf "%s|%d|%s" (backend_name backend) threads (normalize_sql sql)
+
+let evict_lru t =
+  if Hashtbl.length t.cache >= cache_cap then begin
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, tick) when tick <= e.tick -> acc
+          | _ -> Some (k, e.tick))
+        t.cache None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.cache k;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Facade                                                             *)
+(* ------------------------------------------------------------------ *)
 
 (* Dictionary-encode low-cardinality string columns at ingest. On by default;
    PYTOND_NO_DICT=1 (or [set_dict_encoding false]) keeps raw strings — the
@@ -24,11 +123,22 @@ let dict_encoding = ref (Sys.getenv_opt "PYTOND_NO_DICT" = None)
 let set_dict_encoding b = dict_encoding := b
 let dict_encoding_enabled () = !dict_encoding
 
-let create () = { catalog = Catalog.create () }
+let create () =
+  { catalog = Catalog.create ();
+    cache = Hashtbl.create cache_cap;
+    clock = 0;
+    hits = 0;
+    plan_hits = 0;
+    misses = 0;
+    evictions = 0 }
 
 let load_table ?cons t name rel =
   let rel = if !dict_encoding then Relation.encode_strings rel else rel in
-  Catalog.add ?cons t.catalog name rel
+  Catalog.add ?cons t.catalog name rel;
+  (* ingest invalidates: cached plans may reference the changed table and
+     every cached result is stale (the version/epoch checks would catch
+     this lazily; dropping eagerly also frees the retained relations) *)
+  Hashtbl.reset t.cache
 
 let catalog t = t.catalog
 
@@ -60,9 +170,7 @@ let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
     partial or corrupt relation. *)
 let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
     (sql : string) : Relation.t =
-  let run_once () =
-    let t0 = if timing then Unix.gettimeofday () else 0. in
-    let bq = plan t sql in
+  let exec bq () =
     let t1 = if timing then Unix.gettimeofday () else 0. in
     let r =
       match backend with
@@ -79,11 +187,80 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
         else Exec_compiled.run_query ~threads t.catalog bq
     in
     if timing then
-      Printf.eprintf "[timing] plan %.4fs  exec %.4fs\n%!" (t1 -. t0)
-        (Unix.gettimeofday () -. t1);
+      Printf.eprintf "[timing] exec %.4fs\n%!" (Unix.gettimeofday () -. t1);
     r
   in
-  Guard.with_guard ?timeout_ms ?row_budget (fun () ->
-      try run_once ()
-      with Faults.Injected _ when not (Faults.suppressed ()) ->
-        Faults.with_suppressed run_once)
+  let guarded f =
+    Guard.with_guard ?timeout_ms ?row_budget (fun () ->
+        try f ()
+        with Faults.Injected _ when not (Faults.suppressed ()) ->
+          Faults.with_suppressed f)
+  in
+  (* Under fault injection a cached result would mask the very fault paths
+     being exercised, so the cache stands down. *)
+  if not (!cache_enabled && not (Faults.armed ())) then
+    guarded (fun () ->
+        let t0 = if timing then Unix.gettimeofday () else 0. in
+        let bq = plan t sql in
+        if timing then
+          Printf.eprintf "[timing] plan %.4fs\n%!" (Unix.gettimeofday () -. t0);
+        exec bq ())
+  else begin
+    let key = cache_key backend threads sql in
+    t.clock <- t.clock + 1;
+    let entry =
+      match Hashtbl.find_opt t.cache key with
+      | Some e when e.plan_version = Catalog.version t.catalog -> Some e
+      | Some _ ->
+        Hashtbl.remove t.cache key;
+        None
+      | None -> None
+    in
+    match entry with
+    | Some e -> (
+      e.tick <- t.clock;
+      match e.result with
+      | Some (epoch, r) when epoch = Catalog.stats_epoch t.catalog ->
+        t.hits <- t.hits + 1;
+        r
+      | _ ->
+        t.plan_hits <- t.plan_hits + 1;
+        let r = guarded (exec e.bq) in
+        e.result <- Some (Catalog.stats_epoch t.catalog, r);
+        r)
+    | None ->
+      t.misses <- t.misses + 1;
+      let bq = plan t sql in
+      let r = guarded (exec bq) in
+      evict_lru t;
+      Hashtbl.replace t.cache key
+        { bq;
+          plan_version = Catalog.version t.catalog;
+          result = Some (Catalog.stats_epoch t.catalog, r);
+          tick = t.clock };
+      r
+  end
+
+(** EXPLAIN: the plan tree with the optimizer's cardinality estimate and the
+    actual row count per operator (from an instrumented vectorized run). *)
+let explain ?(threads = 1) t (sql : string) : string =
+  let bq = plan t sql in
+  let actuals : (Plan.plan * int) list ref = ref [] in
+  let on_rows p n = actuals := (p, n) :: !actuals in
+  ignore
+    (Faults.with_suppressed (fun () ->
+         Exec_vectorized.run_query ~threads ~on_rows t.catalog bq));
+  let annot p =
+    match List.find_opt (fun (q, _) -> q == p) !actuals with
+    | Some (_, n) ->
+      Printf.sprintf "  (est=%.0f rows, actual=%d rows)" p.Plan.est n
+    | None -> Printf.sprintf "  (est=%.0f rows)" p.Plan.est
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, p) ->
+      Buffer.add_string buf (Printf.sprintf "CTE %s:\n" name);
+      Buffer.add_string buf (Plan.explain_tree ~annot p))
+    bq.Plan.ctes;
+  Buffer.add_string buf (Plan.explain_tree ~annot bq.Plan.main);
+  Buffer.contents buf

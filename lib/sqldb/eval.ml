@@ -299,6 +299,29 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
       fun row -> test (compare a.(row) k)
     | Column.S a, VString k -> fun row -> test (String.compare a.(row) k)
     | _ -> fallback e)
+  | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), PCol i, PCol j) -> (
+    let ca = cols.(i) and cb = cols.(j) in
+    let test = cmp_test op in
+    match (ca.Column.data, cb.Column.data) with
+    | _ when Column.has_nulls ca || Column.has_nulls cb -> fallback e
+    | Column.I x, Column.I y -> fun row -> test (Int.compare x.(row) y.(row))
+    | Column.F x, Column.F y ->
+      fun row -> test (Float.compare x.(row) y.(row))
+    | Column.S x, Column.S y ->
+      fun row -> test (String.compare x.(row) y.(row))
+    | Column.D (x, dx), Column.D (y, dy) when dx == dy ->
+      let rank = dx.Column.rank in
+      fun row -> test (Int.compare rank.(x.(row)) rank.(y.(row)))
+    | Column.D (x, dx), Column.D (y, dy) ->
+      let rx, ry = Column.cross_ranks dx dy in
+      fun row -> test (Int.compare rx.(x.(row)) ry.(y.(row)))
+    | Column.D (x, dx), Column.S y ->
+      let vx = dx.Column.values in
+      fun row -> test (String.compare vx.(x.(row)) y.(row))
+    | Column.S x, Column.D (y, dy) ->
+      let vy = dy.Column.values in
+      fun row -> test (String.compare x.(row) vy.(y.(row)))
+    | _ -> fallback e)
   | PLike (PCol i, pattern, negated) -> (
     let matcher = compile_like pattern in
     match dict_row_pred cols.(i) (fun v -> matcher v <> negated) with
@@ -472,9 +495,10 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
         out.(i) <- test (compare rank.(x.(i)) rank.(y.(i)))
       done
     | Column.D (x, dx), Column.D (y, dy) ->
-      let vx = dx.Column.values and vy = dy.Column.values in
+      (* Distinct dictionaries: merge-rank once, then compare ints. *)
+      let rx, ry = Column.cross_ranks dx dy in
       for i = 0 to n - 1 do
-        out.(i) <- test (String.compare vx.(x.(i)) vy.(y.(i)))
+        out.(i) <- test (Int.compare rx.(x.(i)) ry.(y.(i)))
       done
     | Column.D (x, dx), Column.S y ->
       let vx = dx.Column.values in

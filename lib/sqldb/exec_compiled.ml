@@ -176,11 +176,49 @@ let make_residual_check (r : Relation.t) (pred : pexpr) :
 type segment = {
   source : Relation.t;
   prefilter : pexpr list; (* conjuncts over the source schema *)
+  prescan : (int -> bool) list;
+      (* closure row tests fused into the scan (bloom-filter pushdown) *)
   transform : (chunk -> chunk option) option; (* None = identity *)
 }
 
 let seg_transform seg : chunk -> chunk option =
   match seg.transform with None -> fun c -> Some c | Some f -> f
+
+(* Zone-map test for a segment's fused prefilter: the source columns of a
+   scan (even when narrowed zero-copy by a column-select) are the base-table
+   arrays, so {!Catalog.zones_for} recovers the ingest-time block min/max. *)
+let seg_zone_test catalog (seg : segment) : (int -> bool) option =
+  match seg.prefilter with
+  | [] -> None
+  | preds ->
+    let zcols =
+      Array.map (Catalog.zones_for catalog) seg.source.Relation.cols
+    in
+    if Array.for_all Option.is_none zcols then None
+    else Stats.zone_tests_with zcols preds
+
+(* Split [lo..hi] into maximal sub-ranges whose zone blocks may all match;
+   with no test the whole range survives. *)
+let alive_ranges (ztest : (int -> bool) option) lo hi : (int * int) list =
+  if lo > hi then []
+  else
+    match ztest with
+    | None -> [ (lo, hi) ]
+    | Some t ->
+      let bs = Stats.block_size in
+      let out = ref [] and cur = ref None in
+      for b = lo / bs to hi / bs do
+        let blo = max lo (b * bs) and bhi = min hi (((b + 1) * bs) - 1) in
+        if t b then
+          match !cur with
+          | Some (clo, chi) when chi + 1 = blo -> cur := Some (clo, bhi)
+          | Some r ->
+            out := r :: !out;
+            cur := Some (blo, bhi)
+          | None -> cur := Some (blo, bhi)
+      done;
+      (match !cur with Some r -> out := r :: !out | None -> ());
+      List.rev !out
 
 (* Compose a further chunk operation onto a segment. *)
 let seg_then seg (f : chunk -> chunk option) : segment =
@@ -193,7 +231,7 @@ let seg_then seg (f : chunk -> chunk option) : segment =
 let rec compile_segment ctx (p : plan) : segment =
   match p.node with
   | Scan name ->
-    { source = lookup ctx name; prefilter = []; transform = None }
+    { source = lookup ctx name; prefilter = []; prescan = []; transform = None }
   | Filter (sub, pred) ->
     let seg = compile_segment ctx sub in
     if seg.transform = None then
@@ -220,7 +258,7 @@ let rec compile_segment ctx (p : plan) : segment =
                  | _ -> assert false)
                items) }
     in
-    { source; prefilter = []; transform = None }
+    { source; prefilter = []; prescan = []; transform = None }
   | Project (sub, items) ->
     let seg = compile_segment ctx sub in
     seg_then seg (fun c -> Some (chunk_project items c))
@@ -267,7 +305,65 @@ let rec compile_segment ctx (p : plan) : segment =
                 | Some pred -> chunk_filter pred joined
               end)
     end
-    else seg_then seg (chunk_probe ~left_outer r tbl lkeys residual)
+    else begin
+      (* Inner joins drop probe rows without a partner, so the build side's
+         bloom filter can run directly on the scan: misses never reach the
+         morsel gather. Left joins must keep unmatched rows. *)
+      let seg =
+        match (kind, lkeys, seg.transform) with
+        | JInner, [ lk ], None -> (
+          match Hash_util.scan_test tbl seg.source.Relation.cols.(lk) with
+          | Some test -> { seg with prescan = seg.prescan @ [ test ] }
+          | None -> seg)
+        | _ -> seg
+      in
+      seg_then seg (chunk_probe ~left_outer r tbl lkeys residual)
+    end
+  | SemiJoin { anti; left; right; keys = _ :: _ as keys; residual = None }
+    when right.est > 2. *. Float.max 1. left.est ->
+    (* Inverted probe direction (mirrors Exec_vectorized.run_semijoin): the
+       subquery side is estimated much larger than the outer side, so build
+       the hash table over the outer side's keys and stream the subquery
+       side through it, marking which outer rows found a witness. The
+       estimate gate is re-checked against actual cardinalities; a
+       mis-estimate falls back to the build-right direction, just over the
+       already-materialized outer side. *)
+    let lrel = materialize ctx left in
+    let r = stream ctx right in
+    let nl = Relation.n_rows lrel and nr = Relation.n_rows r in
+    let lkeys = List.map fst keys and rkeys = List.map snd keys in
+    let keep =
+      let out = ref [] in
+      if nr > 2 * nl then begin
+        let ltbl =
+          Hash_util.build_table ~null_as_key:false lrel.Relation.cols lkeys
+            ~n:nl
+        in
+        let matched = Bitset.create nl in
+        let pf = Hash_util.probe_fn ltbl r.Relation.cols rkeys in
+        for row = 0 to nr - 1 do
+          List.iter (fun lrow -> Bitset.set matched lrow) (pf row)
+        done;
+        for row = nl - 1 downto 0 do
+          if Bitset.get matched row <> anti then out := row :: !out
+        done
+      end
+      else begin
+        let tbl =
+          Hash_util.build_table ~null_as_key:false r.Relation.cols rkeys ~n:nr
+        in
+        let pf = Hash_util.probe_fn tbl lrel.Relation.cols lkeys in
+        for row = nl - 1 downto 0 do
+          if (pf row <> []) <> anti then out := row :: !out
+        done
+      end;
+      Array.of_list !out
+    in
+    let source =
+      { Relation.names = lrel.Relation.names;
+        cols = Array.map (fun c -> Column.take c keep) lrel.Relation.cols }
+    in
+    { source; prefilter = []; prescan = []; transform = None }
   | SemiJoin { anti; left; right; keys; residual } ->
     let r = stream ctx right in
     let seg = compile_segment ctx left in
@@ -281,11 +377,21 @@ let rec compile_segment ctx (p : plan) : segment =
     in
     let lkeys = List.map fst keys in
     let residual_check = Option.map (make_residual_check r) residual in
+    (* Semi joins keep only matched rows: bloom misses are safe to drop at
+       the scan. Anti joins keep exactly the misses — no pushdown. *)
+    let seg =
+      match (anti, tbl, lkeys, seg.transform) with
+      | false, Some tbl, [ lk ], None -> (
+        match Hash_util.scan_test tbl seg.source.Relation.cols.(lk) with
+        | Some test -> { seg with prescan = seg.prescan @ [ test ] }
+        | None -> seg)
+      | _ -> seg
+    in
     seg_then seg (chunk_semi ~anti r tbl lkeys residual_check)
   | Join { kind = JRight | JFull; _ }
   | PValues _ | Aggregate _ | Sort _ | LimitN _ | Distinct _ | Window _ ->
     (* Pipeline breaker: materialize and start a fresh segment. *)
-    { source = materialize ctx p; prefilter = []; transform = None }
+    { source = materialize ctx p; prefilter = []; prescan = []; transform = None }
 
 and lookup ctx name =
   (* a fired dictionary-corruption fault models a detected storage fault on
@@ -301,36 +407,50 @@ and lookup ctx name =
 (* Iterate the morsels of [seg] over rows [start, start+len), invoking
    [consume] with each surviving non-empty chunk. The fused prefilter runs on
    the source columns so only surviving rows are gathered. *)
-and iter_morsels (seg : segment) start len (consume : chunk -> unit) : unit =
+and iter_morsels ?ztest (seg : segment) start len (consume : chunk -> unit) :
+    unit =
   let transform = seg_transform seg in
   let preds =
     List.map (Eval.compile_pred seg.source.Relation.cols) seg.prefilter
   in
-  let passes row = List.for_all (fun p -> p row) preds in
+  let passes row =
+    List.for_all (fun p -> p row) preds
+    && List.for_all (fun t -> t row) seg.prescan
+  in
   let pos = ref start in
   while !pos < start + len do
     (* morsel boundary: cooperative deadline / cancellation checkpoint *)
     Guard.check ();
     let step = min morsel_size (start + len - !pos) in
-    let idx =
-      match preds with
-      | [] -> Array.init step (fun i -> !pos + i)
-      | _ ->
-        let buf = ref [] and count = ref 0 in
-        for row = !pos + step - 1 downto !pos do
-          if passes row then begin
-            buf := row :: !buf;
-            incr count
-          end
-        done;
-        Array.of_list !buf
+    let skip =
+      (* zone-map morsel skipping: a morsel overlaps at most two stats
+         blocks; drop it when no overlapping block can match *)
+      match ztest with
+      | Some t ->
+        not (Stats.range_may_match t ~lo:!pos ~hi:(!pos + step - 1))
+      | None -> false
     in
-    if Array.length idx > 0 then begin
-      Guard.add_rows (Array.length idx);
-      let chunk = Relation.take seg.source idx in
-      match transform chunk with
-      | Some c when Relation.n_rows c > 0 -> consume c
-      | _ -> ()
+    if not skip then begin
+      let idx =
+        match (preds, seg.prescan) with
+        | [], [] -> Array.init step (fun i -> !pos + i)
+        | _ ->
+          let buf = ref [] and count = ref 0 in
+          for row = !pos + step - 1 downto !pos do
+            if passes row then begin
+              buf := row :: !buf;
+              incr count
+            end
+          done;
+          Array.of_list !buf
+      in
+      if Array.length idx > 0 then begin
+        Guard.add_rows (Array.length idx);
+        let chunk = Relation.take seg.source idx in
+        match transform chunk with
+        | Some c when Relation.n_rows c > 0 -> consume c
+        | _ -> ()
+      end
     end;
     pos := !pos + step
   done
@@ -338,9 +458,10 @@ and iter_morsels (seg : segment) start len (consume : chunk -> unit) : unit =
 (* Run a segment over its source, morsel-parallel, collecting all chunks. *)
 and run_segment ctx (seg : segment) : Relation.t =
   let n = Relation.n_rows seg.source in
+  let ztest = seg_zone_test ctx.catalog seg in
   let run_range start len =
     let out = ref [] in
-    iter_morsels seg start len (fun c -> out := c :: !out);
+    iter_morsels ?ztest seg start len (fun c -> out := c :: !out);
     List.rev !out
   in
   let chunk_lists =
@@ -414,7 +535,7 @@ and materialize ctx (p : plan) : Relation.t =
     (* Rare in generated SQL; reuse the vectorized implementation. *)
     let vctx =
       { Exec_vectorized.catalog = ctx.catalog; ctes = ctx.ctes;
-        threads = ctx.threads }
+        threads = ctx.threads; on_rows = None }
     in
     Exec_vectorized.run vctx p
   | Scan name -> lookup ctx name
@@ -432,6 +553,7 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
   let has_distinct = List.exists (fun s -> s.distinct) specs in
   let seg = compile_segment ctx sub in
   let n = Relation.n_rows seg.source in
+  let ztest = seg_zone_test ctx.catalog seg in
   match groups with
   | [] ->
     let fold_range start len =
@@ -439,20 +561,27 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
       let n_specs = Array.length specs_arr in
       (match seg.transform with
       | None ->
-        (* fused scan→filter→aggregate: no morsel materialization at all *)
+        (* fused scan→filter→aggregate: no morsel materialization at all;
+           zone-dead blocks drop out of the row ranges entirely *)
         let cols = seg.source.Relation.cols in
         let preds = List.map (Eval.compile_pred cols) seg.prefilter in
         let upds = Agg_util.update_fns specs_arr cols in
-        for row = start to start + len - 1 do
-          (* the fused loop has no morsel boundary: check every ~8K rows *)
-          if (row - start) land 8191 = 0 then Guard.check ();
-          if List.for_all (fun p -> p row) preds then
-            for i = 0 to n_specs - 1 do
-              upds.(i) accs.(i) row
-            done
-        done
+        List.iter
+          (fun (lo, hi) ->
+            for row = lo to hi do
+              (* the fused loop has no morsel boundary: check every ~8K rows *)
+              if (row - lo) land 8191 = 0 then Guard.check ();
+              if
+                List.for_all (fun p -> p row) preds
+                && List.for_all (fun t -> t row) seg.prescan
+              then
+                for i = 0 to n_specs - 1 do
+                  upds.(i) accs.(i) row
+                done
+            done)
+          (alive_ranges ztest start (start + len - 1))
       | Some _ ->
-        iter_morsels seg start len (fun c ->
+        iter_morsels ?ztest seg start len (fun c ->
             let upds = Agg_util.update_fns specs_arr c.Relation.cols in
             for row = 0 to Relation.n_rows c - 1 do
               for i = 0 to n_specs - 1 do
@@ -583,10 +712,14 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
            keys across the partial tables merged below *)
         let cols = seg.source.Relation.cols in
         let preds = List.map (Eval.compile_pred cols) seg.prefilter in
-        consume_chunk ~cross_chunk:false cols start (start + len - 1)
-          (fun row -> List.for_all (fun p -> p row) preds)
+        List.iter
+          (fun (lo, hi) ->
+            consume_chunk ~cross_chunk:false cols lo hi (fun row ->
+                List.for_all (fun p -> p row) preds
+                && List.for_all (fun t -> t row) seg.prescan))
+          (alive_ranges ztest start (start + len - 1))
       | Some _ ->
-        iter_morsels seg start len (fun c ->
+        iter_morsels ?ztest seg start len (fun c ->
             (* chunk columns are gathers of the same base columns, so their
                dictionaries (and codes) agree across chunks and domains;
                cross_chunk keeps data-dependent (per-gather) key encodings

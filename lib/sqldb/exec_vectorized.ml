@@ -13,6 +13,8 @@ type ctx = {
   catalog : Catalog.t;
   ctes : (string, Relation.t) Hashtbl.t;
   threads : int;
+  on_rows : (Plan.plan -> int -> unit) option;
+      (* EXPLAIN instrumentation: actual output rows per operator *)
 }
 
 let relation_cols (r : Relation.t) = r.Relation.cols
@@ -72,6 +74,45 @@ let filter_indices ~threads cols ~n pred =
              end
            done;
            (!out, !count)))
+
+(* Zone-map scan skipping: when filtering a full base-table scan, consult
+   the per-block min/max computed at ingest and evaluate the predicate only
+   over blocks that may contain a match. Returns [None] when nothing is
+   skippable (no zone maps for the referenced columns, predicate shape not
+   zone-checkable, or every block alive) so the caller keeps the vectorized
+   full-column path. *)
+let zone_filter ~threads catalog cols ~n pred : int array option =
+  if n = 0 then None
+  else
+    let zcols = Array.map (Catalog.zones_for catalog) cols in
+    if Array.for_all Option.is_none zcols then None
+    else
+      match Stats.zone_tests_with zcols [ pred ] with
+      | None -> None
+      | Some test ->
+        let bs = Stats.block_size in
+        let nb = (n + bs - 1) / bs in
+        let alive = Array.init nb test in
+        if Array.for_all Fun.id alive then None
+        else
+          Some
+            (collect_parts
+               (Parallel.map_chunks ~threads nb (fun bstart blen ->
+                    let test_row = Eval.compile_pred cols pred in
+                    let out = ref [] and count = ref 0 in
+                    for b = bstart + blen - 1 downto bstart do
+                      if alive.(b) then begin
+                        Guard.check ();
+                        let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
+                        for row = hi downto lo do
+                          if test_row row then begin
+                            out := row :: !out;
+                            incr count
+                          end
+                        done
+                      end
+                    done;
+                    (!out, !count))))
 
 (* Filter an already-selected relation: the predicate runs only on the rows
    in [sel] and the surviving base indices come back in selection order. *)
@@ -256,15 +297,19 @@ let node_name (p : plan) =
    deadline unwinds from the next node instead of hanging the query. *)
 let rec run_sel (ctx : ctx) (p : plan) : srel =
   Guard.check ();
-  if dbg_nodes then begin
-    let t0 = Unix.gettimeofday () in
-    let r = run_sel_inner ctx p in
-    Printf.eprintf "[node] %-18s %.4fs (%d rows)\n%!" (node_name p)
-      (Unix.gettimeofday () -. t0)
-      (srel_nrows r);
-    r
-  end
-  else run_sel_inner ctx p
+  let r =
+    if dbg_nodes then begin
+      let t0 = Unix.gettimeofday () in
+      let r = run_sel_inner ctx p in
+      Printf.eprintf "[node] %-18s %.4fs (%d rows)\n%!" (node_name p)
+        (Unix.gettimeofday () -. t0)
+        (srel_nrows r);
+      r
+    end
+    else run_sel_inner ctx p
+  in
+  (match ctx.on_rows with Some f -> f p (srel_nrows r) | None -> ());
+  r
 
 and run_sel_inner (ctx : ctx) (p : plan) : srel =
   match p.node with
@@ -301,9 +346,11 @@ and run_sel_inner (ctx : ctx) (p : plan) : srel =
     let cols = relation_cols s.rel in
     let sel' =
       match s.sel with
-      | None ->
-        filter_indices ~threads:ctx.threads cols ~n:(Relation.n_rows s.rel)
-          pred
+      | None -> (
+        let n = Relation.n_rows s.rel in
+        match zone_filter ~threads:ctx.threads ctx.catalog cols ~n pred with
+        | Some sel -> sel
+        | None -> filter_indices ~threads:ctx.threads cols ~n pred)
       | Some sel -> filter_sel ~threads:ctx.threads cols sel pred
     in
     { rel = s.rel; sel = Some sel' }
@@ -468,16 +515,43 @@ and run_join ctx kind left right keys residual =
 
 and run_semijoin ctx anti left right keys residual =
   let ls = run_sel ctx left in
-  let r = materialize (run_sel ctx right) in
+  let rs = run_sel ctx right in
   let l = ls.rel in
-  let nl = srel_nrows ls and nr = Relation.n_rows r in
+  let nl = srel_nrows ls and nr = srel_nrows rs in
   let base = match ls.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
   match (keys, residual) with
   | [], None ->
     (* EXISTS over an uncorrelated subquery: all-or-nothing *)
     let nonempty = nr > 0 in
     if nonempty <> anti then ls else { rel = l; sel = Some [||] }
+  | _ :: _, None when nr > 2 * nl ->
+    (* Inverted probe direction: when the subquery side is much larger than
+       the outer side, building its hash table costs more than the whole
+       semijoin should. Build over the (small) outer side's keys instead and
+       stream the subquery side through it, marking which outer rows found a
+       witness. Only valid without a residual — marking loses the pairing. *)
+    let lkeys = List.map fst keys and rkeys = List.map snd keys in
+    let ltbl =
+      Hash_util.build_table ?sel:ls.sel ~null_as_key:false (relation_cols l)
+        lkeys ~n:(Relation.n_rows l)
+    in
+    let matched = Bitset.create (Relation.n_rows l) in
+    let pf = Hash_util.probe_fn ltbl (relation_cols rs.rel) rkeys in
+    let rbase =
+      match rs.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id
+    in
+    for pos = 0 to nr - 1 do
+      List.iter (fun lrow -> Bitset.set matched lrow) (pf (rbase pos))
+    done;
+    let keep = ref [] in
+    for pos = nl - 1 downto 0 do
+      let lrow = base pos in
+      if Bitset.get matched lrow <> anti then keep := lrow :: !keep
+    done;
+    { rel = l; sel = Some (Array.of_list !keep) }
   | _ ->
+    let r = materialize rs in
+    let nr = Relation.n_rows r in
     let rkeys = List.map snd keys and lkeys = List.map fst keys in
     let pf =
       match keys with
@@ -749,9 +823,9 @@ and run (ctx : ctx) (p : plan) : Relation.t = materialize (run_sel ctx p)
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_query ?(threads = 1) (catalog : Catalog.t) (bq : bound_query) :
-    Relation.t =
-  let ctx = { catalog; ctes = Hashtbl.create 8; threads } in
+let run_query ?(threads = 1) ?on_rows (catalog : Catalog.t) (bq : bound_query)
+    : Relation.t =
+  let ctx = { catalog; ctes = Hashtbl.create 8; threads; on_rows } in
   let dbg = Sys.getenv_opt "PYTOND_TIMING" <> None in
   List.iter
     (fun (name, plan) ->

@@ -173,16 +173,69 @@ let key_fn ?(local = false) ?(cross_chunk = false) ~(null_as_key : bool)
         if (not null_as_key) && List.exists Value.is_null vs then None
         else Some (KStr (pack_values vs)))
 
+(* ------------------------------------------------------------------ *)
+(* Bloom filters                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compact bloom filter over the build-side keys: two bits per key in a
+   power-of-two bit array (~8 bits per key, <5% false positives), consulted
+   before the hash table on join probes. Probe misses — the common case on
+   selective joins — skip the bucket walk entirely, and the filter is small
+   enough to stay cache-resident when the table is not. *)
+type bloom = { bits : Bytes.t; mask : int }
+
+(* splitmix64 finalizer with multipliers truncated to OCaml's 63-bit ints *)
+let bloom_mix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x3f58476d1ce4e5b9 in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x14d049bb133111eb in
+  h lxor (h lsr 31)
+
+let bloom_create n_keys =
+  let want = max 1024 (8 * n_keys) in
+  let rec pow2 b = if b >= want then b else pow2 (b * 2) in
+  let nbits = pow2 1024 in
+  { bits = Bytes.make (nbits lsr 3) '\000'; mask = nbits - 1 }
+
+let bloom_set b i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set b.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get b.bits byte) lor (1 lsl (i land 7))))
+
+let bloom_get b i =
+  Char.code (Bytes.unsafe_get b.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bloom_add b h =
+  let h = bloom_mix h in
+  bloom_set b (h land b.mask);
+  bloom_set b ((h lsr 21) land b.mask)
+
+let bloom_may b h =
+  let h = bloom_mix h in
+  bloom_get b (h land b.mask) && bloom_get b ((h lsr 21) land b.mask)
+
+(* Int keys hash as themselves so the unboxed [TInt] build path and boxed
+   [KInt] probes agree on bloom bits. *)
+let bloom_hash_key (k : key) =
+  match k with KInt i -> i | KStr _ -> Hashtbl.hash k
+
 (* A build-side table. A single int key column (the common join shape:
    foreign keys) gets an unboxed int-keyed table — no [key] boxing on insert
    or probe, and OCaml's immediate-int hashing. Everything else uses boxed
    [key]s. *)
-type table =
+type impl =
   | TInt of (int, int list) Hashtbl.t
   | TBoxed of (key, int list) Hashtbl.t
 
+type table = { impl : impl; bloom : bloom option }
+
+let table_size (t : table) =
+  match t.impl with TInt h -> Hashtbl.length h | TBoxed h -> Hashtbl.length h
+
 let lookup_key (t : table) (k : key) : int list =
-  match (t, k) with
+  match (t.impl, k) with
   | TBoxed tbl, k -> (
     match Hashtbl.find_opt tbl k with Some rows -> rows | None -> [])
   | TInt tbl, KInt i -> (
@@ -215,6 +268,7 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
       | _ -> None)
     | _ -> None
   in
+  let bl = bloom_create n_log in
   match int_col with
   | Some (a, nulls) ->
     (* unboxed build: null rows can't be int keys, so they are skipped
@@ -222,6 +276,7 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
     let tbl = Hashtbl.create (max 16 n_log) in
     let insert row =
       let k = a.(row) in
+      bloom_add bl k;
       match Hashtbl.find_opt tbl k with
       | Some rows -> Hashtbl.replace tbl k (row :: rows)
       | None -> Hashtbl.add tbl k [ row ]
@@ -229,7 +284,7 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
     (match nulls with
     | None -> iter_rows insert
     | Some m -> iter_rows (fun row -> if not (Bitset.get m row) then insert row));
-    TInt tbl
+    { impl = TInt tbl; bloom = Some bl }
   | None ->
     let kf = key_fn ~null_as_key cols idxs in
     let tbl = Hashtbl.create (max 16 n_log) in
@@ -237,10 +292,11 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
         match kf row with
         | None -> ()
         | Some k -> (
+          bloom_add bl (bloom_hash_key k);
           match Hashtbl.find_opt tbl k with
           | Some rows -> Hashtbl.replace tbl k (row :: rows)
           | None -> Hashtbl.add tbl k [ row ]));
-    TBoxed tbl
+    { impl = TBoxed tbl; bloom = Some bl }
 
 (* Join-probe closure: probe row -> matching build rows. Nulls never match
    (join semantics). A single dictionary-encoded probe key memoizes the
@@ -250,13 +306,31 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
    shared). *)
 let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
     int -> int list =
+  let boxed_lookup k =
+    match t.bloom with
+    | Some b when not (bloom_may b (bloom_hash_key k)) -> []
+    | _ -> lookup_key t k
+  in
   match idxs with
   | [ i ] -> (
     let c = cols.(i) in
-    match (c.Column.data, t) with
+    match (c.Column.data, t.impl) with
     | Column.I a, TInt itbl -> (
-      let lookup row =
-        match Hashtbl.find_opt itbl a.(row) with Some rows -> rows | None -> []
+      let lookup =
+        match t.bloom with
+        | Some b ->
+          fun row ->
+            let k = a.(row) in
+            if not (bloom_may b k) then []
+            else (
+              match Hashtbl.find_opt itbl k with
+              | Some rows -> rows
+              | None -> [])
+        | None -> (
+          fun row ->
+            match Hashtbl.find_opt itbl a.(row) with
+            | Some rows -> rows
+            | None -> [])
       in
       match c.Column.nulls with
       | None -> lookup
@@ -268,7 +342,8 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
         match memo.(code) with
         | Some rows -> rows
         | None ->
-          let rows = lookup_key t (KStr values.(code)) in
+          (* the bloom check runs once per distinct code, then memoizes *)
+          let rows = boxed_lookup (KStr values.(code)) in
           memo.(code) <- Some rows;
           rows
       in
@@ -277,7 +352,41 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
       | Some m -> fun row -> if Bitset.get m row then [] else lookup codes.(row))
     | _ ->
       let kf = key_fn ~null_as_key:false cols idxs in
-      fun row -> ( match kf row with None -> [] | Some k -> lookup_key t k))
+      fun row -> ( match kf row with None -> [] | Some k -> boxed_lookup k))
   | idxs ->
     let kf = key_fn ~null_as_key:false cols idxs in
-    fun row -> ( match kf row with None -> [] | Some k -> lookup_key t k)
+    fun row -> ( match kf row with None -> [] | Some k -> boxed_lookup k)
+
+(* Row-level membership pre-test over a single probe-key column, for
+   pushing the build side's bloom filter into the probe-side scan: a row
+   that fails cannot find a join partner, so inner and semi joins may drop
+   it before the morsel is ever gathered. Null keys never join, so they
+   fail too. Unsound for outer and anti joins — callers gate on kind. *)
+let scan_test (t : table) (c : Column.t) : (int -> bool) option =
+  match t.bloom with
+  | None -> None
+  | Some b ->
+    let not_null test =
+      match c.Column.nulls with
+      | None -> test
+      | Some m -> fun row -> (not (Bitset.get m row)) && test row
+    in
+    (match c.Column.data with
+    | Column.I a -> Some (not_null (fun row -> bloom_may b a.(row)))
+    | Column.D (codes, d) ->
+      (* tri-state per-code memo: -1 unknown, 0 fail, 1 may-match; races
+         between domains rewrite the same immediate value, which is safe *)
+      let values = d.Column.values in
+      let memo = Array.make (Array.length values) (-1) in
+      Some
+        (not_null (fun row ->
+             let code = codes.(row) in
+             match memo.(code) with
+             | -1 ->
+               let r = bloom_may b (bloom_hash_key (KStr values.(code))) in
+               memo.(code) <- (if r then 1 else 0);
+               r
+             | v -> v = 1))
+    | Column.S a ->
+      Some (not_null (fun row -> bloom_may b (bloom_hash_key (KStr a.(row)))))
+    | Column.B _ | Column.F _ -> None)

@@ -232,3 +232,48 @@ let rec pp_node fmt (p : plan) =
   | Window (p, _, name) -> fprintf fmt "Window[%s](@[%a@])" name pp_node p
 
 let plan_to_string p = Format.asprintf "%a" pp_node p
+
+(* Multi-line EXPLAIN tree, one operator per line, with a caller-supplied
+   per-node annotation (the CLI prints estimated vs actual cardinality). *)
+let explain_tree ?(annot = fun (_ : plan) -> "") (p : plan) : string =
+  let buf = Buffer.create 256 in
+  let label p =
+    match p.node with
+    | Scan name -> Printf.sprintf "Scan(%s)" name
+    | PValues (_, rows) -> Printf.sprintf "Values(%d rows)" (List.length rows)
+    | Filter _ -> "Filter"
+    | Project (_, items) -> Printf.sprintf "Project[%d]" (List.length items)
+    | Join { kind; keys; _ } ->
+      let k =
+        match kind with
+        | JInner -> "Inner"
+        | JLeft -> "Left"
+        | JRight -> "Right"
+        | JFull -> "Full"
+      in
+      Printf.sprintf "%sJoin[%d keys]" k (List.length keys)
+    | SemiJoin { anti; _ } -> if anti then "AntiJoin" else "SemiJoin"
+    | Aggregate (_, gs, aggs) ->
+      Printf.sprintf "Aggregate[%d groups, %d aggs]" (List.length gs)
+        (List.length aggs)
+    | Sort _ -> "Sort"
+    | LimitN (_, n) -> Printf.sprintf "Limit[%d]" n
+    | Distinct _ -> "Distinct"
+    | Window (_, _, nm) -> Printf.sprintf "Window[%s]" nm
+  in
+  let children p =
+    match p.node with
+    | Scan _ | PValues _ -> []
+    | Filter (s, _) | Project (s, _) | Aggregate (s, _, _) | Sort (s, _)
+    | LimitN (s, _) | Distinct s | Window (s, _, _) -> [ s ]
+    | Join { left; right; _ } | SemiJoin { left; right; _ } -> [ left; right ]
+  in
+  let rec go indent p =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf (label p);
+    Buffer.add_string buf (annot p);
+    Buffer.add_char buf '\n';
+    List.iter (go (indent + 1)) (children p)
+  in
+  go 0 p;
+  Buffer.contents buf

@@ -23,12 +23,20 @@ let outer_base = 100_000_000
 type src = { alias : string; names : string array; tys : ty array; vbase : int }
 
 (* A join-forest component: a plan covering one or more sources; [vmap] maps
-   virtual column index -> column index in [plan]. *)
-type comp = { srcs : src list; plan : plan; vmap : (int, int) Hashtbl.t }
+   virtual column index -> column index in [plan]. [origins] maps plan
+   column index -> base-table column, for statistics lookups — [None] once
+   a column passes through a subquery, CTE, or computed projection. *)
+type comp = {
+  srcs : src list;
+  plan : plan;
+  vmap : (int, int) Hashtbl.t;
+  origins : (string * int) option array;
+}
 
 type env = {
   catalog : Catalog.t;
   mutable cte_schemas : (string * schema) list;
+  mutable cte_ests : (string * float) list;
 }
 
 let with_est est p =
@@ -37,11 +45,101 @@ let with_est est p =
 
 let estimate_scan env name =
   match List.assoc_opt name env.cte_schemas with
-  | Some _ -> 1000. (* CTE cardinality unknown at bind time *)
+  | Some _ ->
+    (* CTE: cardinality recorded when its plan was bound *)
+    Option.value ~default:1000. (List.assoc_opt name env.cte_ests)
   | None -> (
     match Catalog.find_opt env.catalog name with
     | Some t -> float_of_int (max 1 (Relation.n_rows t.rel))
     | None -> 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics-driven estimation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let col_stats_of env (origins : (string * int) option array) i :
+    Stats.col_stats option =
+  if i < 0 || i >= Array.length origins then None
+  else
+    match origins.(i) with
+    | None -> None
+    | Some (tbl, ci) -> (
+      match Catalog.stats_opt env.catalog tbl with
+      | Some st when ci < Array.length st.Stats.cols -> Some st.Stats.cols.(ci)
+      | _ -> None)
+
+let clamp01 f = Float.max 0. (Float.min 1. f)
+
+(* Fraction of a table's rows satisfying [col <op> lit], from the column's
+   min/max, distinct count, and null fraction. Nulls never satisfy a
+   comparison, so every branch scales by the non-null fraction. *)
+let sel_cmp (st : Stats.col_stats) (op : Sql_ast.binop) (v : Value.t) =
+  let d = Float.max 1. st.Stats.distinct in
+  let not_null = clamp01 (1. -. st.Stats.null_frac) in
+  let num =
+    match v with
+    | VInt n -> Some (float_of_int n)
+    | VDate dd -> Some (float_of_int dd)
+    | VFloat f -> Some f
+    | _ -> None
+  in
+  let frac =
+    match (op, num, st.Stats.range) with
+    | Sql_ast.Eq, _, _ -> 1. /. d
+    | Sql_ast.Ne, _, _ -> 1. -. (1. /. d)
+    | (Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge), Some l, Some (lo, hi) ->
+      let below =
+        if hi <= lo then if l >= lo then 1. else 0.
+        else clamp01 ((l -. lo) /. (hi -. lo))
+      in
+      (match op with
+      | Sql_ast.Lt | Sql_ast.Le -> below
+      | _ -> 1. -. below)
+    | _ -> 1. /. 3.
+  in
+  not_null *. clamp01 frac
+
+(* Selectivity of a bound predicate given a per-column stats lookup.
+   Unrecognized shapes keep the legacy 1/3 guess. *)
+let rec pred_selectivity (lookup : int -> Stats.col_stats option) (e : pexpr) :
+    float =
+  let default = 1. /. 3. in
+  let s e = pred_selectivity lookup e in
+  match e with
+  | PBin (Sql_ast.And, a, b) -> s a *. s b
+  | PBin (Sql_ast.Or, a, b) ->
+    let x = s a and y = s b in
+    clamp01 (x +. y -. (x *. y))
+  | PNot a -> clamp01 (1. -. s a)
+  | PBin ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
+          PCol i, PLit v) -> (
+    match lookup i with Some st -> sel_cmp st op v | None -> default)
+  | PBin ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
+          PLit v, PCol i) -> (
+    let op =
+      match op with
+      | Sql_ast.Lt -> Sql_ast.Gt
+      | Sql_ast.Le -> Sql_ast.Ge
+      | Sql_ast.Gt -> Sql_ast.Lt
+      | Sql_ast.Ge -> Sql_ast.Le
+      | op -> op
+    in
+    match lookup i with Some st -> sel_cmp st op v | None -> default)
+  | PInList (PCol i, items, negated) -> (
+    match lookup i with
+    | Some st ->
+      let d = Float.max 1. st.Stats.distinct in
+      let f = clamp01 (float_of_int (List.length items) /. d) in
+      if negated then clamp01 (1. -. f) else f
+    | None -> default)
+  | PIsNull (PCol i, negated) -> (
+    match lookup i with
+    | Some st ->
+      let f = st.Stats.null_frac in
+      if negated then 1. -. f else f
+    | None -> if negated then 0.9 else 0.1)
+  | PLike (_, _, negated) -> if negated then 0.85 else 0.15
+  | _ -> default
 
 (* ------------------------------------------------------------------ *)
 (* Name resolution                                                    *)
@@ -167,10 +265,15 @@ let referenced_vcols (e : pexpr) =
 (* Components & join trees                                            *)
 (* ------------------------------------------------------------------ *)
 
-let comp_of_src (s : src) (plan : plan) : comp =
+let comp_of_src ?origins (s : src) (plan : plan) : comp =
   let vmap = Hashtbl.create (Array.length s.names) in
   Array.iteri (fun i _ -> Hashtbl.replace vmap (s.vbase + i) i) s.names;
-  { srcs = [ s ]; plan; vmap }
+  let origins =
+    match origins with
+    | Some o -> o
+    | None -> Array.make (Array.length s.names) None
+  in
+  { srcs = [ s ]; plan; vmap; origins }
 
 let comp_owns (c : comp) v = Hashtbl.mem c.vmap v
 
@@ -189,21 +292,52 @@ let rec pred_cost (e : pexpr) : int =
   | PNot a -> pred_cost a
   | _ -> 3
 
-let comp_filter (c : comp) (preds : pexpr list) : comp =
+let comp_filter env (c : comp) (preds : pexpr list) : comp =
   let preds =
     List.stable_sort
       (fun a b -> compare (pred_cost a) (pred_cost b))
       preds
   in
-  match conj (List.map (rewrite_via c.vmap) preds) with
+  let rewritten = List.map (rewrite_via c.vmap) preds in
+  match conj rewritten with
   | None -> c
   | Some pred ->
-    let est = Float.max 1. (c.plan.est /. (3. *. float_of_int (List.length preds))) in
+    let lookup = col_stats_of env c.origins in
+    let sel =
+      List.fold_left
+        (fun acc p -> acc *. pred_selectivity lookup p)
+        1. rewritten
+    in
+    let est = Float.max 1. (c.plan.est *. Float.max 1e-6 sel) in
     { c with plan = with_est est (mk (Filter (c.plan, pred)) c.plan.schema) }
+
+(* Estimated output cardinality of an equi-join between [a] and [b] over
+   plan-column key pairs: |A| * |B| / max(ndv_A, ndv_B), with each side's
+   key distinct-count taken from base-table stats (capped by the side's row
+   estimate) and assumed unique when unknown. Empty keys = cross product. *)
+let keyed_out_est env (a : comp) (b : comp) (pkeys : (int * int) list) : float =
+  match pkeys with
+  | [] -> Float.max 1. (a.plan.est *. b.plan.est)
+  | _ ->
+    let side (c : comp) idxs =
+      let rows = Float.max 1. c.plan.est in
+      let d =
+        List.fold_left
+          (fun acc i ->
+            match col_stats_of env c.origins i with
+            | Some st -> acc *. Float.max 1. st.Stats.distinct
+            | None -> acc *. rows)
+          1. idxs
+      in
+      Float.max 1. (Float.min d rows)
+    in
+    let da = side a (List.map fst pkeys) in
+    let db = side b (List.map snd pkeys) in
+    Float.max 1. (a.plan.est *. b.plan.est /. Float.max da db)
 
 (* Merge two components with an inner hash join over the given virtual-column
    key pairs (empty keys = cross join). Probe = larger side on the left. *)
-let comp_join ?(kind = JInner) ?residual (a : comp) (b : comp)
+let comp_join env ?(kind = JInner) ?residual (a : comp) (b : comp)
     (keys : (int * int) list) : comp =
   let left, right =
     match kind with
@@ -227,9 +361,13 @@ let comp_join ?(kind = JInner) ?residual (a : comp) (b : comp)
   in
   let schema = Array.append left.plan.schema right.plan.schema in
   let est =
-    match keys with
-    | [] -> left.plan.est *. right.plan.est
-    | _ -> Float.max left.plan.est right.plan.est
+    let inner = keyed_out_est env left right keys in
+    (* outer joins keep every row of the preserved side(s) *)
+    match kind with
+    | JInner -> inner
+    | JLeft -> Float.max inner left.plan.est
+    | JRight -> Float.max inner right.plan.est
+    | JFull -> Float.max inner (Float.max left.plan.est right.plan.est)
   in
   let node =
     Join { kind; left = left.plan; right = right.plan; keys; residual }
@@ -237,19 +375,42 @@ let comp_join ?(kind = JInner) ?residual (a : comp) (b : comp)
   let vmap = Hashtbl.create 16 in
   Hashtbl.iter (fun v i -> Hashtbl.replace vmap v i) left.vmap;
   Hashtbl.iter (fun v i -> Hashtbl.replace vmap v (off + i)) right.vmap;
-  { srcs = left.srcs @ right.srcs; plan = with_est est (mk node schema); vmap }
+  { srcs = left.srcs @ right.srcs;
+    plan = with_est est (mk node schema);
+    vmap;
+    origins = Array.append left.origins right.origins }
 
-(* Greedy join-tree construction over [comps] with equality [edges]. *)
-let build_join_tree (comps : comp list) (edges : (int * int) list) : comp =
+(* Greedy join-tree construction over [comps] with equality [edges]: at each
+   step merge the connected pair with the smallest estimated join output
+   (intermediate-cardinality ordering). *)
+let build_join_tree env (comps : comp list) (edges : (int * int) list) : comp =
   let comps = ref comps and edges = ref edges in
   let find_comp v = List.find_opt (fun c -> comp_owns c v) !comps in
+  let between_of ca cb =
+    List.partition
+      (fun (a, b) ->
+        (comp_owns ca a && comp_owns cb b)
+        || (comp_owns ca b && comp_owns cb a))
+      !edges
+  in
+  let pair_est ca cb =
+    let between, _ = between_of ca cb in
+    let pkeys =
+      List.map
+        (fun (x, y) ->
+          if comp_owns ca x then (Hashtbl.find ca.vmap x, Hashtbl.find cb.vmap y)
+          else (Hashtbl.find ca.vmap y, Hashtbl.find cb.vmap x))
+        between
+    in
+    keyed_out_est env ca cb pkeys
+  in
   let rec merge_loop () =
     let candidates =
       List.filter_map
         (fun (a, b) ->
           match (find_comp a, find_comp b) with
           | Some ca, Some cb when not (ca == cb) ->
-            Some ((a, b), ca, cb, ca.plan.est +. cb.plan.est)
+            Some ((a, b), ca, cb, pair_est ca cb)
           | _ -> None)
         !edges
     in
@@ -262,14 +423,8 @@ let build_join_tree (comps : comp list) (edges : (int * int) list) : comp =
             if cost < best then cand else acc)
           first rest
       in
-      let between, others =
-        List.partition
-          (fun (a, b) ->
-            (comp_owns ca a && comp_owns cb b)
-            || (comp_owns ca b && comp_owns cb a))
-          !edges
-      in
-      let merged = comp_join ca cb between in
+      let between, others = between_of ca cb in
+      let merged = comp_join env ca cb between in
       comps := merged :: List.filter (fun c -> not (c == ca || c == cb)) !comps;
       edges := others;
       merge_loop ()
@@ -283,7 +438,8 @@ let build_join_tree (comps : comp list) (edges : (int * int) list) : comp =
   let combined =
     match ordered with
     | [] -> err "empty FROM clause"
-    | first :: rest -> List.fold_left (fun acc c -> comp_join acc c []) first rest
+    | first :: rest ->
+      List.fold_left (fun acc c -> comp_join env acc c []) first rest
   in
   match
     conj
@@ -333,6 +489,58 @@ let classify_conjuncts (comps : comp list) (bound : pexpr list) =
     bound;
   (List.rev !edges, List.rev !pushed, List.rev !residual)
 
+let split_or_p (e : pexpr) : pexpr list =
+  let rec go acc = function
+    | PBin (Sql_ast.Or, a, b) -> go (go acc b) a
+    | e -> e :: acc
+  in
+  go [] e
+
+let split_and_p (e : pexpr) : pexpr list =
+  let rec go acc = function
+    | PBin (Sql_ast.And, a, b) -> go (go acc b) a
+    | e -> e :: acc
+  in
+  go [] e
+
+(* From a multi-component disjunction, derive per-component implied filters:
+   (A1 ∧ B1) ∨ (A2 ∧ B2) implies (A1 ∨ A2) on A's component and (B1 ∨ B2)
+   on B's. Any row the original predicate accepts satisfies some disjunct,
+   hence that disjunct's component-local conjuncts, hence the implied OR —
+   so pushing the implied filter below the join keeps a superset of the
+   final rows. The original predicate still runs as a residual; the implied
+   filters only shrink the join inputs (TPC-H q19's brand/quantity
+   disjunction is the canonical case). *)
+let implied_pushdowns (comps : comp list) (e : pexpr) : (comp * pexpr) list =
+  match split_or_p e with
+  | [] | [ _ ] -> []
+  | disjuncts ->
+    List.filter_map
+      (fun c ->
+        let per_disjunct =
+          List.map
+            (fun d ->
+              conj
+                (List.filter
+                   (fun cj ->
+                     let local, outer = referenced_vcols cj in
+                     outer = [] && local <> []
+                     && List.for_all (comp_owns c) local)
+                   (split_and_p d)))
+            disjuncts
+        in
+        if List.for_all Option.is_some per_disjunct then
+          match List.map Option.get per_disjunct with
+          | [] -> None
+          | d0 :: rest ->
+            Some
+              ( c,
+                List.fold_left
+                  (fun acc d -> PBin (Sql_ast.Or, acc, d))
+                  d0 rest )
+        else None)
+      comps
+
 (* ------------------------------------------------------------------ *)
 (* FROM items                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -355,7 +563,14 @@ let rec plan_from_item env ~outer (next_vbase : int ref) (fi : Sql_ast.from_item
     let vbase = !next_vbase in
     next_vbase := vbase + Array.length names;
     let plan = with_est (estimate_scan env name) (mk (Scan name) schema) in
-    ([ comp_of_src { alias; names; tys; vbase } plan ], [])
+    let origins =
+      (* CTEs shadow base tables; stats only attach to real catalog scans *)
+      if List.mem_assoc name env.cte_schemas then None
+      else if Catalog.mem env.catalog name then
+        Some (Array.init (Array.length names) (fun i -> Some (name, i)))
+      else None
+    in
+    ([ comp_of_src ?origins { alias; names; tys; vbase } plan ], [])
   | Sql_ast.Subquery (q, alias) ->
     let bq = plan_query_inner env ~outer:[] q in
     (match bq.ctes with
@@ -396,10 +611,10 @@ let rec plan_from_item env ~outer (next_vbase : int ref) (fi : Sql_ast.from_item
                   (fun (c', e) -> if c' == c then Some e else None)
                   pushed
               in
-              comp_filter c preds)
+              comp_filter env c preds)
             side_comps
         in
-        build_join_tree side_comps edges
+        build_join_tree env side_comps edges
       in
       let lc = finish lcomps lrest and rc = finish rcomps rrest in
       let keys, residual =
@@ -421,7 +636,7 @@ let rec plan_from_item env ~outer (next_vbase : int ref) (fi : Sql_ast.from_item
         | Sql_ast.Inner -> JInner
       in
       let residual = conj residual in
-      let merged = comp_join ~kind:jkind ?residual lc rc keys in
+      let merged = comp_join env ~kind:jkind ?residual lc rc keys in
       ([ merged ], []))
 
 (* ------------------------------------------------------------------ *)
@@ -449,13 +664,16 @@ and plan_select env ~outer (s : Sql_ast.select) : plan =
   in
   let bound = List.map (bind_expr env ~srcs ~outer) plain_conjs in
   let edges, pushed, residual = classify_conjuncts comps bound in
+  (* Implied filters derived from multi-component disjunctions shrink join
+     inputs; the originating residual still runs afterwards. *)
+  let pushed = pushed @ List.concat_map (implied_pushdowns comps) residual in
   let comps =
     List.map
       (fun c ->
         let preds =
           List.filter_map (fun (c', e) -> if c' == c then Some e else None) pushed
         in
-        comp_filter c preds)
+        comp_filter env c preds)
       comps
   in
   let combined =
@@ -463,17 +681,21 @@ and plan_select env ~outer (s : Sql_ast.select) : plan =
     | [] ->
       (* SELECT without FROM *)
       let plan = with_est 1. (mk (PValues ([||], [ [] ])) [||]) in
-      { srcs = []; plan; vmap = Hashtbl.create 1 }
-    | comps -> build_join_tree comps edges
+      { srcs = []; plan; vmap = Hashtbl.create 1; origins = [||] }
+    | comps -> build_join_tree env comps edges
   in
   let combined =
     match conj (List.map (rewrite_via combined.vmap) residual) with
     | None -> combined
     | Some pred ->
+      let sel =
+        pred_selectivity (col_stats_of env combined.origins) pred
+      in
+      let est = Float.max 1. (combined.plan.est *. Float.max 1e-6 sel) in
       { combined with
         plan =
-          with_est combined.plan.est
-            (mk (Filter (combined.plan, pred)) combined.plan.schema) }
+          with_est est (mk (Filter (combined.plan, pred)) combined.plan.schema)
+      }
   in
   (* Semi/anti joins from EXISTS / IN conjuncts. *)
   let joined =
@@ -637,9 +859,12 @@ and plan_select env ~outer (s : Sql_ast.select) : plan =
           (Array.of_list (List.map (fun sp -> (sp.out_name, sp.out_ty)) specs))
       in
       let agg_plan =
-        with_est
-          (Float.max 1. (joined.est /. 10.))
-          (mk (Aggregate (lower, group_idx, specs)) agg_schema)
+        (* a global aggregate collapses to one row; grouped output is a
+           fraction of the input (no per-expression group stats here) *)
+        let agg_est =
+          if group_idx = [] then 1. else Float.max 1. (joined.est /. 10.)
+        in
+        with_est agg_est (mk (Aggregate (lower, group_idx, specs)) agg_schema)
       in
       let indexed_aggs = List.mapi (fun i n -> (n, i)) agg_nodes in
       let rec rewrite (e : Sql_ast.expr) : pexpr =
@@ -899,10 +1124,10 @@ and apply_subquery_conjunct env ~srcs ~vmap (left : plan) (c : Sql_ast.expr) :
               (fun (c', e) -> if c' == c then Some e else None)
               pushed
           in
-          comp_filter c preds)
+          comp_filter env c preds)
         icomps
     in
-    let ic = build_join_tree icomps edges in
+    let ic = build_join_tree env icomps edges in
     let iplan =
       match conj (List.map (rewrite_via ic.vmap) residual) with
       | None -> ic.plan
@@ -974,6 +1199,7 @@ and plan_body env ~outer (b : Sql_ast.body) : plan =
 
 and plan_query_inner env ~outer (q : Sql_ast.query) : bound_query =
   let saved = env.cte_schemas in
+  let saved_ests = env.cte_ests in
   let ctes =
     List.map
       (fun (name, cols, sub) ->
@@ -998,13 +1224,155 @@ and plan_query_inner env ~outer (q : Sql_ast.query) : bound_query =
             { p with schema }
         in
         env.cte_schemas <- (name, p.schema) :: env.cte_schemas;
+        env.cte_ests <- (name, Float.max 1. p.est) :: env.cte_ests;
         (name, p))
       q.ctes
   in
   let main = plan_body env ~outer q.body in
   env.cte_schemas <- saved;
+  env.cte_ests <- saved_ests;
   { ctes; main }
 
+(* ------------------------------------------------------------------ *)
+(* Single-use CTE inlining                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The Python frontend emits one WITH binding per dataframe assignment, so a
+   chain of filters materializes every intermediate relation in full. A CTE
+   referenced exactly once is substituted for its Scan: the executors then
+   fuse the chain (selection vectors / compiled-segment prefilters), scans
+   stay on base-table columns where zone maps resolve, and column pruning
+   (which runs after this pass) can narrow across the former boundary.
+   Multiply-referenced CTEs stay materialized — sharing is their point —
+   and unreferenced ones are dropped outright. *)
+
+let rec cte_refs tbl (p : plan) =
+  match p.node with
+  | Scan name -> (
+    match Hashtbl.find_opt tbl name with
+    | Some c -> Hashtbl.replace tbl name (c + 1)
+    | None -> ())
+  | PValues _ -> ()
+  | Filter (s, _) | Project (s, _) | Aggregate (s, _, _) | Sort (s, _)
+  | LimitN (s, _) | Distinct s | Window (s, _, _) -> cte_refs tbl s
+  | Join { left; right; _ } | SemiJoin { left; right; _ } ->
+    cte_refs tbl left;
+    cte_refs tbl right
+
+let rec subst_ctes env (p : plan) : plan =
+  let sub = subst_ctes env in
+  match p.node with
+  | Scan name -> (
+    match List.assoc_opt name env with Some q -> q | None -> p)
+  | PValues _ -> p
+  | Filter (s, e) -> { p with node = Filter (sub s, e) }
+  | Project (s, items) -> { p with node = Project (sub s, items) }
+  | Aggregate (s, g, a) -> { p with node = Aggregate (sub s, g, a) }
+  | Sort (s, k) -> { p with node = Sort (sub s, k) }
+  | LimitN (s, n) -> { p with node = LimitN (sub s, n) }
+  | Distinct s -> { p with node = Distinct (sub s) }
+  | Window (s, k, nm) -> { p with node = Window (sub s, k, nm) }
+  | Join j -> { p with node = Join { j with left = sub j.left; right = sub j.right } }
+  | SemiJoin j ->
+    { p with node = SemiJoin { j with left = sub j.left; right = sub j.right } }
+
+let inline_single_use_ctes (bq : bound_query) : bound_query =
+  match bq.ctes with
+  | [] -> bq
+  | ctes ->
+    let uses = Hashtbl.create 8 in
+    List.iter (fun (n, _) -> Hashtbl.replace uses n 0) ctes;
+    List.iter (fun (_, p) -> cte_refs uses p) ctes;
+    cte_refs uses bq.main;
+    let env = ref [] in
+    let kept =
+      List.filter_map
+        (fun (name, p) ->
+          let p = subst_ctes !env p in
+          match Hashtbl.find_opt uses name with
+          | Some 1 ->
+            env := (name, p) :: !env;
+            None
+          | Some 0 -> None (* dead binding *)
+          | _ -> Some (name, p))
+        ctes
+    in
+    { ctes = kept; main = subst_ctes !env bq.main }
+
+(* Push filter conjuncts below joins when they mention only one side's
+   columns. CTE inlining (above) strips the materialization boundaries the
+   Python frontend introduces between a merge and the filters applied to its
+   result, which leaves Filter-over-Join stacks the per-query pushdown in
+   [classify_conjuncts] never saw. Only null-preserving directions are
+   rewritten: both sides of an inner join, the preserved side of a left or
+   right outer join. *)
+let rec push_filters (p : plan) : plan =
+  let sub = push_filters in
+  match p.node with
+  | Scan _ | PValues _ -> p
+  | Project (s, items) -> { p with node = Project (sub s, items) }
+  | Aggregate (s, g, a) -> { p with node = Aggregate (sub s, g, a) }
+  | Sort (s, k) -> { p with node = Sort (sub s, k) }
+  | LimitN (s, n) -> { p with node = LimitN (sub s, n) }
+  | Distinct s -> { p with node = Distinct (sub s) }
+  | Window (s, k, nm) -> { p with node = Window (sub s, k, nm) }
+  | Join j -> { p with node = Join { j with left = sub j.left; right = sub j.right } }
+  | SemiJoin j ->
+    { p with node = SemiJoin { j with left = sub j.left; right = sub j.right } }
+  | Filter (s, pred) -> (
+    let s = push_filters s in
+    let keep_here () = { p with node = Filter (s, pred) } in
+    match s.node with
+    | Join ({ kind; left; right; _ } as j)
+      when kind = JInner || kind = JLeft || kind = JRight ->
+      let nl = Array.length left.schema in
+      let left_ok c = List.for_all (fun i -> i < nl) (pexpr_cols [] c) in
+      let right_ok c = List.for_all (fun i -> i >= nl) (pexpr_cols [] c) in
+      let to_left, rest =
+        List.partition
+          (fun c -> left_ok c && (kind = JInner || kind = JLeft))
+          (split_and_p pred)
+      in
+      let to_right, keep =
+        List.partition
+          (fun c -> right_ok c && (kind = JInner || kind = JRight))
+          rest
+      in
+      if to_left = [] && to_right = [] then keep_here ()
+      else begin
+        let add_filter side preds =
+          match conj preds with
+          | None -> side
+          | Some pe ->
+            let sel = pred_selectivity (fun _ -> None) pe in
+            let est = Float.max 1. (side.est *. Float.max 1e-6 sel) in
+            push_filters
+              (with_est est (mk (Filter (side, pe)) side.schema))
+        in
+        let left' = add_filter left to_left in
+        let right' =
+          add_filter right (List.map (shift_cols (-nl)) to_right)
+        in
+        (* Scale the join's own estimate by how much its inputs shrank. *)
+        let ratio a b = if b.est > 0. then a.est /. b.est else 1. in
+        let jest =
+          Float.max 1. (s.est *. ratio left' left *. ratio right' right)
+        in
+        let join' =
+          with_est jest
+            (mk (Join { j with left = left'; right = right' }) s.schema)
+        in
+        match conj keep with
+        | None -> join'
+        | Some pe -> { p with node = Filter (join', pe) }
+      end
+    | _ -> keep_here ())
+
 let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
-  let env = { catalog; cte_schemas = [] } in
-  Prune.prune_query (plan_query_inner env ~outer:[] q)
+  let env = { catalog; cte_schemas = []; cte_ests = [] } in
+  let bq = inline_single_use_ctes (plan_query_inner env ~outer:[] q) in
+  let bq =
+    { ctes = List.map (fun (n, p) -> (n, push_filters p)) bq.ctes;
+      main = push_filters bq.main }
+  in
+  Prune.prune_query bq

@@ -1,0 +1,325 @@
+(** Table statistics: per-column min/max, null and distinct counts, plus
+    per-block zone maps that power scan skipping in both executors.
+
+    Statistics are computed once at catalog ingest ({!Catalog.add}) and
+    drive the planner's cost model (range-predicate selectivity from
+    min/max, equi-join output size from distinct counts). Distinct counts
+    are exact when cheap — dictionary columns read the dictionary size,
+    low-cardinality data is counted outright — and otherwise estimated from
+    a deterministic stride sample with a GEE-style estimator, so the
+    numbers are identical whether or not [PYTOND_NO_DICT] is set.
+
+    Zone maps cover numeric columns (ints, dates, floats) in
+    [block_size]-row blocks — the same granularity as the compiled
+    executor's morsels. They are resolved by the physical identity of the
+    column's data array ({!data_key}), so they remain valid through
+    zero-copy projections and selection-vector wrapping, and silently
+    disappear for gathered (re-materialized) columns whose row numbering no
+    longer matches the base table. *)
+
+open Value
+
+let block_size = 4096
+
+type col_stats = {
+  null_count : int;
+  null_frac : float; (* null_count / column length *)
+  distinct : float; (* >= 1; estimate unless exact was cheap *)
+  range : (float * float) option; (* numeric min/max over non-null rows *)
+  str_range : (string * string) option; (* string min/max, both layouts *)
+}
+
+(* Per-block min/max over non-null rows; an all-null or empty block is
+   encoded as the empty interval [zmin > zmax] and never matches. *)
+type zone = { zmin : float; zmax : float }
+
+type table_stats = {
+  row_count : int;
+  cols : col_stats array;
+  zones : zone array option array; (* numeric columns only *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Distinct-count estimation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exact_cap = 4096
+let sample_target = 2048
+
+exception Cap
+
+(* Count distinct non-null keys exactly up to [exact_cap]; past the cap,
+   fall back to a stride sample and the GEE estimator
+   d = f1 * sqrt(n/s) + (d_seen - f1). *)
+let distinct_estimate (key_at : int -> 'a option) n : float =
+  if n = 0 then 1.
+  else
+    let tbl = Hashtbl.create 256 in
+    try
+      for i = 0 to n - 1 do
+        match key_at i with
+        | None -> ()
+        | Some k ->
+          if not (Hashtbl.mem tbl k) then begin
+            if Hashtbl.length tbl >= exact_cap then raise Cap;
+            Hashtbl.add tbl k ()
+          end
+      done;
+      float_of_int (max 1 (Hashtbl.length tbl))
+    with Cap ->
+      let step = max 1 (n / sample_target) in
+      let counts = Hashtbl.create (2 * sample_target) in
+      let sampled = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        (match key_at !i with
+        | None -> ()
+        | Some k ->
+          incr sampled;
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)));
+        i := !i + step
+      done;
+      let d_seen = Hashtbl.length counts in
+      let f1 =
+        Hashtbl.fold (fun _ c acc -> if c = 1 then acc + 1 else acc) counts 0
+      in
+      let s = float_of_int (max 1 !sampled) in
+      let est =
+        (float_of_int f1 *. sqrt (float_of_int n /. s))
+        +. float_of_int (d_seen - f1)
+      in
+      Float.max 1. (Float.min (float_of_int n) est)
+
+(* ------------------------------------------------------------------ *)
+(* Per-column statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let null_count_of (c : Column.t) _n =
+  match c.Column.nulls with None -> 0 | Some m -> Bitset.popcount m
+
+let stats_of_col ~unique (c : Column.t) : col_stats =
+  let n = Column.length c in
+  let nulls = null_count_of c n in
+  let live = n - nulls in
+  let is_null i = Column.is_null c i in
+  let numeric_range get =
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to n - 1 do
+      if not (is_null i) then begin
+        let v = get i in
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      end
+    done;
+    if !lo > !hi then None else Some (!lo, !hi)
+  in
+  let distinct =
+    if unique then float_of_int (max 1 live)
+    else
+      match c.Column.data with
+      | Column.D (_, d) -> float_of_int (max 1 (Column.dict_size d))
+      | Column.B _ -> 2.
+      | Column.I a ->
+        distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
+      | Column.F a ->
+        distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
+      | Column.S a ->
+        distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
+  in
+  let range =
+    match c.Column.data with
+    | Column.I a -> numeric_range (fun i -> float_of_int a.(i))
+    | Column.F a -> numeric_range (fun i -> a.(i))
+    | Column.B _ | Column.S _ | Column.D _ -> None
+  in
+  let str_range =
+    let fold_str get =
+      let lo = ref None and hi = ref None in
+      for i = 0 to n - 1 do
+        if not (is_null i) then begin
+          let s = get i in
+          (match !lo with
+          | Some l when String.compare s l >= 0 -> ()
+          | _ -> lo := Some s);
+          match !hi with
+          | Some h when String.compare s h <= 0 -> ()
+          | _ -> hi := Some s
+        end
+      done;
+      match (!lo, !hi) with Some l, Some h -> Some (l, h) | _ -> None
+    in
+    match c.Column.data with
+    | Column.S a -> fold_str (fun i -> a.(i))
+    | Column.D (_, d) ->
+      (* every dictionary entry occurs in the column, so the value-array
+         extremes are the column extremes *)
+      let vs = d.Column.values in
+      if Array.length vs = 0 || live = 0 then None
+      else begin
+        let lo = ref vs.(0) and hi = ref vs.(0) in
+        Array.iter
+          (fun s ->
+            if String.compare s !lo < 0 then lo := s;
+            if String.compare s !hi > 0 then hi := s)
+          vs;
+        Some (!lo, !hi)
+      end
+    | _ -> None
+  in
+  { null_count = nulls;
+    null_frac = (if n = 0 then 0. else float_of_int nulls /. float_of_int n);
+    distinct; range; str_range }
+
+(* ------------------------------------------------------------------ *)
+(* Zone maps                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let empty_zone = { zmin = infinity; zmax = neg_infinity }
+
+let zones_of_col (c : Column.t) : zone array option =
+  let build get =
+    let n = Column.length c in
+    let nb = (n + block_size - 1) / block_size in
+    let zs = Array.make (max 1 nb) empty_zone in
+    for b = 0 to nb - 1 do
+      let lo = b * block_size and hi = min n ((b + 1) * block_size) - 1 in
+      let zmin = ref infinity and zmax = ref neg_infinity in
+      for i = lo to hi do
+        if not (Column.is_null c i) then begin
+          let v = get i in
+          if v < !zmin then zmin := v;
+          if v > !zmax then zmax := v
+        end
+      done;
+      zs.(b) <- { zmin = !zmin; zmax = !zmax }
+    done;
+    Some zs
+  in
+  match c.Column.data with
+  | Column.I a -> build (fun i -> float_of_int a.(i))
+  | Column.F a -> build (fun i -> a.(i))
+  | Column.B _ | Column.S _ | Column.D _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Table entry point                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [unique.(i)] marks columns known unique from constraints (single-column
+   primary keys), giving an exact distinct count for free. *)
+let compute ?unique (rel : Relation.t) : table_stats =
+  let uniq i =
+    match unique with Some u when i < Array.length u -> u.(i) | _ -> false
+  in
+  { row_count = Relation.n_rows rel;
+    cols =
+      Array.mapi (fun i c -> stats_of_col ~unique:(uniq i) c) rel.Relation.cols;
+    zones = Array.map zones_of_col rel.Relation.cols }
+
+(* Physical identity of a column's backing array: zone maps attach to the
+   array, not the Column.t wrapper, so they survive re-wrapping. *)
+let data_key (c : Column.t) : Obj.t option =
+  match c.Column.data with
+  | Column.I a -> Some (Obj.repr a)
+  | Column.F a -> Some (Obj.repr a)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Zone tests for predicates                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lit_num (v : Value.t) =
+  match v with
+  | VInt n -> Some (float_of_int n)
+  | VDate d -> Some (float_of_int d)
+  | VFloat f -> Some f
+  | VBool _ | VString _ | VNull -> None
+
+(* Could any row of a block with extremes [z] satisfy [col <op> l]?
+   Conservative: zone min/max ignore nulls, and null rows never satisfy a
+   comparison, so an empty interval means the block is skippable. *)
+let may_cmp (op : Sql_ast.binop) (z : zone) l =
+  z.zmin <= z.zmax
+  &&
+  match op with
+  | Sql_ast.Eq -> l >= z.zmin && l <= z.zmax
+  | Sql_ast.Ne -> not (z.zmin = z.zmax && z.zmin = l)
+  | Sql_ast.Lt -> z.zmin < l
+  | Sql_ast.Le -> z.zmin <= l
+  | Sql_ast.Gt -> z.zmax > l
+  | Sql_ast.Ge -> z.zmax >= l
+  | _ -> true
+
+let flip_cmp (op : Sql_ast.binop) =
+  match op with
+  | Sql_ast.Lt -> Sql_ast.Gt
+  | Sql_ast.Le -> Sql_ast.Ge
+  | Sql_ast.Gt -> Sql_ast.Lt
+  | Sql_ast.Ge -> Sql_ast.Le
+  | op -> op
+
+(* Build a per-block may-match test for [e] given per-column zone maps
+   [zcols] (indexed like the source columns [e] refers to). Returns [None]
+   when the predicate shape offers nothing to skip on. *)
+let rec test_with (zcols : zone array option array) (e : Plan.pexpr) :
+    (int -> bool) option =
+  let leaf i op l =
+    if i < 0 || i >= Array.length zcols then None
+    else
+      match (lit_num l, zcols.(i)) with
+      | Some lv, Some zs ->
+        let nb = Array.length zs in
+        Some (fun b -> b < 0 || b >= nb || may_cmp op zs.(b) lv)
+      | _ -> None
+  in
+  match e with
+  | Plan.PBin (Sql_ast.And, a, b) -> (
+    match (test_with zcols a, test_with zcols b) with
+    | Some ta, Some tb -> Some (fun i -> ta i && tb i)
+    | (Some _ as t), None | None, (Some _ as t) -> t
+    | None, None -> None)
+  | Plan.PBin (Sql_ast.Or, a, b) -> (
+    (* sound only if both arms are zone-checkable *)
+    match (test_with zcols a, test_with zcols b) with
+    | Some ta, Some tb -> Some (fun i -> ta i || tb i)
+    | _ -> None)
+  | Plan.PBin
+      ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
+       Plan.PCol i, Plan.PLit l) -> leaf i op l
+  | Plan.PBin
+      ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
+       Plan.PLit l, Plan.PCol i) -> leaf i (flip_cmp op) l
+  | Plan.PInList (Plan.PCol i, items, false) -> (
+    if i < 0 || i >= Array.length zcols then None
+    else
+      match zcols.(i) with
+      | Some zs when items <> [] && List.for_all (fun v -> lit_num v <> None) items ->
+        let vals = List.filter_map lit_num items in
+        let nb = Array.length zs in
+        Some
+          (fun b ->
+            b < 0 || b >= nb
+            ||
+            let z = zs.(b) in
+            z.zmin <= z.zmax
+            && List.exists (fun v -> v >= z.zmin && v <= z.zmax) vals)
+      | _ -> None)
+  | _ -> None
+
+(* Conjunction of [preds]: a block survives only if every conjunct may
+   match. *)
+let zone_tests_with (zcols : zone array option array) (preds : Plan.pexpr list)
+    : (int -> bool) option =
+  List.fold_left
+    (fun acc p ->
+      match (acc, test_with zcols p) with
+      | None, t -> t
+      | Some a, Some t -> Some (fun b -> a b && t b)
+      | Some _, None -> acc)
+    None preds
+
+(* Any block overlapping rows [lo..hi] (inclusive) may match? *)
+let range_may_match (test : int -> bool) ~lo ~hi =
+  let b1 = hi / block_size in
+  let rec go b = b <= b1 && (test b || go (b + 1)) in
+  go (lo / block_size)

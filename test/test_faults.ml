@@ -72,6 +72,48 @@ let tpch_oracle seed =
         (fun q -> oracle ~label:q ~db ~source:(Tpch.Queries.find q) ~seed)
         tpch_queries)
 
+(* The query cache must stand down while faults are armed — a cached result
+   would mask the recovery paths under test — and serve correct results
+   again once disarmed, even when faulty runs happened in between. *)
+let cache_interaction_test =
+  tc "query cache stands down under faults, recovers after" (fun () ->
+      let saved_cache = Sqldb.Db.cache_enabled_now () in
+      Fun.protect
+        ~finally:(fun () ->
+          Sqldb.Db.set_cache_enabled saved_cache;
+          Faults.arm_from_env ())
+        (fun () ->
+          Sqldb.Db.set_cache_enabled true;
+          Faults.disarm ();
+          let db = Tpch.Dbgen.make_db 0.005 in
+          let source = Tpch.Queries.find "q6" in
+          let reference = Pytond.run ~db ~source ~fname:"query" () in
+          List.iter
+            (fun seed ->
+              Faults.arm ~seed ();
+              (* armed: executions bypass the cache entirely *)
+              let before = (Sqldb.Db.cache_stats db).Sqldb.Db.misses in
+              (match Pytond.run ~db ~source ~fname:"query" () with
+              | r ->
+                Alcotest.(check (list string))
+                  (Printf.sprintf "armed result, seed %d" seed)
+                  (Sqldb.Relation.canonical ~digits:3 reference)
+                  (Sqldb.Relation.canonical ~digits:3 r)
+              | exception Pytond.Error _ -> ());
+              Alcotest.(check int)
+                (Printf.sprintf "no cache traffic while armed, seed %d" seed)
+                before
+                ((Sqldb.Db.cache_stats db).Sqldb.Db.misses);
+              Faults.disarm ();
+              (* disarmed: cached execution returns the clean answer *)
+              let r1 = Pytond.run ~db ~source ~fname:"query" () in
+              let r2 = Pytond.run ~db ~source ~fname:"query" () in
+              Alcotest.(check (list string))
+                (Printf.sprintf "cached repeat after disarm, seed %d" seed)
+                (Sqldb.Relation.canonical ~digits:3 r1)
+                (Sqldb.Relation.canonical ~digits:3 r2))
+            seeds))
+
 (* Chunk-level recovery in isolation: an injected worker crash re-runs the
    chunk inline, so a fault-heavy parallel map still returns exactly the
    sequential answer in every dispatch mode. *)
@@ -144,5 +186,6 @@ let registry_tests =
 let suites =
   [ ("faults-registry", registry_tests);
     ("faults-parallel", [ parallel_retry_test ]);
+    ("faults-cache", [ cache_interaction_test ]);
     ( "faults-oracle",
       List.map workload_oracle seeds @ List.map tpch_oracle seeds ) ]
