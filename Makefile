@@ -3,8 +3,9 @@
 DUNE ?= dune
 SMOKE_SF ?= 0.005
 BENCH_SF ?= 0.05
+SF01 ?= 0.1
 
-.PHONY: all build test bench-smoke bench-compare check clean
+.PHONY: all build test bench-smoke bench-compare bench-sf01 check clean
 
 all: build
 
@@ -15,22 +16,34 @@ test: build
 	$(DUNE) runtest
 
 # Quick end-to-end benchmark pass at a tiny scale factor: exercises the
-# dictionary-vs-raw toggle, the query-cache and zone-map experiments, the
-# JSON writer and the --compare gate. The committed baseline was recorded
-# at BENCH_SF, so at SMOKE_SF the gate has large headroom — it catches
-# catastrophic slowdowns and keeps the comparison machinery exercised;
-# bench-compare below is the apples-to-apples gate. Results go to a
-# separate BENCH_smoke.json so the committed baseline is never clobbered
-# by tiny-SF numbers.
+# dictionary-vs-raw toggle, the query-cache and zone-map experiments and
+# the JSON writer. No --compare here: every result row now carries its
+# scale factor, and the gate refuses to diff rows measured at different
+# SFs, so a tiny-SF run can no longer be (mis)compared against the
+# committed BENCH_SF baseline. bench-compare / bench-sf01 below are the
+# apples-to-apples gates. Results go to a separate BENCH_smoke.json so
+# the committed baseline is never clobbered by tiny-SF numbers.
 bench-smoke: build
 	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
-	  $(DUNE) exec bench/main.exe -- dict cache scan --compare BENCH_results.json --json-out BENCH_smoke.json
+	  $(DUNE) exec bench/main.exe -- dict cache scan --json-out BENCH_smoke.json
 
 # Full-scale regression gate: re-measure at the baseline's scale factor and
 # fail on any variant >10% slower (tolerance via PYTOND_COMPARE_TOL).
 bench-compare: build
 	PYTOND_SF=$(BENCH_SF) PYTOND_RUNS=5 PYTOND_WARMUP=1 \
 	  $(DUNE) exec bench/main.exe -- dict cache scan --compare BENCH_results.json
+
+# Radix smoke leg at SF 0.1: the radix experiment (q1/q3/q9/q12/q19, on
+# vs off at 3 threads) gated against the committed BENCH_sf01.json
+# baseline; this run's numbers go to BENCH_sf01_run.json for artifact
+# upload. The experiment keeps best-of-4-rounds per variant, so one timed
+# run per point suffices. Tolerance is wider than bench-compare's 10%:
+# single-run minimums at SF 0.1 on a shared host still swing ~25%, and
+# this gate is after structural regressions (a join silently falling off
+# the radix path roughly doubles q9/q19), not noise-level drift.
+bench-sf01: build
+	PYTOND_SF=$(SF01) PYTOND_RUNS=1 PYTOND_WARMUP=1 PYTOND_COMPARE_TOL=0.35 \
+	  $(DUNE) exec bench/main.exe -- radix --compare BENCH_sf01.json --json-out BENCH_sf01_run.json
 
 check: build test bench-smoke
 

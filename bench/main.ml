@@ -58,11 +58,35 @@ let geomean xs =
 (* Machine-readable results (--json)                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* (experiment, variant, threads, mean seconds), in measurement order. *)
-let results : (string * string * int * float) list ref = ref []
+(* One measurement, in measurement order. Every row carries the full
+   configuration it was measured under — scale factor, thread count and
+   the radix toggle — so --compare can refuse to diff incompatible runs
+   instead of silently reporting a config change as a perf change. The
+   config fields are options only because baselines written before they
+   existed parse without them; fresh rows always have both. *)
+type row = {
+  exp_ : string;
+  variant : string;
+  threads : int;
+  rsf : float option; (* scale factor *)
+  radix : bool option; (* radix partitioning enabled? *)
+  mean : float;
+}
 
-let record ~experiment ~variant ~threads mean =
-  results := (experiment, variant, threads, mean) :: !results
+let results : row list ref = ref []
+
+let record ?radix ~experiment ~variant ~threads mean =
+  let radix =
+    match radix with Some b -> b | None -> Sqldb.Radix.enabled ()
+  in
+  results :=
+    { exp_ = experiment;
+      variant;
+      threads;
+      rsf = Some sf;
+      radix = Some radix;
+      mean }
+    :: !results
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -78,31 +102,33 @@ let json_escape s =
 
 (* forward-declared so write_json can merge with an existing file; the
    parser is defined with the --compare machinery below *)
-let read_baseline_ref : (string -> (string * string * int * float) list) ref =
-  ref (fun _ -> [])
+let read_baseline_ref : (string -> row list) ref = ref (fun _ -> [])
 
 (* Merge-write: entries from experiments NOT run this invocation (e.g. the
    hand-recorded seed-baseline markers, or the dict figures during a
    cache-only run) are carried over from the existing file. *)
 let write_json path =
   let fresh = List.rev !results in
-  let ran =
-    List.sort_uniq compare (List.map (fun (e, _, _, _) -> e) fresh)
-  in
+  let ran = List.sort_uniq compare (List.map (fun r -> r.exp_) fresh) in
   let preserved =
     if Sys.file_exists path then
-      List.filter (fun (e, _, _, _) -> not (List.mem e ran)) (!read_baseline_ref path)
+      List.filter (fun r -> not (List.mem r.exp_ ran)) (!read_baseline_ref path)
     else []
   in
   let rows = preserved @ fresh in
   let oc = open_out path in
   output_string oc "[\n";
   List.iteri
-    (fun i (e, v, t, m) ->
+    (fun i r ->
+      let config =
+        match (r.rsf, r.radix) with
+        | Some s, Some x -> Printf.sprintf ", \"sf\": %g, \"radix\": %b" s x
+        | _ -> "" (* pre-config row carried over verbatim *)
+      in
       Printf.fprintf oc
-        "  {\"experiment\": \"%s\", \"variant\": \"%s\", \"threads\": %d, \
+        "  {\"experiment\": \"%s\", \"variant\": \"%s\", \"threads\": %d%s, \
          \"mean_seconds\": %.6f}%s\n"
-        (json_escape e) (json_escape v) t m
+        (json_escape r.exp_) (json_escape r.variant) r.threads config r.mean
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";
@@ -115,9 +141,10 @@ let write_json path =
 (* ------------------------------------------------------------------ *)
 
 (* Parse a BENCH_results.json written by [write_json]: one object per line
-   with string fields "experiment"/"variant" and numeric "threads" /
-   "mean_seconds". Hand-rolled to keep the harness dependency-free. *)
-let read_baseline path : (string * string * int * float) list =
+   with string fields "experiment"/"variant", numeric "threads" / "sf" /
+   "mean_seconds" and boolean "radix". Hand-rolled to keep the harness
+   dependency-free. *)
+let read_baseline path : row list =
   let field_str line key =
     let pat = Printf.sprintf "\"%s\": \"" key in
     match
@@ -154,6 +181,20 @@ let read_baseline path : (string * string * int * float) list =
       done;
       float_of_string_opt (String.sub line start (!e - start))
   in
+  let field_bool line key =
+    let pat_true = Printf.sprintf "\"%s\": true" key in
+    let pat_false = Printf.sprintf "\"%s\": false" key in
+    let has pat =
+      let lp = String.length pat and ll = String.length line in
+      let rec find i =
+        i + lp <= ll && (String.sub line i lp = pat || find (i + 1))
+      in
+      find 0
+    in
+    if has pat_true then Some true
+    else if has pat_false then Some false
+    else None
+  in
   let ic = open_in path in
   let out = ref [] in
   (try
@@ -166,7 +207,14 @@ let read_baseline path : (string * string * int * float) list =
            field_num line "mean_seconds" )
        with
        | Some e, Some v, Some t, Some m ->
-         out := (e, v, int_of_float t, m) :: !out
+         out :=
+           { exp_ = e;
+             variant = v;
+             threads = int_of_float t;
+             rsf = field_num line "sf";
+             radix = field_bool line "radix";
+             mean = m }
+           :: !out
        | _ -> ()
      done
    with End_of_file -> ());
@@ -178,9 +226,46 @@ let () = read_baseline_ref := read_baseline
 let compare_tol =
   try float_of_string (Sys.getenv "PYTOND_COMPARE_TOL") with Not_found -> 0.10
 
+(* A baseline row measured under a different configuration must never be
+   diffed against this run: an SF or radix mismatch would read as a huge
+   phantom speedup or regression. Refuse loudly instead. *)
+exception Config_mismatch of string
+
+let check_config ~(fresh : row) ~(base : row) =
+  let where =
+    Printf.sprintf "%s/%s (t=%d)" fresh.exp_ fresh.variant fresh.threads
+  in
+  (match (base.rsf, base.radix) with
+  | Some _, Some _ -> ()
+  | _ ->
+    raise
+      (Config_mismatch
+         (Printf.sprintf
+            "%s: baseline row has no sf/radix config fields (written by an \
+             older harness) — regenerate the baseline with --json"
+            where)));
+  (match (fresh.rsf, base.rsf) with
+  | Some a, Some b when Float.abs (a -. b) > 1e-9 *. Float.max 1. a ->
+    raise
+      (Config_mismatch
+         (Printf.sprintf "%s: baseline measured at SF %g, this run at SF %g"
+            where b a))
+  | _ -> ());
+  match (fresh.radix, base.radix) with
+  | Some a, Some b when a <> b ->
+    raise
+      (Config_mismatch
+         (Printf.sprintf "%s: baseline measured with radix %s, this run \
+                          with radix %s"
+            where
+            (if b then "on" else "off")
+            (if a then "on" else "off")))
+  | _ -> ()
+
 (* Compare this run's measurements against a saved baseline; returns false
    when any shared variant regressed by more than [compare_tol] (and by more
-   than a 2ms absolute floor — tiny-SF timings are noise-dominated). *)
+   than a 2ms absolute floor — tiny-SF timings are noise-dominated).
+   Exits with a distinct error when the configurations are incomparable. *)
 let compare_against path : bool =
   let base = read_baseline path in
   let fresh = List.rev !results in
@@ -188,20 +273,34 @@ let compare_against path : bool =
     (100. *. compare_tol);
   Printf.printf "%-44s %10s %10s %9s\n" "variant" "baseline" "now" "speedup";
   let ok = ref true in
-  List.iter
-    (fun (e, v, t, m) ->
-      match
-        List.find_opt (fun (e', v', t', _) -> e' = e && v' = v && t' = t) base
-      with
-      | None -> ()
-      | Some (_, _, _, m0) ->
-        let regressed = m > (m0 *. (1. +. compare_tol)) +. 0.002 in
-        if regressed then ok := false;
-        Printf.printf "%-44s %9.4fs %9.4fs %8.2fx%s\n"
-          (Printf.sprintf "%s/%s (t=%d)" e v t)
-          m0 m (m0 /. m)
-          (if regressed then "  REGRESSION" else ""))
-    fresh;
+  (try
+     List.iter
+       (fun r ->
+         match
+           List.find_opt
+             (fun b ->
+               b.exp_ = r.exp_ && b.variant = r.variant
+               && b.threads = r.threads)
+             base
+         with
+         | None -> ()
+         | Some b ->
+           check_config ~fresh:r ~base:b;
+           let regressed =
+             r.mean > (b.mean *. (1. +. compare_tol)) +. 0.002
+           in
+           if regressed then ok := false;
+           Printf.printf "%-44s %9.4fs %9.4fs %8.2fx%s\n"
+             (Printf.sprintf "%s/%s (t=%d)" r.exp_ r.variant r.threads)
+             b.mean r.mean (b.mean /. r.mean)
+             (if regressed then "  REGRESSION" else ""))
+       fresh
+   with Config_mismatch msg ->
+     Printf.printf "compare: CONFIG MISMATCH — %s\n" msg;
+     Printf.printf
+       "compare: refusing to diff measurements from different \
+        configurations\n";
+     exit 2);
   if !ok then Printf.printf "compare: no regression beyond tolerance\n"
   else Printf.printf "compare: REGRESSIONS detected\n";
   !ok
@@ -548,6 +647,76 @@ let fig_dict () =
   Printf.printf "geomean speedup (dict vs raw): %.2fx\n" (geomean !speedups)
 
 (* ------------------------------------------------------------------ *)
+(* Radix-partitioned joins/aggregation: on vs off                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Join- and aggregation-heavy TPC-H queries at 3 threads; the same binary
+   runs each query with radix partitioning disabled (serial build, shared
+   probe table) and enabled (per-partition cache-resident tables). Rounds
+   alternate the variant order and keep each side's best time, like the
+   dict experiment, so scheduler noise cannot systematically favor one. *)
+let radix_queries = [ "q1"; "q3"; "q9"; "q12"; "q19" ]
+let radix_threads = 3
+
+let fig_radix () =
+  Printf.printf
+    "\n== radix: partitioned join/agg on vs off, TPC-H SF=%g, %d threads ==\n"
+    sf radix_threads;
+  let db = Tpch.Dbgen.make_db sf in
+  let backends = [ (Pytond.Vectorized, "duck"); (Pytond.Compiled, "hyper") ] in
+  let saved = Sqldb.Radix.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Sqldb.Radix.set_enabled saved)
+    (fun () ->
+      let time_one enabled q backend =
+        Sqldb.Radix.set_enabled enabled;
+        Gc.compact ();
+        measure (fun () ->
+            ignore
+              (Pytond.run ~level:Pytond.O4 ~backend ~threads:radix_threads
+                 ~db ~source:(Tpch.Queries.find q) ~fname:"query" ()))
+      in
+      let acc = Hashtbl.create 64 in
+      for round = 1 to 4 do
+        List.iter
+          (fun enabled ->
+            List.iter
+              (fun q ->
+                List.iter
+                  (fun (backend, blabel) ->
+                    let t = time_one enabled q backend in
+                    let key = (enabled, q, blabel) in
+                    match Hashtbl.find_opt acc key with
+                    | Some t0 when t0 <= t -> ()
+                    | _ -> Hashtbl.replace acc key t)
+                  backends)
+              radix_queries)
+          (if round land 1 = 1 then [ false; true ] else [ true; false ])
+      done;
+      Printf.printf "%-10s %-8s %12s %12s %10s\n" "query" "engine" "off" "on"
+        "speedup";
+      let speedups = ref [] in
+      List.iter
+        (fun q ->
+          List.iter
+            (fun (_, blabel) ->
+              let toff = Hashtbl.find acc (false, q, blabel) in
+              let ton = Hashtbl.find acc (true, q, blabel) in
+              record ~experiment:"radix"
+                ~variant:(Printf.sprintf "off/%s/%s" blabel q)
+                ~threads:radix_threads ~radix:false toff;
+              record ~experiment:"radix"
+                ~variant:(Printf.sprintf "on/%s/%s" blabel q)
+                ~threads:radix_threads ~radix:true ton;
+              speedups := (toff /. ton) :: !speedups;
+              Printf.printf "%-10s %-8s %11.4fs %11.4fs %9.2fx\n%!" q blabel
+                toff ton (toff /. ton))
+            backends)
+        radix_queries;
+      Printf.printf "geomean speedup (radix on vs off): %.2fx\n"
+        (geomean !speedups))
+
+(* ------------------------------------------------------------------ *)
 (* Query cache: first run vs cached repeat                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,6 +895,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig9", fig9);
     ("fig10", fig10);
     ("dict", fig_dict);
+    ("radix", fig_radix);
     ("cache", fig_cache);
     ("scan", fig_scan);
     ("micro", micro) ]

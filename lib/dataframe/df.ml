@@ -170,11 +170,14 @@ module Series = struct
       Array.iteri (fun i v -> if not (Column.is_null c i) then acc := !acc + v) x;
       VInt !acc
     | _ ->
-      let acc = ref 0. in
+      (* compensated, like the engine's accumulators, so baseline and
+         engine sums agree after output rounding whatever the engine's
+         chunking was *)
+      let acc = Agg_util.ksum () in
       for i = 0 to length c - 1 do
-        if not (Column.is_null c i) then acc := !acc +. Column.float_at c i
+        if not (Column.is_null c i) then Agg_util.kadd acc (Column.float_at c i)
       done;
-      VFloat !acc
+      VFloat (Agg_util.kfinish acc)
 
   let count (c : Column.t) : int =
     let n = ref 0 in
@@ -456,22 +459,23 @@ let groupby_agg (t : t) ~(by : string list)
                   rows;
                 Value.VInt (Hashtbl.length seen)
               | ASum | AMean -> (
-                let acc = ref 0. and cnt = ref 0 in
+                let acc = Agg_util.ksum () and cnt = ref 0 in
                 List.iter
                   (fun i ->
                     if not (Column.is_null src i) then begin
-                      acc := !acc +. Column.float_at src i;
+                      Agg_util.kadd acc (Column.float_at src i);
                       incr cnt
                     end)
                   rows;
+                let total = Agg_util.kfinish acc in
                 match fn with
                 | AMean ->
                   if !cnt = 0 then Value.VNull
-                  else Value.VFloat (!acc /. float_of_int !cnt)
+                  else Value.VFloat (total /. float_of_int !cnt)
                 | _ ->
                   if src.Column.ty = Value.TInt then
-                    Value.VInt (int_of_float !acc)
-                  else Value.VFloat !acc)
+                    Value.VInt (int_of_float total)
+                  else Value.VFloat total)
               | AMin | AMax ->
                 let best = ref Value.VNull in
                 List.iter
@@ -565,7 +569,7 @@ let pivot_table (t : t) ~index ~columns:col_field ~values ~(aggfunc : agg_fn) :
   let key_idx = [ Relation.col_index t index |> Option.get ] in
   let kf = Hash_util.key_fn ~null_as_key:true t.Relation.cols key_idx in
   let col_src = column t col_field and val_src = column t values in
-  let groups : (Hash_util.key, int * float array * int array) Hashtbl.t =
+  let groups : (Hash_util.key, int * Agg_util.ksum array * int array) Hashtbl.t =
     Hashtbl.create 256
   in
   let order = ref [] in
@@ -585,7 +589,10 @@ let pivot_table (t : t) ~index ~columns:col_field ~values ~(aggfunc : agg_fn) :
         match Hashtbl.find_opt groups k with
         | Some cell -> cell
         | None ->
-          let cell = (i, Array.make ncols 0., Array.make ncols 0) in
+          let cell =
+            (i, Array.init ncols (fun _ -> Agg_util.ksum ()),
+             Array.make ncols 0)
+          in
           Hashtbl.add groups k cell;
           order := k :: !order;
           cell
@@ -594,7 +601,7 @@ let pivot_table (t : t) ~index ~columns:col_field ~values ~(aggfunc : agg_fn) :
       let j =
         Hashtbl.find col_pos (Hash_util.pack_values [ Column.get col_src i ])
       in
-      sums.(j) <- sums.(j) +. Column.float_at val_src i;
+      Agg_util.kadd sums.(j) (Column.float_at val_src i);
       counts.(j) <- counts.(j) + 1
   done;
   let order = List.rev !order in
@@ -617,11 +624,13 @@ let pivot_table (t : t) ~index ~columns:col_field ~values ~(aggfunc : agg_fn) :
                (fun k ->
                  let _, sums, counts = Hashtbl.find groups k in
                  match aggfunc with
-                 | ASum -> Value.VFloat sums.(j)
+                 | ASum -> Value.VFloat (Agg_util.kfinish sums.(j))
                  | ACount | ASize -> Value.VInt counts.(j)
                  | AMean ->
                    if counts.(j) = 0 then Value.VFloat 0.
-                   else Value.VFloat (sums.(j) /. float_of_int counts.(j))
+                   else
+                     Value.VFloat
+                       (Agg_util.kfinish sums.(j) /. float_of_int counts.(j))
                  | _ -> err "pivot_table: unsupported aggfunc")
                order)
         in

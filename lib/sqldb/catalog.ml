@@ -26,13 +26,13 @@ type t = {
 
 let create () : t = { tables = Hashtbl.create 16; version = 0; stats_epoch = 0 }
 
-let add ?(cons = no_constraints) t name rel =
+let add ?(cons = no_constraints) ?threads t name rel =
   let unique =
     Array.map
       (fun nm -> cons.primary_key = [ nm ] || List.mem [ nm ] cons.unique)
       rel.Relation.names
   in
-  let stats = Stats.compute ~unique rel in
+  let stats = Stats.compute ~unique ?threads rel in
   t.version <- t.version + 1;
   t.stats_epoch <- t.stats_epoch + 1;
   Hashtbl.replace t.tables name { rel; cons; stats }

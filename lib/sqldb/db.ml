@@ -132,9 +132,9 @@ let create () =
     misses = 0;
     evictions = 0 }
 
-let load_table ?cons t name rel =
+let load_table ?cons ?threads t name rel =
   let rel = if !dict_encoding then Relation.encode_strings rel else rel in
-  Catalog.add ?cons t.catalog name rel;
+  Catalog.add ?cons ?threads t.catalog name rel;
   (* ingest invalidates: cached plans may reference the changed table and
      every cached result is stale (the version/epoch checks would catch
      this lazily; dropping eagerly also frees the retained relations) *)

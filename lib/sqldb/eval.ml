@@ -270,6 +270,101 @@ let dict_col_pred (c : Column.t) ~(n : int) (f : string -> bool) :
     done;
     Some (Column.of_bools out)
 
+let with_null_check (c : Column.t) (body : int -> bool) : int -> bool =
+  match c.Column.nulls with
+  | None -> body
+  | Some m -> fun row -> (not (Bitset.get m row)) && body row
+
+(* Materialize a row predicate as a bool column (vectorized executor). *)
+let pred_to_col (pred : int -> bool) ~(n : int) : Column.t =
+  let out = Array.make n false in
+  for i = 0 to n - 1 do
+    out.(i) <- pred i
+  done;
+  Column.of_bools out
+
+(* Equality against a string literal needs no per-distinct table at all:
+   the dictionary index resolves the literal to its single code (or
+   decides the predicate outright when the value is absent), and each row
+   is one integer comparison on the code array. *)
+let dict_eq_pred (c : Column.t) (k : string) ~(negated : bool) :
+    (int -> bool) option =
+  match c.Column.data with
+  | Column.D (codes, d) ->
+    let body =
+      match Column.dict_find d k with
+      | Some code ->
+        if negated then fun row -> codes.(row) <> code
+        else fun row -> codes.(row) = code
+      | None -> fun _ -> negated
+    in
+    Some (with_null_check c body)
+  | _ -> None
+
+(* A plain prefix pattern ('foo%', no other metacharacters) extracted from
+   a LIKE. *)
+let like_prefix (pattern : string) : string option =
+  let n = String.length pattern in
+  if n >= 2 && pattern.[n - 1] = '%' then
+    let p = String.sub pattern 0 (n - 1) in
+    if String.exists (fun ch -> ch = '%' || ch = '_') p then None else Some p
+  else None
+
+(* Prefix LIKE on a dictionary column is a rank-range test on codes: the
+   values matching [prefix] occupy a contiguous run of lexicographic
+   ranks. One string pass over the dictionary finds the run's bounds;
+   each row is then a rank lookup and two integer compares — the strings
+   themselves are never touched again. *)
+let dict_prefix_pred (c : Column.t) (prefix : string) ~(negated : bool) :
+    (int -> bool) option =
+  match c.Column.data with
+  | Column.D (codes, d) ->
+    let rank = d.Column.rank in
+    let lp = String.length prefix in
+    let lo = ref 0 and hi = ref 0 in
+    Array.iter
+      (fun v ->
+        let lv = String.length v in
+        let cp = String.compare (String.sub v 0 (min lp lv)) prefix in
+        (* cp < 0 or a shorter string with an equal head: sorts before the
+           prefix run; cp = 0 with enough length: inside the run *)
+        if cp < 0 || (cp = 0 && lv < lp) then begin
+          incr lo;
+          incr hi
+        end
+        else if cp = 0 then incr hi)
+      d.Column.values;
+    let lo = !lo and hi = !hi in
+    let body =
+      if negated then fun row ->
+        let r = rank.(codes.(row)) in
+        r < lo || r >= hi
+      else fun row ->
+        let r = rank.(codes.(row)) in
+        r >= lo && r < hi
+    in
+    Some (with_null_check c body)
+  | _ -> None
+
+(* Code-direct string predicate dispatch shared by both executors:
+   equality and prefix LIKE run on codes, everything else falls back to
+   the per-distinct-value table (still one string evaluation per distinct,
+   not per row). *)
+let dict_cmp_pred (c : Column.t) (op : Sql_ast.binop) (k : string)
+    (test : int -> bool) : (int -> bool) option =
+  match op with
+  | Sql_ast.Eq -> dict_eq_pred c k ~negated:false
+  | Sql_ast.Ne -> dict_eq_pred c k ~negated:true
+  | _ -> dict_row_pred c (fun v -> test (String.compare v k))
+
+let dict_like_pred (c : Column.t) (pattern : string) ~(negated : bool) :
+    (int -> bool) option =
+  match like_prefix pattern with
+  | Some p -> dict_prefix_pred c p ~negated
+  | None ->
+    let matcher = compile_like pattern in
+    dict_row_pred c (fun v -> matcher v <> negated)
+
 (* Compile a predicate into a fast boolean closure. *)
 let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
   let fallback e =
@@ -288,7 +383,7 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
     let test = cmp_test op in
     match (c.Column.data, lit) with
     | Column.D _, VString k -> (
-      match dict_row_pred c (fun v -> test (String.compare v k)) with
+      match dict_cmp_pred c op k test with
       | Some f -> f
       | None -> fallback e)
     | _ when Column.has_nulls c -> fallback e
@@ -323,8 +418,7 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
       fun row -> test (String.compare x.(row) vy.(y.(row)))
     | _ -> fallback e)
   | PLike (PCol i, pattern, negated) -> (
-    let matcher = compile_like pattern in
-    match dict_row_pred cols.(i) (fun v -> matcher v <> negated) with
+    match dict_like_pred cols.(i) pattern ~negated with
     | Some f -> f
     | None -> fallback e)
   | PInList (PCol i, items, negated) -> (
@@ -363,8 +457,8 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
          dictionary value instead of one per row. *)
       let ca = eval a in
       let test = cmp_test op in
-      match dict_col_pred ca ~n (fun v -> test (String.compare v k)) with
-      | Some col -> col
+      match dict_cmp_pred ca op k test with
+      | Some pred -> pred_to_col pred ~n
       | None -> cmp_cols op ca (Column.const TString (VString k) n))
     | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) ->
       cmp_cols op (eval a) (eval b)
@@ -383,8 +477,8 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
     | PLike (a, pattern, negated) -> (
       let ca = eval a in
       let matcher = compile_like pattern in
-      match dict_col_pred ca ~n (fun v -> matcher v <> negated) with
-      | Some col -> col
+      match dict_like_pred ca pattern ~negated with
+      | Some pred -> pred_to_col pred ~n
       | None -> (
         match ca.Column.data with
         | Column.S x ->

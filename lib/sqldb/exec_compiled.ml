@@ -43,14 +43,15 @@ let chunk_project items (c : chunk) : chunk =
   { Relation.names = Array.of_list (List.map snd items);
     cols = Array.of_list cols }
 
-(* Inner/left probe of a pre-built hash table on the right relation. *)
+(* Inner/left probe of a pre-built (possibly radix-partitioned) hash table
+   on the right relation. *)
 let chunk_probe ~left_outer (r : Relation.t)
-    (tbl : Hash_util.table) (lkeys : int list)
+    (tbl : Radix.t) (lkeys : int list)
     (residual : pexpr option) (c : chunk) : chunk option =
   let n = Relation.n_rows c in
-  (* probe_fn is created per chunk, so its per-code memo never crosses
-     domains *)
-  let probe = Hash_util.probe_fn tbl c.Relation.cols lkeys in
+  (* probe_fn is created per chunk, so its per-code memo (and partition
+     routing state) never crosses domains *)
+  let probe = Radix.probe_fn tbl c.Relation.cols lkeys in
   let li = ref [] and ri = ref [] and count = ref 0 in
   for row = n - 1 downto 0 do
     match probe row with
@@ -83,14 +84,14 @@ let chunk_probe ~left_outer (r : Relation.t)
   end
 
 let chunk_semi ~anti (r : Relation.t)
-    (tbl : Hash_util.table option) (lkeys : int list)
+    (tbl : Radix.t option) (lkeys : int list)
     (residual_check : (chunk -> int -> int -> bool) option) (c : chunk) :
     chunk option =
   let n = Relation.n_rows c in
   let nr = Relation.n_rows r in
   let probe =
     match tbl with
-    | Some tbl -> Hash_util.probe_fn tbl c.Relation.cols lkeys
+    | Some tbl -> Radix.probe_fn tbl c.Relation.cols lkeys
     | None ->
       let all = List.init nr Fun.id in
       fun _ -> all
@@ -266,8 +267,10 @@ let rec compile_segment ctx (p : plan) : segment =
     (* The build side is a pipeline breaker: materialize it fully. *)
     let r = stream ctx right in
     let seg = compile_segment ctx left in
+    (* large builds are radix-partitioned across workers; small ones keep
+       the single shared table (threshold in Radix.should) *)
     let tbl =
-      Hash_util.build_table ~null_as_key:false r.Relation.cols
+      Radix.build ~threads:ctx.threads ~null_as_key:false r.Relation.cols
         (List.map snd keys) ~n:(Relation.n_rows r)
     in
     let lkeys = List.map fst keys in
@@ -312,12 +315,90 @@ let rec compile_segment ctx (p : plan) : segment =
       let seg =
         match (kind, lkeys, seg.transform) with
         | JInner, [ lk ], None -> (
-          match Hash_util.scan_test tbl seg.source.Relation.cols.(lk) with
+          match Radix.scan_test tbl seg.source.Relation.cols.(lk) with
           | Some test -> { seg with prescan = seg.prescan @ [ test ] }
           | None -> seg)
         | _ -> seg
       in
-      seg_then seg (chunk_probe ~left_outer r tbl lkeys residual)
+      if
+        kind = JInner
+        && Radix.pre_gate ~threads:ctx.threads ~build_rows:(Relation.n_rows r)
+             ~probe_rows:(Relation.n_rows seg.source)
+      then begin
+        (* Partition-wise probe: join partition by partition via the shared
+           radix machinery — both sides split by key hash so every worker
+           probes its own cache-resident table. The pair stream is scattered
+           back to probe-row order, so output is byte-identical to the fused
+           morsel probe; left joins keep the fused path (their unmatched-row
+           padding is interleaved per morsel). A scan-shaped probe (no
+           fused transform upstream) is never materialized: its filters,
+           bloom prescan, and zone skipping reduce to a selection vector
+           over the base columns and the join gathers straight from them. *)
+        let lrel, lsel =
+          match seg.transform with
+          | Some _ ->
+            (* a fused upstream operator reshapes rows: materialize *)
+            (run_segment ctx seg, None)
+          | None ->
+            let n = Relation.n_rows seg.source in
+            let cols = seg.source.Relation.cols in
+            let sel =
+              match (seg.prefilter, seg.prescan, seg_zone_test ctx.catalog seg)
+              with
+              | [], [], _ -> None
+              | prefilter, prescan, ztest ->
+                let works =
+                  List.concat_map
+                    (fun (lo, hi) ->
+                      let len = hi - lo + 1 in
+                      List.map
+                        (fun (s, l) -> (lo + s, l))
+                        (Parallel.chunks
+                           ~k:(Parallel.morsel_count ~threads:ctx.threads len)
+                           len))
+                    (alive_ranges ztest 0 (n - 1))
+                in
+                Some
+                  (Exec_vectorized.collect_parts ~threads:ctx.threads
+                     (Parallel.map_list ~threads:ctx.threads
+                        (List.map
+                           (fun (start, len) () ->
+                             Guard.check ();
+                             let preds =
+                               List.map (Eval.compile_pred cols) prefilter
+                             in
+                             let out = Array.make (max 1 len) 0
+                             and count = ref 0 in
+                             for row = start to start + len - 1 do
+                               if
+                                 List.for_all (fun p -> p row) preds
+                                 && List.for_all (fun t -> t row) prescan
+                               then begin
+                                 out.(!count) <- row;
+                                 incr count
+                               end
+                             done;
+                             (out, !count))
+                           works)))
+            in
+            (seg.source, sel)
+        in
+        let li, ri =
+          Exec_vectorized.hash_join_pairs ~threads:ctx.threads ~est:right.est
+            { Exec_vectorized.rel = lrel; sel = lsel }
+            (Exec_vectorized.srel_all r)
+            keys
+        in
+        let li, ri =
+          Exec_vectorized.apply_residual ~threads:ctx.threads lrel r li ri
+            residual
+        in
+        let source =
+          Exec_vectorized.concat_relations ~threads:ctx.threads lrel r li ri
+        in
+        { source; prefilter = []; prescan = []; transform = None }
+      end
+      else seg_then seg (chunk_probe ~left_outer r tbl lkeys residual)
     end
   | SemiJoin { anti; left; right; keys = _ :: _ as keys; residual = None }
     when right.est > 2. *. Float.max 1. left.est ->
@@ -336,11 +417,11 @@ let rec compile_segment ctx (p : plan) : segment =
       let out = ref [] in
       if nr > 2 * nl then begin
         let ltbl =
-          Hash_util.build_table ~null_as_key:false lrel.Relation.cols lkeys
-            ~n:nl
+          Radix.build ~threads:ctx.threads ~null_as_key:false
+            lrel.Relation.cols lkeys ~n:nl
         in
         let matched = Bitset.create nl in
-        let pf = Hash_util.probe_fn ltbl r.Relation.cols rkeys in
+        let pf = Radix.probe_fn ltbl r.Relation.cols rkeys in
         for row = 0 to nr - 1 do
           List.iter (fun lrow -> Bitset.set matched lrow) (pf row)
         done;
@@ -350,9 +431,10 @@ let rec compile_segment ctx (p : plan) : segment =
       end
       else begin
         let tbl =
-          Hash_util.build_table ~null_as_key:false r.Relation.cols rkeys ~n:nr
+          Radix.build ~threads:ctx.threads ~null_as_key:false r.Relation.cols
+            rkeys ~n:nr
         in
-        let pf = Hash_util.probe_fn tbl lrel.Relation.cols lkeys in
+        let pf = Radix.probe_fn tbl lrel.Relation.cols lkeys in
         for row = nl - 1 downto 0 do
           if (pf row <> []) <> anti then out := row :: !out
         done
@@ -372,7 +454,7 @@ let rec compile_segment ctx (p : plan) : segment =
       | [] -> None
       | keys ->
         Some
-          (Hash_util.build_table ~null_as_key:false r.Relation.cols
+          (Radix.build ~threads:ctx.threads ~null_as_key:false r.Relation.cols
              (List.map snd keys) ~n:(Relation.n_rows r))
     in
     let lkeys = List.map fst keys in
@@ -382,7 +464,7 @@ let rec compile_segment ctx (p : plan) : segment =
     let seg =
       match (anti, tbl, lkeys, seg.transform) with
       | false, Some tbl, [ lk ], None -> (
-        match Hash_util.scan_test tbl seg.source.Relation.cols.(lk) with
+        match Radix.scan_test tbl seg.source.Relation.cols.(lk) with
         | Some test -> { seg with prescan = seg.prescan @ [ test ] }
         | None -> seg)
       | _ -> seg
@@ -466,7 +548,14 @@ and run_segment ctx (seg : segment) : Relation.t =
   in
   let chunk_lists =
     if n = 0 then []
-    else Parallel.map_chunks ~threads:ctx.threads n run_range
+    else
+      (* morsel-granular scheduling: the critical path is one morsel range,
+         not a 1/threads slice of the whole scan *)
+      let k = Parallel.morsel_count ~threads:ctx.threads n in
+      Parallel.map_list ~threads:ctx.threads
+        (List.map
+           (fun (start, len) () -> run_range start len)
+           (Parallel.chunks ~k n))
   in
   let chunks = List.concat chunk_lists in
   match chunks with
@@ -477,7 +566,7 @@ and run_segment ctx (seg : segment) : Relation.t =
     match (seg_transform seg) empty with
     | Some c -> c
     | None -> empty)
-  | chunks -> Relation.concat chunks
+  | chunks -> Relation.concat ~threads:ctx.threads chunks
 
 (* Materialize any plan to a full relation. *)
 and materialize ctx (p : plan) : Relation.t =
@@ -624,11 +713,17 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
       let tbl : (Hash_util.key, Value.t array * Agg_util.acc array) Hashtbl.t =
         Hashtbl.create 1024
       in
+      (* first-seen key order (reversed); groups are emitted in input order so
+         the output is identical whichever pipeline shape (fused morsels vs a
+         materialized breaker source) fed the aggregate *)
+      let order : Hash_util.key list ref = ref [] in
       (* Direct-indexed accumulators for small packed key domains; shared
          across the chunks of this range (the packed domain is chunk-stable
-         by construction, see [consume_chunk]). *)
-      let gslots : (Value.t array * Agg_util.acc array) option array option ref
-          =
+         by construction, see [consume_chunk]). Slot state is unboxed
+         int/float arrays where the spec shape allows (see
+         {!Agg_util.dense}); group values are captured once per slot. *)
+      let gslots :
+          (Value.t array option array * Agg_util.slot_state array) option ref =
         ref None
       in
       let consume_rows cols kf lo hi passes =
@@ -649,6 +744,7 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
                   in
                   let entry = (gvals, Array.map Agg_util.create specs_arr) in
                   Hashtbl.add tbl k entry;
+                  order := k :: !order;
                   entry
               in
               for i = 0 to n_specs - 1 do
@@ -666,35 +762,36 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
         with
         | Some (pack, card)
           when (match !gslots with
-               | Some s -> Array.length s = card
+               | Some (gv, _) -> Array.length gv = card
                | None -> true) ->
-          let slots =
+          let gvals, states =
             match !gslots with
-            | Some s -> s
+            | Some gs -> gs
             | None ->
-              let s = Array.make card None in
-              gslots := Some s;
-              s
+              let gs =
+                ( Array.make card None,
+                  Agg_util.slot_states specs_arr cols ~card )
+              in
+              gslots := Some gs;
+              gs
           in
-          let upds = Agg_util.update_fns specs_arr cols in
+          (* updaters are rebuilt per chunk (chunk columns are distinct
+             gathers); the slot arrays they write persist across chunks *)
+          let upds = Agg_util.slot_updates specs_arr cols states in
           for row = lo to hi do
             if (row - lo) land 8191 = 0 then Guard.check ();
             if passes row then begin
               let k = pack row in
-              let accs =
-                match slots.(k) with
-                | Some (_, a) -> a
-                | None ->
-                  let gvals =
-                    Array.of_list
-                      (List.map (fun g -> Column.get cols.(g) row) groups)
-                  in
-                  let a = Array.map Agg_util.create specs_arr in
-                  slots.(k) <- Some (gvals, a);
-                  a
-              in
+              (match gvals.(k) with
+              | Some _ -> ()
+              | None ->
+                gvals.(k) <-
+                  Some
+                    (Array.of_list
+                       (List.map (fun g -> Column.get cols.(g) row) groups));
+                order := Hash_util.KInt k :: !order);
               for i = 0 to n_specs - 1 do
-                upds.(i) accs.(i) row
+                upds.(i) k row
               done
             end
           done
@@ -727,57 +824,145 @@ and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
             consume_chunk ~cross_chunk:true c.Relation.cols 0
               (Relation.n_rows c - 1)
               (fun _ -> true)));
-      (* fold the dense slots into the hash table keyed by packed slot *)
+      (* fold the dense slots into the hash table keyed by packed slot;
+         unboxed slots are reboxed once per group here, never per row *)
       (match !gslots with
-      | Some slots ->
+      | Some (gvals, states) ->
         Array.iteri
-          (fun k entry ->
-            match entry with
-            | Some e -> Hashtbl.replace tbl (Hash_util.KInt k) e
+          (fun k gv ->
+            match gv with
+            | Some gv ->
+              let accs =
+                Array.mapi
+                  (fun i spec -> Agg_util.slot_to_acc spec states.(i) k)
+                  specs_arr
+              in
+              Hashtbl.replace tbl (Hash_util.KInt k) (gv, accs)
             | None -> ())
-          slots
+          gvals
       | None -> ());
-      tbl
+      (tbl, List.rev !order)
+    in
+    (* radix partition fold: rows arrive as a base-row selection vector over
+       the materialized source; group keys are disjoint across partitions,
+       so the partial merge below only ever adds *)
+    let fold_sel (sel : int array) =
+      let tbl : (Hash_util.key, Value.t array * Agg_util.acc array) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      let order : Hash_util.key list ref = ref [] in
+      let cols = seg.source.Relation.cols in
+      let preds = List.map (Eval.compile_pred cols) seg.prefilter in
+      let kf =
+        Hash_util.key_fn ~local:true ~cross_chunk:false ~null_as_key:true cols
+          groups
+      in
+      let upds = Agg_util.update_fns specs_arr cols in
+      Array.iteri
+        (fun i row ->
+          if i land 8191 = 0 then Guard.check ();
+          if
+            List.for_all (fun p -> p row) preds
+            && List.for_all (fun t -> t row) seg.prescan
+          then
+            match kf row with
+            | None -> ()
+            | Some k ->
+              let _, accs =
+                match Hashtbl.find_opt tbl k with
+                | Some entry -> entry
+                | None ->
+                  let gvals =
+                    Array.of_list
+                      (List.map (fun g -> Column.get cols.(g) row) groups)
+                  in
+                  let entry = (gvals, Array.map Agg_util.create specs_arr) in
+                  Hashtbl.add tbl k entry;
+                  order := k :: !order;
+                  entry
+              in
+              for s = 0 to n_specs - 1 do
+                upds.(s) accs.(s) row
+              done)
+        sel;
+      (tbl, List.rev !order)
+    in
+    (* radix aggregation applies to a materialized source (a pipeline
+       breaker's output, e.g. a partition-wise join) whose group domain is
+       too wide for the dense slot path; fused pipelines keep the chunked
+       partial scheme — their rows never materialize *)
+    let radix_parts =
+      match (seg.transform, ztest) with
+      | None, None when not has_distinct ->
+        let cols = seg.source.Relation.cols in
+        if
+          Hash_util.dense_domain ~cross_chunk:false ~limit:(1 lsl 16) cols
+            groups
+          <> None
+        then None
+        else Radix.group_parts ~threads:ctx.threads cols groups ~n
+      | _ -> None
     in
     let partials =
-      if n = 0 then [ fold_range 0 0 ]
-      else
-        Parallel.map_chunks
-          ~threads:(if has_distinct then 1 else ctx.threads)
-          n fold_range
+      match radix_parts with
+      | Some parts ->
+        Parallel.map_list ~threads:ctx.threads
+          (List.map (fun sel () -> fold_sel sel) (Array.to_list parts))
+      | None ->
+        if n = 0 then [ fold_range 0 0 ]
+        else
+          Parallel.map_chunks
+            ~threads:(if has_distinct then 1 else ctx.threads)
+            n fold_range
     in
-    let tbl =
+    (* merge partials in chunk order, walking each partial's first-seen list:
+       chunks are contiguous in input order, so the merged order is the
+       global first-seen order — independent of chunk boundaries *)
+    let tbl, order =
       match partials with
-      | [] -> Hashtbl.create 1
-      | first :: rest ->
+      | [] -> (Hashtbl.create 1, [])
+      | (first, ord0) :: rest ->
+        let order = ref (List.rev ord0) in
         List.iter
-          (fun part ->
-            Hashtbl.iter
-              (fun k (gvals, accs) ->
-                match Hashtbl.find_opt first k with
-                | Some (_, main_accs) ->
-                  Array.iteri
-                    (fun i spec -> Agg_util.merge spec main_accs.(i) accs.(i))
-                    specs_arr
-                | None -> Hashtbl.add first k (gvals, accs))
-              part)
+          (fun (part, ord) ->
+            List.iter
+              (fun k ->
+                match Hashtbl.find_opt part k with
+                | None -> ()
+                | Some (gvals, accs) -> (
+                  match Hashtbl.find_opt first k with
+                  | Some (_, main_accs) ->
+                    Array.iteri
+                      (fun i spec ->
+                        Agg_util.merge spec main_accs.(i) accs.(i))
+                      specs_arr
+                  | None ->
+                    Hashtbl.add first k (gvals, accs);
+                    order := k :: !order))
+              ord)
           rest;
-        first
+        (first, List.rev !order)
     in
     let n_out = Hashtbl.length tbl in
     let out =
       Array.make_matrix (n_groups + Array.length specs_arr) n_out Value.VNull
     in
     let k = ref 0 in
-    Hashtbl.iter
-      (fun _ (gvals, accs) ->
-        Array.iteri (fun g v -> out.(g).(!k) <- v) gvals;
-        Array.iteri
-          (fun i spec ->
-            out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(i))
-          specs_arr;
-        incr k)
-      tbl;
+    List.iter
+      (fun key ->
+        (* remove as we emit: a key can appear twice in [order] only if two
+           consumption paths collided on it, and it must emit exactly once *)
+        match Hashtbl.find_opt tbl key with
+        | None -> ()
+        | Some (gvals, accs) ->
+          Hashtbl.remove tbl key;
+          Array.iteri (fun g v -> out.(g).(!k) <- v) gvals;
+          Array.iteri
+            (fun i spec ->
+              out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(i))
+            specs_arr;
+          incr k)
+      order;
     { Relation.names = Array.map fst p.schema;
       cols = Array.mapi (fun i (_, ty) -> Column.of_values ty out.(i)) p.schema }
 

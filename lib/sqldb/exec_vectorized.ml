@@ -45,35 +45,39 @@ let materialize (s : srel) : Relation.t =
 (* Filtering                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let collect_parts parts =
+let collect_parts ?(threads = 1) parts =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 parts in
   let idx = Array.make total 0 in
-  let k = ref 0 in
-  List.iter
-    (fun (rows, _) ->
-      List.iter
-        (fun row ->
-          idx.(!k) <- row;
-          incr k)
-        rows)
-    parts;
+  (* each part blits into its own disjoint region, so the scatter is one
+     parallel work item per part *)
+  let works, _ =
+    List.fold_left
+      (fun (works, off) (rows, count) ->
+        let work () = Array.blit rows 0 idx off count in
+        (work :: works, off + count))
+      ([], 0) parts
+  in
+  ignore (Parallel.map_list ~threads (List.rev works));
   idx
 
 let filter_indices ~threads cols ~n pred =
   if threads <= 1 || n < 4096 then Eval.eval_filter cols ~n pred
   else
-    collect_parts
-      (Parallel.map_chunks ~threads n (fun start len ->
-           (* evaluate predicate row-at-a-time per chunk *)
+    collect_parts ~threads
+      (Parallel.map_chunks ~k:(Parallel.morsel_count ~threads n) ~threads n
+         (fun start len ->
+           (* evaluate predicate row-at-a-time per chunk; survivors go into
+              a chunk-local array (no per-row cons cells → no minor-GC churn
+              in the hot loop) *)
            let test = Eval.compile_pred cols pred in
-           let out = ref [] and count = ref 0 in
-           for row = start + len - 1 downto start do
+           let out = Array.make (max 1 len) 0 and count = ref 0 in
+           for row = start to start + len - 1 do
              if test row then begin
-               out := row :: !out;
+               out.(!count) <- row;
                incr count
              end
            done;
-           (!out, !count)))
+           (out, !count)))
 
 (* Zone-map scan skipping: when filtering a full base-table scan, consult
    the per-block min/max computed at ingest and evaluate the predicate only
@@ -96,23 +100,31 @@ let zone_filter ~threads catalog cols ~n pred : int array option =
         if Array.for_all Fun.id alive then None
         else
           Some
-            (collect_parts
-               (Parallel.map_chunks ~threads nb (fun bstart blen ->
+            (collect_parts ~threads
+               (Parallel.map_chunks
+                  (* chunk count sized by rows, applied to blocks: one
+                     morsel's worth of rows per chunk *)
+                  ~k:(Parallel.morsel_count ~threads n)
+                  ~threads nb
+                  (fun bstart blen ->
                     let test_row = Eval.compile_pred cols pred in
-                    let out = ref [] and count = ref 0 in
-                    for b = bstart + blen - 1 downto bstart do
+                    let cap =
+                      max 1 (min (blen * bs) (n - (bstart * bs)))
+                    in
+                    let out = Array.make cap 0 and count = ref 0 in
+                    for b = bstart to bstart + blen - 1 do
                       if alive.(b) then begin
                         Guard.check ();
                         let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
-                        for row = hi downto lo do
+                        for row = lo to hi do
                           if test_row row then begin
-                            out := row :: !out;
+                            out.(!count) <- row;
                             incr count
                           end
                         done
                       end
                     done;
-                    (!out, !count))))
+                    (out, !count))))
 
 (* Filter an already-selected relation: the predicate runs only on the rows
    in [sel] and the surviving base indices come back in selection order. *)
@@ -120,18 +132,19 @@ let filter_sel ~threads cols (sel : int array) pred =
   let n = Array.length sel in
   if threads <= 1 || n < 4096 then Eval.eval_filter_sel cols ~sel pred
   else
-    collect_parts
-      (Parallel.map_chunks ~threads n (fun start len ->
+    collect_parts ~threads
+      (Parallel.map_chunks ~k:(Parallel.morsel_count ~threads n) ~threads n
+         (fun start len ->
            let test = Eval.compile_pred cols pred in
-           let out = ref [] and count = ref 0 in
-           for pos = start + len - 1 downto start do
+           let out = Array.make (max 1 len) 0 and count = ref 0 in
+           for pos = start to start + len - 1 do
              let row = sel.(pos) in
              if test row then begin
-               out := row :: !out;
+               out.(!count) <- row;
                incr count
              end
            done;
-           (!out, !count)))
+           (out, !count)))
 
 (* ------------------------------------------------------------------ *)
 (* Sorting                                                            *)
@@ -198,11 +211,27 @@ let sort_indices (r : Relation.t) (keys : (int * bool) list) : int array =
 (* Joins                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let collect_pairs parts =
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 parts in
+  let li = Array.make total 0 and ri = Array.make total 0 in
+  let k = ref 0 in
+  List.iter
+    (fun (ls, rs, _) ->
+      List.iter2
+        (fun a b ->
+          li.(!k) <- a;
+          ri.(!k) <- b;
+          incr k)
+        ls rs)
+    parts;
+  (li, ri)
+
 (* Gather matching (left_row, right_row) pairs for an equi-join; indices are
    base rows of [l.rel] / [r.rel]. Residual is applied afterwards over the
-   concatenated relation. *)
-let hash_join_pairs ~threads (l : srel) (r : srel) (keys : (int * int) list) :
-    int array * int array =
+   concatenated relation. [est] is the planner's build-side estimate,
+   pre-gating the radix path (see {!Radix.join_plan}). *)
+let hash_join_pairs ~threads ?est (l : srel) (r : srel)
+    (keys : (int * int) list) : int array * int array =
   let nl = srel_nrows l and nr = srel_nrows r in
   let lbase = match l.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
   let rbase = match r.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id in
@@ -219,58 +248,186 @@ let hash_join_pairs ~threads (l : srel) (r : srel) (keys : (int * int) list) :
       done
     done;
     (li, ri)
-  | keys ->
+  | keys -> (
     let rkeys = List.map snd keys and lkeys = List.map fst keys in
-    let tbl =
-      Hash_util.build_table ?sel:r.sel ~null_as_key:false (relation_cols r.rel)
-        rkeys ~n:(Relation.n_rows r.rel)
-    in
-    let lcols = relation_cols l.rel in
-    let probe start len =
-      (* one probe_fn per chunk: its per-code memo is chunk-private, so
-         domains never share mutable state *)
-      let pf = Hash_util.probe_fn tbl lcols lkeys in
-      let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
-      for pos = start + len - 1 downto start do
-        let row = lbase pos in
-        List.iter
-          (fun rrow ->
-            lbuf := row :: !lbuf;
-            rbuf := rrow :: !rbuf;
-            incr count)
-          (pf row)
-      done;
-      (!lbuf, !rbuf, !count)
-    in
-    let parts = Parallel.map_chunks ~threads nl probe in
-    let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 parts in
-    let li = Array.make total 0 and ri = Array.make total 0 in
-    let k = ref 0 in
-    List.iter
-      (fun (ls, rs, _) ->
-        List.iter2
-          (fun a b ->
-            li.(!k) <- a;
-            ri.(!k) <- b;
-            incr k)
-          ls rs)
-      parts;
-    (li, ri)
+    let lcols = relation_cols l.rel and rcols = relation_cols r.rel in
+    match
+      Radix.join_plan ~threads ?est ~build_rows:nr ~probe_rows:nl rcols rkeys
+        lcols lkeys
+    with
+    | Some (nparts, rhash, lhash) ->
+      (* Radix-partitioned join: build AND probe sides are split by key
+         hash, so every worker builds and probes its own cache-resident
+         partition table — no shared build table, no cross-domain state.
+         Partition p of the probe side can only match partition p of the
+         build side, so partitions are fully independent work items.
+         Downstream operators are positional, so the partition-major pair
+         streams are scattered back into global probe order afterwards —
+         output must be byte-identical to the single-table path. *)
+      let dbg_phase =
+        if Sys.getenv_opt "PYTOND_TIMING_RADIX" = None then fun _ -> ()
+        else begin
+          let last = ref (Unix.gettimeofday ()) in
+          let slast = ref (Parallel.saved_time ()) in
+          fun name ->
+            let t = Unix.gettimeofday () and s = Parallel.saved_time () in
+            Printf.eprintf "[radix] %-12s %.4fs wall %.4fs modeled\n%!" name
+              (t -. !last)
+              (t -. !last -. (s -. !slast));
+            last := t;
+            slast := s
+        end
+      in
+      let rparts =
+        Radix.partition ~threads ~nparts ~hash:rhash ~base:rbase nr
+      in
+      dbg_phase "rpart";
+      (* probe partitions hold logical positions, not base rows: a sort's
+         selection vector need not be monotonic, so only the position gives
+         the output order *)
+      let lparts =
+        Radix.partition ~threads ~nparts
+          ~hash:(fun pos -> lhash (lbase pos))
+          ~base:Fun.id nl
+      in
+      dbg_phase "lpart";
+      (* per-position match counts, written during the probe: each position
+         lives in exactly one partition and the store is absolute, so the
+         writes are disjoint across workers and idempotent under chunk
+         retry *)
+      let cnt = Array.make (nl + 1) 0 in
+      let parts =
+        Parallel.map_list ~threads
+          (List.init nparts (fun p () ->
+               Guard.check ();
+               Faults.crash_point ~site:"radix.build";
+               Faults.slow_point ~site:"radix.build";
+               let tbl =
+                 Hash_util.build_table ~sel:rparts.(p) ~null_as_key:false
+                   rcols rkeys ~n:(Relation.n_rows r.rel)
+               in
+               let pf = Hash_util.probe_fn tbl lcols lkeys in
+               let lp = lparts.(p) in
+               (* unboxed growable pair buffer (probe position, build row) *)
+               let cap = ref (max 16 (Array.length lp)) in
+               let pb = ref (Array.make !cap 0)
+               and rb = ref (Array.make !cap 0) in
+               let len = ref 0 in
+               Array.iter
+                 (fun pos ->
+                   let first = !len in
+                   List.iter
+                     (fun rrow ->
+                       if !len = !cap then begin
+                         let ncap = !cap * 2 in
+                         let npb = Array.make ncap 0
+                         and nrb = Array.make ncap 0 in
+                         Array.blit !pb 0 npb 0 !len;
+                         Array.blit !rb 0 nrb 0 !len;
+                         pb := npb;
+                         rb := nrb;
+                         cap := ncap
+                       end;
+                       !pb.(!len) <- pos;
+                       !rb.(!len) <- rrow;
+                       incr len)
+                     (pf (lbase pos));
+                   (* table match lists are in reverse insertion order and
+                      the single-table path re-reverses them by prepending;
+                      flip this position's run to match it exactly *)
+                   let a = !rb in
+                   let i = ref first and j = ref (!len - 1) in
+                   while !i < !j do
+                     let t = a.(!i) in
+                     a.(!i) <- a.(!j);
+                     a.(!j) <- t;
+                     incr i;
+                     decr j
+                   done;
+                   cnt.(pos + 1) <- !len - first)
+                 lp;
+               (!pb, !rb, !len)))
+      in
+      dbg_phase "probe";
+      (* prefix sum: cnt.(pos) = first output slot of pos's matches *)
+      Parallel.prefix_sum ~threads cnt;
+      dbg_phase "prefix";
+      let total = cnt.(nl) in
+      let li = Array.make total 0 and ri = Array.make total 0 in
+      (* parallel placement: a position's matches are contiguous in its
+         partition buffer and the prefix array is read-only here, so slots
+         never collide across workers and a retried chunk rewrites the same
+         values *)
+      ignore
+        (Parallel.map_list ~threads
+           (List.map
+              (fun (pb, rb, len) () ->
+                Guard.check ();
+                Faults.crash_point ~site:"radix.scatter";
+                Faults.slow_point ~site:"radix.scatter";
+                let i = ref 0 in
+                while !i < len do
+                  let pos = pb.(!i) in
+                  let row = lbase pos in
+                  let k0 = cnt.(pos) in
+                  let j = ref !i in
+                  while !j < len && pb.(!j) = pos do
+                    li.(k0 + (!j - !i)) <- row;
+                    ri.(k0 + (!j - !i)) <- rb.(!j);
+                    incr j
+                  done;
+                  i := !j
+                done)
+              parts));
+      dbg_phase "place";
+      (li, ri)
+    | None ->
+      let tbl =
+        Radix.build ~threads ?sel:r.sel ~null_as_key:false rcols rkeys
+          ~n:(Relation.n_rows r.rel)
+      in
+      let probe start len =
+        (* one probe_fn per chunk: its per-code memo is chunk-private, so
+           domains never share mutable state *)
+        let pf = Radix.probe_fn tbl lcols lkeys in
+        let lbuf = ref [] and rbuf = ref [] and count = ref 0 in
+        for pos = start + len - 1 downto start do
+          let row = lbase pos in
+          List.iter
+            (fun rrow ->
+              lbuf := row :: !lbuf;
+              rbuf := rrow :: !rbuf;
+              incr count)
+            (pf row)
+        done;
+        (!lbuf, !rbuf, !count)
+      in
+      collect_pairs (Parallel.map_chunks ~threads nl probe))
 
-let concat_relations (l : Relation.t) (r : Relation.t) li ri : Relation.t =
+let concat_relations ?(threads = 1) (l : Relation.t) (r : Relation.t) li ri :
+    Relation.t =
   Guard.add_rows (Array.length li);
-  let lc = Array.map (fun c -> Column.take c li) l.Relation.cols in
-  let rc = Array.map (fun c -> Column.take c ri) r.Relation.cols in
-  { Relation.names = Array.append l.Relation.names r.Relation.names;
-    cols = Array.append lc rc }
+  let nlc = Array.length l.Relation.cols in
+  (* column gathers are independent — one work item per output column *)
+  let cols =
+    Array.of_list
+      (Parallel.map_list ~threads
+         (List.init
+            (nlc + Array.length r.Relation.cols)
+            (fun i () ->
+              if i < nlc then Column.take l.Relation.cols.(i) li
+              else Column.take r.Relation.cols.(i - nlc) ri)))
+  in
+  { Relation.names = Array.append l.Relation.names r.Relation.names; cols }
 
-let apply_residual (l : Relation.t) (r : Relation.t) li ri residual =
+let apply_residual ?(threads = 1) (l : Relation.t) (r : Relation.t) li ri
+    residual =
   match residual with
   | None -> (li, ri)
   | Some pred ->
-    let cand = concat_relations l r li ri in
+    let cand = concat_relations ~threads l r li ri in
     let n = Relation.n_rows cand in
-    let sel = Eval.eval_filter (relation_cols cand) ~n pred in
+    let sel = filter_indices ~threads (relation_cols cand) ~n pred in
     (Array.map (fun k -> li.(k)) sel, Array.map (fun k -> ri.(k)) sel)
 
 (* ------------------------------------------------------------------ *)
@@ -300,10 +457,14 @@ let rec run_sel (ctx : ctx) (p : plan) : srel =
   let r =
     if dbg_nodes then begin
       let t0 = Unix.gettimeofday () in
+      let s0 = Parallel.saved_time () in
       let r = run_sel_inner ctx p in
-      Printf.eprintf "[node] %-18s %.4fs (%d rows)\n%!" (node_name p)
-        (Unix.gettimeofday () -. t0)
-        (srel_nrows r);
+      let wall = Unix.gettimeofday () -. t0 in
+      let saved = Parallel.saved_time () -. s0 in
+      (* modeled = wall minus the time credited to parallel workers; this is
+         the figure the benchmark harness reports *)
+      Printf.eprintf "[node] %-18s %.4fs wall %.4fs modeled (%d rows)\n%!"
+        (node_name p) wall (wall -. saved) (srel_nrows r);
       r
     end
     else run_sel_inner ctx p
@@ -457,18 +618,21 @@ and run_join ctx kind left right keys residual =
     (* Inner join probes straight through both selections; only the join
        output is materialized. *)
     let ls = run_sel ctx left and rs = run_sel ctx right in
-    let li, ri = hash_join_pairs ~threads:ctx.threads ls rs keys in
-    let li, ri = apply_residual ls.rel rs.rel li ri residual in
-    srel_all (concat_relations ls.rel rs.rel li ri)
+    let li, ri = hash_join_pairs ~threads:ctx.threads ~est:right.est ls rs keys in
+    let li, ri =
+      apply_residual ~threads:ctx.threads ls.rel rs.rel li ri residual
+    in
+    srel_all (concat_relations ~threads:ctx.threads ls.rel rs.rel li ri)
   | JLeft | JRight | JFull ->
     (* Outer joins need matched-row bookkeeping over whole sides;
        materialize first and keep the eager logic. *)
     let l = materialize (run_sel ctx left)
     and r = materialize (run_sel ctx right) in
     let li, ri =
-      hash_join_pairs ~threads:ctx.threads (srel_all l) (srel_all r) keys
+      hash_join_pairs ~threads:ctx.threads ~est:right.est (srel_all l)
+        (srel_all r) keys
     in
-    let li, ri = apply_residual l r li ri residual in
+    let li, ri = apply_residual ~threads:ctx.threads l r li ri residual in
     let nl = Relation.n_rows l and nr = Relation.n_rows r in
     let out =
       match kind with
@@ -483,7 +647,7 @@ and run_join ctx kind left right keys residual =
         let extra = Array.of_list !extra in
         let li = Array.append li extra in
         let ri = Array.append ri (Array.map (fun _ -> -1) extra) in
-        concat_relations l r li ri
+        concat_relations ~threads:ctx.threads l r li ri
       | JRight ->
         let matched = Array.make nr false in
         Array.iter (fun i -> matched.(i) <- true) ri;
@@ -494,7 +658,7 @@ and run_join ctx kind left right keys residual =
         let extra = Array.of_list !extra in
         let li = Array.append li (Array.map (fun _ -> -1) extra) in
         let ri = Array.append ri extra in
-        concat_relations l r li ri
+        concat_relations ~threads:ctx.threads l r li ri
       | JFull ->
         let lmatched = Array.make nl false and rmatched = Array.make nr false in
         Array.iter (fun i -> lmatched.(i) <- true) li;
@@ -509,7 +673,7 @@ and run_join ctx kind left right keys residual =
         let lextra = Array.of_list !lextra and rextra = Array.of_list !rextra in
         let li = Array.concat [ li; lextra; Array.map (fun _ -> -1) rextra ] in
         let ri = Array.concat [ ri; Array.map (fun _ -> -1) lextra; rextra ] in
-        concat_relations l r li ri
+        concat_relations ~threads:ctx.threads l r li ri
     in
     srel_all out
 
@@ -532,11 +696,11 @@ and run_semijoin ctx anti left right keys residual =
        witness. Only valid without a residual — marking loses the pairing. *)
     let lkeys = List.map fst keys and rkeys = List.map snd keys in
     let ltbl =
-      Hash_util.build_table ?sel:ls.sel ~null_as_key:false (relation_cols l)
-        lkeys ~n:(Relation.n_rows l)
+      Radix.build ~threads:ctx.threads ?sel:ls.sel ~null_as_key:false
+        (relation_cols l) lkeys ~n:(Relation.n_rows l)
     in
     let matched = Bitset.create (Relation.n_rows l) in
-    let pf = Hash_util.probe_fn ltbl (relation_cols rs.rel) rkeys in
+    let pf = Radix.probe_fn ltbl (relation_cols rs.rel) rkeys in
     let rbase =
       match rs.sel with Some s -> fun pos -> s.(pos) | None -> Fun.id
     in
@@ -553,15 +717,13 @@ and run_semijoin ctx anti left right keys residual =
     let r = materialize rs in
     let nr = Relation.n_rows r in
     let rkeys = List.map snd keys and lkeys = List.map fst keys in
-    let pf =
+    let tbl =
       match keys with
       | [] -> None
       | _ ->
-        let t =
-          Hash_util.build_table ~null_as_key:false (relation_cols r) rkeys
-            ~n:nr
-        in
-        Some (Hash_util.probe_fn t (relation_cols l) lkeys)
+        Some
+          (Radix.build ~threads:ctx.threads ~null_as_key:false
+             (relation_cols r) rkeys ~n:nr)
     in
     let residual_check =
       match residual with
@@ -615,7 +777,7 @@ and run_semijoin ctx anti left right keys residual =
           in
           match ev pred with VBool b -> b | _ -> false
     in
-    let probe lrow =
+    let probe_with pf lrow =
       let candidates =
         match pf with
         | Some pf -> pf lrow
@@ -623,15 +785,35 @@ and run_semijoin ctx anti left right keys residual =
       in
       List.exists (fun rrow -> residual_check lrow rrow) candidates
     in
-    let keep = ref [] and count = ref 0 in
-    for pos = nl - 1 downto 0 do
-      let lrow = base pos in
-      if probe lrow <> anti then begin
-        keep := lrow :: !keep;
-        incr count
+    (* probe_fn per chunk keeps partition-routing memos domain-private *)
+    let mk_pf () =
+      Option.map (fun t -> Radix.probe_fn t (relation_cols l) lkeys) tbl
+    in
+    let keep =
+      if ctx.threads > 1 && nl >= 4096 && Option.is_some tbl then
+        collect_parts
+          (Parallel.map_chunks ~threads:ctx.threads nl (fun start len ->
+               let pf = mk_pf () in
+               let out = Array.make (max 1 len) 0 and count = ref 0 in
+               for pos = start to start + len - 1 do
+                 let lrow = base pos in
+                 if probe_with pf lrow <> anti then begin
+                   out.(!count) <- lrow;
+                   incr count
+                 end
+               done;
+               (out, !count)))
+      else begin
+        let pf = mk_pf () in
+        let out = ref [] in
+        for pos = nl - 1 downto 0 do
+          let lrow = base pos in
+          if probe_with pf lrow <> anti then out := lrow :: !out
+        done;
+        Array.of_list !out
       end
-    done;
-    { rel = l; sel = Some (Array.of_list !keep) }
+    in
+    { rel = l; sel = Some keep }
 
 (* Direct-indexed aggregation costs O(card) in allocation and output scan,
    so a large packed domain only pays off when the input amortizes it. *)
@@ -685,48 +867,43 @@ and run_aggregate ctx (p : plan) sub groups specs =
     let pack, card =
       match groups_dense ~n cols groups with Some pc -> pc | None -> assert false
     in
-    let upds = Agg_util.update_fns specs_arr cols in
     let n_specs = Array.length specs_arr in
+    (* unboxed slot-indexed accumulators where the spec shape allows: the
+       hot loop touches int/float arrays only, no acc records and no
+       Value boxing (see {!Agg_util.dense}) *)
     let run_range start len =
       let reps = Array.make card (-1) in
-      let accs : Agg_util.acc array array = Array.make card [||] in
+      let states = Agg_util.slot_states specs_arr cols ~card in
+      let upds = Agg_util.slot_updates specs_arr cols states in
       for pos = start to start + len - 1 do
         let row = base pos in
         let k = pack row in
-        if reps.(k) < 0 then begin
-          reps.(k) <- row;
-          accs.(k) <- Array.map Agg_util.create specs_arr
-        end;
-        let a = accs.(k) in
+        if reps.(k) < 0 then reps.(k) <- row;
         for i = 0 to n_specs - 1 do
-          upds.(i) a.(i) row
+          upds.(i) k row
         done
       done;
-      (reps, accs)
+      (reps, states)
     in
-    let reps, accs =
+    let reps, states =
       if ctx.threads <= 1 || has_distinct || n < 8192 then run_range 0 n
       else begin
         let partials = Parallel.map_chunks ~threads:ctx.threads n run_range in
         match partials with
         | [] -> run_range 0 0
-        | (first_reps, first_accs) :: rest ->
+        | (first_reps, first_states) :: rest ->
           List.iter
-            (fun (reps, accs) ->
+            (fun (reps, states) ->
               for k = 0 to card - 1 do
-                if reps.(k) >= 0 then
-                  if first_reps.(k) < 0 then begin
-                    first_reps.(k) <- reps.(k);
-                    first_accs.(k) <- accs.(k)
-                  end
-                  else
-                    Array.iteri
-                      (fun i spec ->
-                        Agg_util.merge spec first_accs.(k).(i) accs.(k).(i))
-                      specs_arr
-              done)
+                if reps.(k) >= 0 && first_reps.(k) < 0 then
+                  first_reps.(k) <- reps.(k)
+              done;
+              Array.iteri
+                (fun i spec ->
+                  Agg_util.slot_merge spec first_states.(i) states.(i))
+                specs_arr)
             rest;
-          (first_reps, first_accs)
+          (first_reps, first_states)
       end
     in
     let n_groups = List.length groups in
@@ -740,7 +917,8 @@ and run_aggregate ctx (p : plan) sub groups specs =
           Array.iteri (fun g c -> out.(g).(!k) <- Column.get c row) group_cols;
           Array.iteri
             (fun i spec ->
-              out.(n_groups + i).(!k) <- Agg_util.finish spec accs.(slot).(i))
+              out.(n_groups + i).(!k) <-
+                Agg_util.slot_finish spec states.(i) slot)
             specs_arr;
           incr k
         end)
@@ -753,12 +931,13 @@ and run_aggregate ctx (p : plan) sub groups specs =
     let kf = Hash_util.key_fn ~local:true ~null_as_key:true cols groups in
     let upds = Agg_util.update_fns specs_arr cols in
     let n_specs = Array.length specs_arr in
-    let run_range start len =
+    let fold (get : int -> int) (count : int) =
       let tbl : (Hash_util.key, int * Agg_util.acc array) Hashtbl.t =
         Hashtbl.create 1024
       in
-      for pos = start to start + len - 1 do
-        let row = base pos in
+      for i = 0 to count - 1 do
+        if i land 8191 = 0 then Guard.check ();
+        let row = get i in
         match kf row with
         | None -> ()
         | Some k ->
@@ -776,27 +955,50 @@ and run_aggregate ctx (p : plan) sub groups specs =
       done;
       tbl
     in
+    let run_range start len = fold (fun i -> base (start + i)) len in
+    let radix_parts =
+      if has_distinct then None
+      else Radix.group_parts ~threads:ctx.threads ~base cols groups ~n
+    in
     let tbl =
-      if ctx.threads <= 1 || has_distinct || n < 8192 then run_range 0 n
-      else begin
-        let partials = Parallel.map_chunks ~threads:ctx.threads n run_range in
-        match partials with
+      match radix_parts with
+      | Some parts ->
+        (* radix aggregation: every group key lives in exactly one
+           partition, so the per-partition tables are disjoint and combine
+           by union — no serial accumulator merge *)
+        let tbls =
+          Parallel.map_list ~threads:ctx.threads
+            (List.map
+               (fun sel () -> fold (fun i -> sel.(i)) (Array.length sel))
+               (Array.to_list parts))
+        in
+        (match tbls with
         | [] -> Hashtbl.create 1
         | first :: rest ->
-          List.iter
-            (fun part ->
-              Hashtbl.iter
-                (fun k (row, accs) ->
-                  match Hashtbl.find_opt first k with
-                  | Some (_, main_accs) ->
-                    Array.iteri
-                      (fun i spec -> Agg_util.merge spec main_accs.(i) accs.(i))
-                      specs_arr
-                  | None -> Hashtbl.add first k (row, accs))
-                part)
-            rest;
-          first
-      end
+          List.iter (fun part -> Hashtbl.iter (Hashtbl.replace first) part) rest;
+          first)
+      | None ->
+        if ctx.threads <= 1 || has_distinct || n < 8192 then run_range 0 n
+        else begin
+          let partials = Parallel.map_chunks ~threads:ctx.threads n run_range in
+          match partials with
+          | [] -> Hashtbl.create 1
+          | first :: rest ->
+            List.iter
+              (fun part ->
+                Hashtbl.iter
+                  (fun k (row, accs) ->
+                    match Hashtbl.find_opt first k with
+                    | Some (_, main_accs) ->
+                      Array.iteri
+                        (fun i spec ->
+                          Agg_util.merge spec main_accs.(i) accs.(i))
+                        specs_arr
+                    | None -> Hashtbl.add first k (row, accs))
+                  part)
+              rest;
+            first
+        end
     in
     let n_out = Hashtbl.length tbl in
     let n_groups = List.length groups in

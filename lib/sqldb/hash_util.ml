@@ -357,6 +357,65 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
     let kf = key_fn ~null_as_key:false cols idxs in
     fun row -> ( match kf row with None -> [] | Some k -> boxed_lookup k)
 
+(* ------------------------------------------------------------------ *)
+(* Radix partition hashes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-row partition hash over the key columns at [idxs], for radix
+   partitioning ({!Radix}). Both join sides must agree on the hash of equal
+   key values even when their physical layouts differ (raw [S] strings on
+   one side, codes over a different dictionary on the other), so ints hash
+   as themselves through [bloom_mix] and strings through [Hashtbl.hash] of
+   the decoded value — dictionary columns precompute one hash per distinct
+   code, so the per-row cost is one array load. Returns [None] for layouts
+   without a stable cross-side hash (floats, bools); a negative hash marks a
+   null key, which never joins and is never partitioned. *)
+let row_hash (cols : Column.t array) (idxs : int list) : (int -> int) option =
+  let component (c : Column.t) : (int -> int) option =
+    let nullable f =
+      match c.Column.nulls with
+      | None -> f
+      | Some m -> fun row -> if Bitset.get m row then -1 else f row
+    in
+    match c.Column.data with
+    | Column.I a -> Some (nullable (fun row -> bloom_mix a.(row) land max_int))
+    | Column.S a ->
+      Some (nullable (fun row -> bloom_mix (Hashtbl.hash a.(row)) land max_int))
+    | Column.D (codes, d) ->
+      let hcode =
+        Array.map
+          (fun s -> bloom_mix (Hashtbl.hash s) land max_int)
+          d.Column.values
+      in
+      Some (nullable (fun row -> hcode.(codes.(row))))
+    | Column.B _ | Column.F _ -> None
+  in
+  match idxs with
+  | [] -> None
+  | [ i ] -> component cols.(i)
+  | idxs -> (
+    let rec go acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | i :: rest -> (
+        match component cols.(i) with
+        | None -> None
+        | Some f -> go (f :: acc) rest)
+    in
+    match go [] idxs with
+    | None -> None
+    | Some fs ->
+      let k = Array.length fs in
+      Some
+        (fun row ->
+          let rec combine i acc =
+            if i = k then acc
+            else
+              let h = fs.(i) row in
+              if h < 0 then -1
+              else combine (i + 1) (bloom_mix ((acc * 31) + h) land max_int)
+          in
+          combine 0 0))
+
 (* Row-level membership pre-test over a single probe-key column, for
    pushing the build side's bloom filter into the probe-side scan: a row
    that fails cannot find a join partner, so inner and semi joins may drop

@@ -118,9 +118,10 @@ let run_timed (works : (unit -> 'a) list) : 'a list =
   List.map fst timed
 
 (* Map each chunk of [0, n) with [f start len] and collect results in chunk
-   order. *)
-let map_chunks ~threads n f =
-  let cs = chunks ~k:threads n in
+   order. [k] overrides the chunk count (default one per thread) — morsel
+   schedulers pass a finer grain so the critical path is one morsel. *)
+let map_chunks ?k ~threads n f =
+  let cs = chunks ~k:(match k with Some k -> k | None -> threads) n in
   match cs with
   | [] -> []
   | [ (s, l) ] -> [ f s l ]
@@ -140,6 +141,62 @@ let map_list ~threads (fs : (unit -> 'a) list) : 'a list =
     | Sequential_only -> List.map run_protected fs
     | Domains -> spawn_all fs
     | Simulated -> run_timed fs
+
+(* Morsel count for embarrassingly parallel loops over [n] rows: enough
+   chunks that work-stealing can balance them (the critical path is one
+   morsel, not a 1/threads range), bounded so per-chunk dispatch stays
+   negligible. Real domains get exactly one chunk each — spawning dozens of
+   domains on a multicore host costs more than it balances. *)
+let morsel_count ~threads n =
+  match !mode with
+  | Domains -> threads
+  | Sequential_only | Simulated -> max threads (min 64 (n / 8192))
+
+(* In-place inclusive prefix sum: a.(i) <- a.(0) + ... + a.(i). Two-pass
+   parallel scan for large arrays: per-chunk totals, a serial sweep over the
+   few chunk totals, then per-chunk local prefixes seeded by the chunk's
+   offset. *)
+let prefix_sum ~threads (a : int array) : unit =
+  let n = Array.length a in
+  if threads <= 1 || n < 65536 then
+    for i = 1 to n - 1 do
+      a.(i) <- a.(i) + a.(i - 1)
+    done
+  else begin
+    let cs = chunks ~k:(morsel_count ~threads n) n in
+    let sums =
+      map_list ~threads
+        (List.map
+           (fun (s, l) () ->
+             Guard.check ();
+             let t = ref 0 in
+             for i = s to s + l - 1 do
+               t := !t + a.(i)
+             done;
+             !t)
+           cs)
+    in
+    let offs =
+      let acc = ref 0 in
+      List.map
+        (fun s ->
+          let o = !acc in
+          acc := !acc + s;
+          o)
+        sums
+    in
+    ignore
+      (map_list ~threads
+         (List.map2
+            (fun (s, l) off () ->
+              Guard.check ();
+              let acc = ref off in
+              for i = s to s + l - 1 do
+                acc := !acc + a.(i);
+                a.(i) <- !acc
+              done)
+            cs offs))
+  end
 
 (* Parallel fold: map chunks then combine partial results sequentially. *)
 let fold_chunks ~threads n ~map ~combine ~init =

@@ -60,16 +60,18 @@ let rename t names =
   { t with names }
 
 (* Concatenate same-schema relations (used by the morsel executor to collect
-   chunks). *)
-let concat = function
+   chunks). Column concatenations are independent, so with [threads] each is
+   its own work item. *)
+let concat ?(threads = 1) = function
   | [] -> invalid_arg "Relation.concat: empty"
   | [ r ] -> r
   | first :: _ as rs ->
     { first with
       cols =
-        Array.mapi
-          (fun i _ -> Column.concat (List.map (fun r -> r.cols.(i)) rs))
-          first.cols }
+        Array.of_list
+          (Parallel.map_list ~threads
+             (List.init (Array.length first.cols) (fun i () ->
+                  Column.concat (List.map (fun r -> r.cols.(i)) rs)))) }
 
 let to_rows t =
   List.init (n_rows t) (fun i -> Array.to_list (row t i))

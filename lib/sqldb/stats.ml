@@ -206,15 +206,23 @@ let zones_of_col (c : Column.t) : zone array option =
 (* ------------------------------------------------------------------ *)
 
 (* [unique.(i)] marks columns known unique from constraints (single-column
-   primary keys), giving an exact distinct count for free. *)
-let compute ?unique (rel : Relation.t) : table_stats =
+   primary keys), giving an exact distinct count for free. Columns are
+   independent, so ingest statistics fan out one column per worker. *)
+let compute ?unique ?(threads = 1) (rel : Relation.t) : table_stats =
   let uniq i =
     match unique with Some u when i < Array.length u -> u.(i) | _ -> false
   in
+  let per_col =
+    Parallel.map_list ~threads
+      (Array.to_list
+         (Array.mapi
+            (fun i c () -> (stats_of_col ~unique:(uniq i) c, zones_of_col c))
+            rel.Relation.cols))
+  in
+  let per_col = Array.of_list per_col in
   { row_count = Relation.n_rows rel;
-    cols =
-      Array.mapi (fun i c -> stats_of_col ~unique:(uniq i) c) rel.Relation.cols;
-    zones = Array.map zones_of_col rel.Relation.cols }
+    cols = Array.map fst per_col;
+    zones = Array.map snd per_col }
 
 (* Physical identity of a column's backing array: zone maps attach to the
    array, not the Column.t wrapper, so they survive re-wrapping. *)

@@ -8,6 +8,36 @@ let check_rel ?(digits = 4) msg (expected : Relation.t) (actual : Relation.t) =
     (Relation.canonical ~digits expected)
     (Relation.canonical ~digits actual)
 
+(* Like [check_rel] on pre-canonicalized rows, but float cells may differ
+   by one unit in the last rounded decimal plus a small relative term:
+   parallel aggregation sums in chunk order, so the low bits of large
+   float sums legitimately depend on the thread count. String cells must
+   still match exactly, and any real defect (a lost or duplicated row)
+   moves an aggregate by far more than the tolerance. *)
+let check_rows_close ?(digits = 3) msg (expected : string list)
+    (actual : string list) =
+  let close a b =
+    String.equal a b
+    ||
+    match (float_of_string_opt a, float_of_string_opt b) with
+    | Some x, Some y ->
+      Float.abs (x -. y)
+      <= (1.6 *. (10. ** float_of_int (-digits)))
+         +. (1e-6 *. Float.max (Float.abs x) (Float.abs y))
+    | _ -> false
+  in
+  let row_close ra rb =
+    let ca = String.split_on_char '|' ra in
+    let cb = String.split_on_char '|' rb in
+    List.length ca = List.length cb && List.for_all2 close ca cb
+  in
+  if
+    not
+      (List.length expected = List.length actual
+      && List.for_all2 row_close expected actual)
+  then (* re-raise through the exact check for a readable diff *)
+    Alcotest.(check (list string)) msg expected actual
+
 let rel names cols = Relation.create (Array.of_list names) (Array.of_list cols)
 
 let ints = Column.of_ints

@@ -97,8 +97,17 @@ let string_db () =
 let equivalence_queries =
   [ "SELECT grp, COUNT(*) AS n, SUM(price) AS s FROM items GROUP BY grp";
     "SELECT * FROM items WHERE grp = 'red'";
+    "SELECT * FROM items WHERE grp <> 'red'";
+    "SELECT * FROM items WHERE grp = 'no-such-color'";
+    "SELECT * FROM items WHERE grp <> 'no-such-color'";
+    "SELECT * FROM items WHERE tag = 'hot'";
+    "SELECT * FROM items WHERE tag <> 'hot'";
     "SELECT * FROM items WHERE grp IN ('red', 'green')";
     "SELECT * FROM items WHERE grp LIKE 'b%'";
+    "SELECT * FROM items WHERE grp LIKE 'gre%'";
+    "SELECT * FROM items WHERE grp NOT LIKE 'b%'";
+    "SELECT * FROM items WHERE tag LIKE 'h%'";
+    "SELECT * FROM items WHERE tag NOT LIKE 'c%'";
     "SELECT i.id, c.rank FROM items AS i, colors AS c WHERE i.grp = c.name";
     "SELECT DISTINCT grp, tag FROM items";
     "SELECT tag, COUNT(*) AS n FROM items GROUP BY tag";
@@ -162,6 +171,65 @@ let test_tpch_equivalence () =
             (run db_raw) (run db_dict))
         [ Db.Vectorized; Db.Compiled ])
     Tpch.Queries.all
+
+(* ------------------------------------------------------------------ *)
+(* Code-direct predicates (equality and prefix LIKE on codes)         *)
+(* ------------------------------------------------------------------ *)
+
+(* [Eval.dict_eq_pred] / [Eval.dict_prefix_pred] operate on raw codes
+   without touching the strings; check their edge cases directly against
+   naive string evaluation: absent literals, prefixes longer than some
+   values with an equal head ("PRO" vs prefix "PROMO"), negation over
+   nulls. *)
+let test_code_direct_preds () =
+  let vals =
+    [| Value.VString "PRO"; Value.VNull; Value.VString "PROMO";
+       Value.VString "PROMOX"; Value.VString "PRZ"; Value.VString "A";
+       Value.VString "PROMO"; Value.VNull |]
+  in
+  let c = Column.encode (Column.of_values Value.TString vals) in
+  Alcotest.(check bool) "column is dict" true (Column.is_dict c);
+  let n = Array.length vals in
+  let naive f i = match vals.(i) with Value.VString s -> f s | _ -> false in
+  let check_pred name (got : (int -> bool) option) (expect : int -> bool) =
+    match got with
+    | None -> Alcotest.fail (name ^ ": expected a fast path")
+    | Some p ->
+      for i = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s row %d" name i)
+          (expect i) (p i)
+      done
+  in
+  List.iter
+    (fun (k, negated) ->
+      check_pred
+        (Printf.sprintf "eq %s negated=%b" k negated)
+        (Eval.dict_eq_pred c k ~negated)
+        (naive (fun s -> String.equal s k <> negated)))
+    [ ("PROMO", false); ("PROMO", true); ("absent", false); ("absent", true) ];
+  List.iter
+    (fun (p, negated) ->
+      check_pred
+        (Printf.sprintf "prefix %s negated=%b" p negated)
+        (Eval.dict_prefix_pred c p ~negated)
+        (naive (fun s ->
+             (String.length s >= String.length p
+             && String.equal (String.sub s 0 (String.length p)) p)
+             <> negated)))
+    [ ("PROMO", false); ("PROMO", true); ("PRO", false); ("P", false);
+      ("Z", false); ("", false) ];
+  (* non-dictionary columns must decline so the decode path runs *)
+  let raw = Column.of_values Value.TString vals in
+  Alcotest.(check bool) "raw eq declines" true
+    (Eval.dict_eq_pred raw "PROMO" ~negated:false = None);
+  Alcotest.(check bool) "raw prefix declines" true
+    (Eval.dict_prefix_pred raw "PRO" ~negated:false = None);
+  (* LIKE patterns with inner metacharacters fall back to the table path,
+     which must agree with the pattern matcher *)
+  check_pred "non-prefix like"
+    (Eval.dict_like_pred c "P%O" ~negated:false)
+    (naive (fun s -> Eval.compile_like "P%O" s))
 
 (* ------------------------------------------------------------------ *)
 (* Null handling in dictionary sort / group-by                        *)
@@ -264,6 +332,7 @@ let suites =
       [ tc "sql equivalence dict vs raw" test_sql_equivalence;
         tc "encode-filter-join-decode round trip" test_roundtrip_pipeline;
         tc "tpch suite dict vs raw" test_tpch_equivalence;
+        tc "code-direct eq/prefix predicates" test_code_direct_preds;
         tc "nulls in dict sort/group-by" test_null_sort_group ] );
     ( "selection-vectors",
       [ tc "filter_sel matches eval_filter" test_filter_sel_equivalence ] ) ]
