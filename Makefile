@@ -5,7 +5,7 @@ SMOKE_SF ?= 0.005
 BENCH_SF ?= 0.05
 SF01 ?= 0.1
 
-.PHONY: all build test bench-smoke bench-compare bench-sf01 check clean
+.PHONY: all build test bench-smoke bench-compare bench-sf01 bench-fused check clean
 
 all: build
 
@@ -44,6 +44,16 @@ bench-compare: build
 bench-sf01: build
 	PYTOND_SF=$(SF01) PYTOND_RUNS=1 PYTOND_WARMUP=1 PYTOND_COMPARE_TOL=0.35 \
 	  $(DUNE) exec bench/main.exe -- radix --compare BENCH_sf01.json --json-out BENCH_sf01_run.json
+
+# Fused-kernel smoke leg at SF 0.1: the fused experiment (q1/q6/q12/q19,
+# kernels on vs off at 3 threads) gated against the committed
+# BENCH_sf01.json baseline, same tolerance rationale as bench-sf01. The
+# --json-out merge-write carries the radix rows over, so refreshing the
+# committed baseline is `... -- radix fused --json-out BENCH_sf01.json`
+# (both experiments in one invocation).
+bench-fused: build
+	PYTOND_SF=$(SF01) PYTOND_RUNS=1 PYTOND_WARMUP=1 PYTOND_COMPARE_TOL=0.35 \
+	  $(DUNE) exec bench/main.exe -- fused --compare BENCH_sf01.json --json-out BENCH_sf01_run.json
 
 check: build test bench-smoke
 

@@ -59,25 +59,36 @@ let geomean xs =
 (* ------------------------------------------------------------------ *)
 
 (* One measurement, in measurement order. Every row carries the full
-   configuration it was measured under — scale factor, thread count and
-   the radix toggle — so --compare can refuse to diff incompatible runs
-   instead of silently reporting a config change as a perf change. The
-   config fields are options only because baselines written before they
-   existed parse without them; fresh rows always have both. *)
+   configuration it was measured under — scale factor, thread count, the
+   radix toggle, and (since the kernel PR) the bigarray-storage and
+   fused-kernel toggles — so --compare can refuse to diff incompatible
+   runs instead of silently reporting a config change as a perf change.
+   The config fields are options only because baselines written before
+   they existed parse without them; fresh rows always have all of them. *)
 type row = {
   exp_ : string;
   variant : string;
   threads : int;
   rsf : float option; (* scale factor *)
   radix : bool option; (* radix partitioning enabled? *)
+  bigarray : bool option; (* bigarray column storage enabled? *)
+  fused : bool option; (* fused filter→aggregate kernels enabled? *)
   mean : float;
 }
 
 let results : row list ref = ref []
 
-let record ?radix ~experiment ~variant ~threads mean =
+let record ?radix ?bigarray ?fused ~experiment ~variant ~threads mean =
   let radix =
     match radix with Some b -> b | None -> Sqldb.Radix.enabled ()
+  in
+  let bigarray =
+    match bigarray with
+    | Some b -> b
+    | None -> Sqldb.Column.bigarray_enabled ()
+  in
+  let fused =
+    match fused with Some b -> b | None -> Sqldb.Kernel.fuse_enabled ()
   in
   results :=
     { exp_ = experiment;
@@ -85,6 +96,8 @@ let record ?radix ~experiment ~variant ~threads mean =
       threads;
       rsf = Some sf;
       radix = Some radix;
+      bigarray = Some bigarray;
+      fused = Some fused;
       mean }
     :: !results
 
@@ -122,7 +135,16 @@ let write_json path =
     (fun i r ->
       let config =
         match (r.rsf, r.radix) with
-        | Some s, Some x -> Printf.sprintf ", \"sf\": %g, \"radix\": %b" s x
+        | Some s, Some x ->
+          let extra =
+            (* bigarray/fused stamps postdate sf/radix; rows carried over
+               from an older baseline keep their narrower config *)
+            match (r.bigarray, r.fused) with
+            | Some ba, Some fu ->
+              Printf.sprintf ", \"bigarray\": %b, \"fused\": %b" ba fu
+            | _ -> ""
+          in
+          Printf.sprintf ", \"sf\": %g, \"radix\": %b%s" s x extra
         | _ -> "" (* pre-config row carried over verbatim *)
       in
       Printf.fprintf oc
@@ -213,6 +235,8 @@ let read_baseline path : row list =
              threads = int_of_float t;
              rsf = field_num line "sf";
              radix = field_bool line "radix";
+             bigarray = field_bool line "bigarray";
+             fused = field_bool line "fused";
              mean = m }
            :: !out
        | _ -> ()
@@ -251,16 +275,25 @@ let check_config ~(fresh : row) ~(base : row) =
          (Printf.sprintf "%s: baseline measured at SF %g, this run at SF %g"
             where b a))
   | _ -> ());
-  match (fresh.radix, base.radix) with
-  | Some a, Some b when a <> b ->
-    raise
-      (Config_mismatch
-         (Printf.sprintf "%s: baseline measured with radix %s, this run \
-                          with radix %s"
-            where
-            (if b then "on" else "off")
-            (if a then "on" else "off")))
-  | _ -> ()
+  let check_toggle name fresh_v base_v =
+    (* strict when both sides carry the stamp; lenient when the baseline
+       predates the field (older harness) — sf/radix presence above is the
+       age gate for the file as a whole *)
+    match (fresh_v, base_v) with
+    | Some a, Some b when (a : bool) <> b ->
+      raise
+        (Config_mismatch
+           (Printf.sprintf "%s: baseline measured with %s %s, this run with \
+                            %s %s"
+              where name
+              (if b then "on" else "off")
+              name
+              (if a then "on" else "off")))
+    | _ -> ()
+  in
+  check_toggle "radix" fresh.radix base.radix;
+  check_toggle "bigarray" fresh.bigarray base.bigarray;
+  check_toggle "fused" fresh.fused base.fused
 
 (* Compare this run's measurements against a saved baseline; returns false
    when any shared variant regressed by more than [compare_tol] (and by more
@@ -717,6 +750,79 @@ let fig_radix () =
         (geomean !speedups))
 
 (* ------------------------------------------------------------------ *)
+(* Fused branch-free kernels: on vs off                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan-heavy TPC-H queries at 3 threads; the same binary runs each query
+   with the fused filter→aggregate kernels disabled (per-row closure
+   pipeline over selection vectors) and enabled (mask kernels with in-loop
+   accumulation, see Sqldb.Kernel). q1/q6 are fusible aggregate pipelines;
+   q12/q19 are join queries that only benefit from the mask filter kernels
+   on their scans — they double as a no-harm control. Rounds alternate the
+   variant order and keep each side's best time, like the dict/radix
+   experiments. *)
+let fused_queries = [ "q1"; "q6"; "q12"; "q19" ]
+let fused_threads = 3
+
+let fig_fused () =
+  Printf.printf
+    "\n== fused: branch-free kernels on vs off, TPC-H SF=%g, %d threads ==\n"
+    sf fused_threads;
+  let db = Tpch.Dbgen.make_db sf in
+  let backends = [ (Pytond.Vectorized, "duck"); (Pytond.Compiled, "hyper") ] in
+  let saved = Sqldb.Kernel.fuse_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Sqldb.Kernel.set_fuse saved)
+    (fun () ->
+      let time_one enabled q backend =
+        Sqldb.Kernel.set_fuse enabled;
+        Gc.compact ();
+        measure (fun () ->
+            ignore
+              (Pytond.run ~level:Pytond.O4 ~backend ~threads:fused_threads
+                 ~db ~source:(Tpch.Queries.find q) ~fname:"query" ()))
+      in
+      let acc = Hashtbl.create 64 in
+      for round = 1 to 4 do
+        List.iter
+          (fun enabled ->
+            List.iter
+              (fun q ->
+                List.iter
+                  (fun (backend, blabel) ->
+                    let t = time_one enabled q backend in
+                    let key = (enabled, q, blabel) in
+                    match Hashtbl.find_opt acc key with
+                    | Some t0 when t0 <= t -> ()
+                    | _ -> Hashtbl.replace acc key t)
+                  backends)
+              fused_queries)
+          (if round land 1 = 1 then [ false; true ] else [ true; false ])
+      done;
+      Printf.printf "%-10s %-8s %12s %12s %10s\n" "query" "engine" "off" "on"
+        "speedup";
+      let speedups = ref [] in
+      List.iter
+        (fun q ->
+          List.iter
+            (fun (_, blabel) ->
+              let toff = Hashtbl.find acc (false, q, blabel) in
+              let ton = Hashtbl.find acc (true, q, blabel) in
+              record ~experiment:"fused"
+                ~variant:(Printf.sprintf "off/%s/%s" blabel q)
+                ~threads:fused_threads ~fused:false toff;
+              record ~experiment:"fused"
+                ~variant:(Printf.sprintf "on/%s/%s" blabel q)
+                ~threads:fused_threads ~fused:true ton;
+              speedups := (toff /. ton) :: !speedups;
+              Printf.printf "%-10s %-8s %11.4fs %11.4fs %9.2fx\n%!" q blabel
+                toff ton (toff /. ton))
+            backends)
+        fused_queries;
+      Printf.printf "geomean speedup (fused on vs off): %.2fx\n"
+        (geomean !speedups))
+
+(* ------------------------------------------------------------------ *)
 (* Query cache: first run vs cached repeat                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -896,6 +1002,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig10", fig10);
     ("dict", fig_dict);
     ("radix", fig_radix);
+    ("fused", fig_fused);
     ("cache", fig_cache);
     ("scan", fig_scan);
     ("micro", micro) ]

@@ -89,10 +89,9 @@ module Series = struct
   let binop_num f_int f_float (a : Column.t) (b : Column.t) : Column.t =
     let n = length a in
     if length b <> n then err "series length mismatch";
-    match (a.Column.data, b.Column.data) with
-    | Column.I x, Column.I y when a.Column.ty <> TDate || b.Column.ty <> TDate
-      ->
-      Column.of_ints (Array.init n (fun i -> f_int x.(i) y.(i)))
+    match (Column.int_reader a, Column.int_reader b) with
+    | Some ga, Some gb when a.Column.ty <> TDate || b.Column.ty <> TDate ->
+      Column.of_ints (Array.init n (fun i -> f_int (ga i) (gb i)))
     | _ ->
       Column.of_floats
         (Array.init n (fun i ->
@@ -141,35 +140,45 @@ module Series = struct
       else x
     in
     let a = coerce a b.Column.ty and b = coerce b a.Column.ty in
-    match (a.Column.data, b.Column.data) with
-    | Column.I x, Column.I y -> Array.init n (fun i -> test (compare x.(i) y.(i)))
-    | Column.F x, Column.F y -> Array.init n (fun i -> test (compare x.(i) y.(i)))
-    | Column.S x, Column.S y ->
-      Array.init n (fun i -> test (String.compare x.(i) y.(i)))
-    | Column.D (x, dx), Column.D (y, dy) when dx == dy ->
-      let rank = dx.Column.rank in
-      Array.init n (fun i -> test (compare rank.(x.(i)) rank.(y.(i))))
-    | (Column.D _ | Column.S _), (Column.D _ | Column.S _) ->
-      Array.init n (fun i ->
-          test (String.compare (Column.string_at a i) (Column.string_at b i)))
-    | Column.I x, Column.F y ->
-      Array.init n (fun i -> test (compare (float_of_int x.(i)) y.(i)))
-    | Column.F x, Column.I y ->
-      Array.init n (fun i -> test (compare x.(i) (float_of_int y.(i))))
-    | Column.B x, Column.B y -> Array.init n (fun i -> test (compare x.(i) y.(i)))
-    | _ -> err "incomparable series"
+    let stringish (c : Column.t) =
+      match c.Column.data with
+      | Column.S _ | Column.D _ | Column.BD _ -> true
+      | _ -> false
+    in
+    match (Column.codes_reader a, Column.codes_reader b) with
+    | Some (ca, da), Some (cb, db) when da == db ->
+      let rank = da.Column.rank in
+      Array.init n (fun i -> test (compare rank.(ca i) rank.(cb i)))
+    | _ -> (
+      if stringish a && stringish b then
+        Array.init n (fun i ->
+            test (String.compare (Column.string_at a i) (Column.string_at b i)))
+      else
+        match (Column.int_reader a, Column.int_reader b) with
+        | Some ga, Some gb -> Array.init n (fun i -> test (compare (ga i) (gb i)))
+        | _ -> (
+          match (Column.num_reader a, Column.num_reader b) with
+          | Some ga, Some gb ->
+            Array.init n (fun i -> test (Float.compare (ga i) (gb i)))
+          | _ -> (
+            match (a.Column.data, b.Column.data) with
+            | Column.B x, Column.B y ->
+              Array.init n (fun i -> test (compare x.(i) y.(i)))
+            | _ -> err "incomparable series")))
 
   let logical_and a b = Array.map2 ( && ) a b
   let logical_or a b = Array.map2 ( || ) a b
   let logical_not a = Array.map not a
 
   let sum (c : Column.t) : Value.t =
-    match c.Column.data with
-    | Column.I x ->
+    match Column.int_reader c with
+    | Some get ->
       let acc = ref 0 in
-      Array.iteri (fun i v -> if not (Column.is_null c i) then acc := !acc + v) x;
+      for i = 0 to length c - 1 do
+        if not (Column.is_null c i) then acc := !acc + get i
+      done;
       VInt !acc
-    | _ ->
+    | None ->
       (* compensated, like the engine's accumulators, so baseline and
          engine sums agree after output rounding whatever the engine's
          chunking was *)

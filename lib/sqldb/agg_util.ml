@@ -14,15 +14,32 @@ type ksum = { mutable total : float; mutable comp : float }
 
 let ksum () = { total = 0.; comp = 0. }
 
+(* The compensation recovered when adding [x] to a running total [s],
+   where [t = s +. x]. This is THE Neumaier step: every compensated
+   accumulator in the engine (ksum, boxed acc, dense slot arrays, the
+   fused kernels in {!Kernel}) goes through this one function, so chunked,
+   radix-partitioned and fused sums all round identically. Note adding
+   [x = 0.0] is an exact no-op — [t = s] and the step returns [0.] — which
+   is what lets the branch-free kernels add [value * mask] for every row. *)
+let[@inline] comp_step s x t =
+  if Float.abs s >= Float.abs x then (s -. t) +. x else (x -. t) +. s
+
 let kadd (k : ksum) (x : float) =
   let s = k.total in
   let t = s +. x in
-  k.comp <-
-    k.comp
-    +. (if Float.abs s >= Float.abs x then (s -. t) +. x else (x -. t) +. s);
+  k.comp <- k.comp +. comp_step s x t;
   k.total <- t
 
 let kfinish (k : ksum) = k.total +. k.comp
+
+(* Compensated add into a (sum, comp) float-array slot pair — the unboxed
+   accumulator shape used by dense aggregation and the fused kernels
+   (float stores into float arrays don't box, unlike record fields). *)
+let[@inline] kadd_slot (sum : float array) (comp : float array) k x =
+  let s = Array.unsafe_get sum k in
+  let t = s +. x in
+  Array.unsafe_set comp k (Array.unsafe_get comp k +. comp_step s x t);
+  Array.unsafe_set sum k t
 
 type acc = {
   mutable count : int; (* rows contributing (non-null for arg aggregates) *)
@@ -49,9 +66,7 @@ let create (spec : Plan.agg_spec) : acc =
 let acc_add_f (acc : acc) (x : float) =
   let s = acc.sumf in
   let t = s +. x in
-  acc.sumc <-
-    acc.sumc
-    +. (if Float.abs s >= Float.abs x then (s -. t) +. x else (x -. t) +. s);
+  acc.sumc <- acc.sumc +. comp_step s x t;
   acc.sumf <- t
 
 let acc_sum_f (acc : acc) = acc.sumf +. acc.sumc
@@ -70,9 +85,9 @@ let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
           (* one column per accumulator, so a dictionary code is a valid
              distinct key on its own *)
           let k =
-            match c.Column.data with
-            | Column.D (codes, _) -> "\x01" ^ string_of_int codes.(row)
-            | _ -> Hash_util.pack_values [ Column.get c row ]
+            match Column.codes_reader c with
+            | Some (codes, _) -> "\x01" ^ string_of_int (codes row)
+            | None -> Hash_util.pack_values [ Column.get c row ]
           in
           if Hashtbl.mem seen k then false
           else begin
@@ -86,10 +101,11 @@ let update (spec : Plan.agg_spec) (acc : acc) (cols : Column.t array) row =
         | Sql_ast.Count | Sql_ast.CountStar -> ()
         | Sql_ast.Sum | Sql_ast.Avg -> (
           match c.Column.data with
-          | Column.I a -> (
-            acc.sumi <- acc.sumi + a.(row);
+          | Column.I _ | Column.BI _ -> (
+            let x = Column.int_at c row in
+            acc.sumi <- acc.sumi + x;
             match spec.fn with
-            | Sql_ast.Avg -> acc_add_f acc (float_of_int a.(row))
+            | Sql_ast.Avg -> acc_add_f acc (float_of_int x)
             | _ -> ())
           | _ -> acc_add_f acc (Column.float_at c row))
         | Sql_ast.Min ->
@@ -115,10 +131,10 @@ let update_fn (spec : Plan.agg_spec) (cols : Column.t array) :
   | Some i when spec.distinct -> (
     let c = cols.(i) in
     let code =
-      match c.Column.data with
-      | Column.I a -> Some (fun row -> a.(row))
-      | Column.D (codes, _) -> Some (fun row -> codes.(row))
-      | Column.B b -> Some (fun row -> Bool.to_int b.(row))
+      match (Column.int_reader c, Column.codes_reader c, c.Column.data) with
+      | Some get, _, _ -> Some get
+      | _, Some (codes, _), _ -> Some codes
+      | _, _, Column.B b -> Some (fun row -> Bool.to_int b.(row))
       | _ -> None
     in
     match (spec.fn, code) with
@@ -157,16 +173,17 @@ let update_fn (spec : Plan.agg_spec) (cols : Column.t array) :
             body acc row
           end
     in
-    match (spec.fn, c.Column.data) with
-    | (Sql_ast.Count | Sql_ast.CountStar), _ -> counting (fun _ _ -> ())
-    | Sql_ast.Sum, Column.I a ->
-      counting (fun acc row -> acc.sumi <- acc.sumi + a.(row))
-    | Sql_ast.Avg, Column.I a ->
+    match (spec.fn, Column.int_reader c, Column.float_reader c) with
+    | (Sql_ast.Count | Sql_ast.CountStar), _, _ -> counting (fun _ _ -> ())
+    | Sql_ast.Sum, Some get, _ ->
+      counting (fun acc row -> acc.sumi <- acc.sumi + get row)
+    | Sql_ast.Avg, Some get, _ ->
       counting (fun acc row ->
-          acc.sumi <- acc.sumi + a.(row);
-          acc_add_f acc (float_of_int a.(row)))
-    | (Sql_ast.Sum | Sql_ast.Avg), Column.F a ->
-      counting (fun acc row -> acc_add_f acc a.(row))
+          let x = get row in
+          acc.sumi <- acc.sumi + x;
+          acc_add_f acc (float_of_int x))
+    | (Sql_ast.Sum | Sql_ast.Avg), None, Some get ->
+      counting (fun acc row -> acc_add_f acc (get row))
     | _ -> generic)
 
 let update_fns (specs : Plan.agg_spec array) (cols : Column.t array) :
@@ -256,27 +273,27 @@ let dense_create (spec : Plan.agg_spec) (cols : Column.t array) ~(card : int)
     | Some i -> (
       match (spec.fn, cols.(i).Column.data) with
       | (Sql_ast.Count | Sql_ast.CountStar), _ -> Some (DCount (Array.make card 0))
-      | Sql_ast.Sum, Column.I _ when spec.out_ty = TInt ->
+      | Sql_ast.Sum, (Column.I _ | Column.BI _) when spec.out_ty = TInt ->
         Some (DSumI { count = Array.make card 0; sum = Array.make card 0 })
-      | Sql_ast.Sum, Column.F _ when spec.out_ty <> TInt ->
+      | Sql_ast.Sum, (Column.F _ | Column.BF _) when spec.out_ty <> TInt ->
         Some
           (DSumF
              { count = Array.make card 0;
                sum = Array.make card 0.;
                comp = Array.make card 0. })
-      | Sql_ast.Avg, (Column.I _ | Column.F _) ->
+      | Sql_ast.Avg, (Column.I _ | Column.F _ | Column.BI _ | Column.BF _) ->
         Some
           (DSumF
              { count = Array.make card 0;
                sum = Array.make card 0.;
                comp = Array.make card 0. })
-      | (Sql_ast.Min | Sql_ast.Max), Column.I _ ->
+      | (Sql_ast.Min | Sql_ast.Max), (Column.I _ | Column.BI _) ->
         Some
           (DMinMaxI
              { count = Array.make card 0;
                best = Array.make card 0;
                is_min = spec.fn = Sql_ast.Min })
-      | (Sql_ast.Min | Sql_ast.Max), Column.F _ ->
+      | (Sql_ast.Min | Sql_ast.Max), (Column.F _ | Column.BF _) ->
         Some
           (DMinMaxF
              { count = Array.make card 0;
@@ -299,16 +316,13 @@ let dense_update (spec : Plan.agg_spec) (cols : Column.t array) (d : dense) :
   let geti =
     match spec.arg with
     | Some i -> (
-      match cols.(i).Column.data with Column.I a -> (fun row -> a.(row)) | _ -> fun _ -> 0)
+      match Column.int_reader cols.(i) with Some get -> get | None -> fun _ -> 0)
     | None -> fun _ -> 0
   in
   let getf =
     match spec.arg with
     | Some i -> (
-      match cols.(i).Column.data with
-      | Column.F a -> fun row -> a.(row)
-      | Column.I a -> fun row -> float_of_int a.(row)
-      | _ -> fun _ -> 0.)
+      match Column.num_reader cols.(i) with Some get -> get | None -> fun _ -> 0.)
     | None -> fun _ -> 0.
   in
   match d with
@@ -324,14 +338,7 @@ let dense_update (spec : Plan.agg_spec) (cols : Column.t array) (d : dense) :
     fun slot row ->
       if valid row then begin
         count.(slot) <- count.(slot) + 1;
-        let x = getf row in
-        let s = sum.(slot) in
-        let t = s +. x in
-        comp.(slot) <-
-          comp.(slot)
-          +. (if Float.abs s >= Float.abs x then (s -. t) +. x
-              else (x -. t) +. s);
-        sum.(slot) <- t
+        kadd_slot sum comp slot (getf row)
       end
   | DMinMaxI { count; best; is_min } ->
     fun slot row ->
@@ -367,21 +374,12 @@ let dense_merge (a : dense) (b : dense) : unit =
         end)
       b.count
   | DSumF a, DSumF b ->
-    let add k x =
-      let s = a.sum.(k) in
-      let t = s +. x in
-      a.comp.(k) <-
-        a.comp.(k)
-        +. (if Float.abs s >= Float.abs x then (s -. t) +. x
-            else (x -. t) +. s);
-      a.sum.(k) <- t
-    in
     Array.iteri
       (fun k c ->
         if c > 0 then begin
           a.count.(k) <- a.count.(k) + c;
-          add k b.sum.(k);
-          add k b.comp.(k)
+          kadd_slot a.sum a.comp k b.sum.(k);
+          kadd_slot a.sum a.comp k b.comp.(k)
         end)
       b.count
   | DMinMaxI a, DMinMaxI b ->

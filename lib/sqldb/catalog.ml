@@ -27,6 +27,14 @@ type t = {
 let create () : t = { tables = Hashtbl.create 16; version = 0; stats_epoch = 0 }
 
 let add ?(cons = no_constraints) ?threads t name rel =
+  (* Base tables move to bigarray backing at ingest (unless disabled), so
+     every downstream scan runs over contiguous unboxed memory. Stats and
+     zone maps are computed after the move: they attach to the physical
+     data array ({!zones_for}), which must be the one the executors see. *)
+  let rel =
+    if Column.bigarray_enabled () then Relation.to_bigarray ?threads rel
+    else rel
+  in
   let unique =
     Array.map
       (fun nm -> cons.primary_key = [ nm ] || List.mem [ nm ] cons.unique)

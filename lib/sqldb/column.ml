@@ -6,9 +6,25 @@
     copy only codes, predicates can be evaluated once per distinct value,
     and sorting compares precomputed lexicographic ranks instead of
     strings. Both layouts carry [ty = TString], so the logical schema is
-    unaffected by the encoding choice. *)
+    unaffected by the encoding choice.
+
+    Numeric payloads additionally come in two physical backings: plain
+    OCaml arrays ([I]/[F], and [D] codes) and [Bigarray.Array1] vectors
+    ([BI]/[BF]/[BD]) — contiguous, unboxed, off-heap C-layout memory that
+    the fused kernels ({!Kernel}) stream over without GC-visited headers
+    between elements. Ints use the [Bigarray.int] kind rather than
+    [int64_elt]: the cells are the same 8-byte words, but reads yield
+    immediate OCaml ints whereas [int64_elt] would box every element and
+    lose the point of the exercise. Base tables are converted to the
+    bigarray backing at catalog ingest ({!Catalog.add}); small
+    intermediates stay on the GC heap where allocation is cheaper.
+    [PYTOND_BIGARRAY=0] disables the conversion and keeps legacy arrays
+    everywhere. *)
 
 open Value
+
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type fvec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (* A per-column string dictionary, shared by reference across gathers. *)
 type dict = {
@@ -23,8 +39,64 @@ type data =
   | S of string array
   | B of bool array
   | D of int array * dict (* dictionary-encoded TString *)
+  | BI of ivec (* bigarray TInt / TDate *)
+  | BF of fvec (* bigarray TFloat *)
+  | BD of ivec * dict (* bigarray dictionary codes *)
 
 type t = { ty : ty; data : data; nulls : Bitset.t option }
+
+(* ------------------------------------------------------------------ *)
+(* Bigarray backing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let use_bigarray = ref true
+let set_bigarray b = use_bigarray := b
+let bigarray_enabled () = !use_bigarray
+
+let configure_from_env () =
+  match Sys.getenv_opt "PYTOND_BIGARRAY" with
+  | Some ("0" | "false" | "off") -> use_bigarray := false
+  | Some _ | None -> use_bigarray := true
+
+let () = configure_from_env ()
+
+let ivec_create n : ivec = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let fvec_create n : fvec = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let ivec_of_array (a : int array) : ivec =
+  let v = ivec_create (Array.length a) in
+  Array.iteri (fun i x -> Bigarray.Array1.unsafe_set v i x) a;
+  v
+
+let fvec_of_array (a : float array) : fvec =
+  let v = fvec_create (Array.length a) in
+  Array.iteri (fun i x -> Bigarray.Array1.unsafe_set v i x) a;
+  v
+
+let ivec_to_array (v : ivec) : int array =
+  Array.init (Bigarray.Array1.dim v) (Bigarray.Array1.unsafe_get v)
+
+let fvec_to_array (v : fvec) : float array =
+  Array.init (Bigarray.Array1.dim v) (Bigarray.Array1.unsafe_get v)
+
+(* Convert one column to / from the bigarray backing. Payload bits are
+   identical either way, so stats, hashes and query results cannot depend
+   on which backing a column uses. *)
+let to_bigarray (c : t) : t =
+  match c.data with
+  | I a -> { c with data = BI (ivec_of_array a) }
+  | F a -> { c with data = BF (fvec_of_array a) }
+  | D (a, d) -> { c with data = BD (ivec_of_array a, d) }
+  | S _ | B _ | BI _ | BF _ | BD _ -> c
+
+let to_legacy (c : t) : t =
+  match c.data with
+  | BI v -> { c with data = I (ivec_to_array v) }
+  | BF v -> { c with data = F (fvec_to_array v) }
+  | BD (v, d) -> { c with data = D (ivec_to_array v, d) }
+  | I _ | F _ | S _ | B _ | D _ -> c
+
+let is_bigarray c = match c.data with BI _ | BF _ | BD _ -> true | _ -> false
 
 let make_dict (values : string array) : dict =
   let n = Array.length values in
@@ -70,6 +142,9 @@ let length c =
   | S a -> Array.length a
   | B a -> Array.length a
   | D (a, _) -> Array.length a
+  | BI v -> Bigarray.Array1.dim v
+  | BF v -> Bigarray.Array1.dim v
+  | BD (v, _) -> Bigarray.Array1.dim v
 
 let is_null c i =
   match c.nulls with None -> false | Some m -> Bitset.get m i
@@ -89,7 +164,44 @@ let of_coded (values : string array) (codes : int array) : t =
   if Array.length values = 0 then of_strings [||]
   else { ty = TString; data = D (codes, make_dict values); nulls = None }
 
-let is_dict c = match c.data with D _ -> true | _ -> false
+let is_dict c = match c.data with D _ | BD _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Unboxed closure accessors over both physical backings              *)
+(* ------------------------------------------------------------------ *)
+
+(* Row readers that skip boxing. [None] means the column is not of that
+   physical family; callers fall through to their generic path. These cost
+   one indirect call per row — fine in mid-tier loops, while the fused
+   kernels ({!Kernel}) match the backing directly for call-free loops. *)
+
+let int_reader c : (int -> int) option =
+  match c.data with
+  | I a -> Some (fun i -> Array.unsafe_get a i)
+  | BI v -> Some (fun i -> Bigarray.Array1.unsafe_get v i)
+  | _ -> None
+
+let float_reader c : (int -> float) option =
+  match c.data with
+  | F a -> Some (fun i -> Array.unsafe_get a i)
+  | BF v -> Some (fun i -> Bigarray.Array1.unsafe_get v i)
+  | _ -> None
+
+(* Any numeric column viewed as floats. *)
+let num_reader c : (int -> float) option =
+  match c.data with
+  | F a -> Some (fun i -> Array.unsafe_get a i)
+  | BF v -> Some (fun i -> Bigarray.Array1.unsafe_get v i)
+  | I a -> Some (fun i -> float_of_int (Array.unsafe_get a i))
+  | BI v -> Some (fun i -> float_of_int (Bigarray.Array1.unsafe_get v i))
+  | _ -> None
+
+(* Dictionary code reader plus the dictionary, for either backing. *)
+let codes_reader c : ((int -> int) * dict) option =
+  match c.data with
+  | D (a, d) -> Some ((fun i -> Array.unsafe_get a i), d)
+  | BD (v, d) -> Some ((fun i -> Bigarray.Array1.unsafe_get v i), d)
+  | _ -> None
 
 (* Dictionary-encode a raw string column when the number of distinct values
    is at most [max_distinct]; null rows get code 0 and keep their null bit.
@@ -127,6 +239,11 @@ let decode (c : t) : t =
   match c.data with
   | D (codes, d) ->
     { c with data = S (Array.map (fun code -> d.values.(code)) codes) }
+  | BD (codes, d) ->
+    { c with
+      data =
+        S (Array.init (Bigarray.Array1.dim codes) (fun i ->
+               d.values.(Bigarray.Array1.unsafe_get codes i))) }
   | _ -> c
 
 let get c i =
@@ -139,34 +256,45 @@ let get c i =
     | _, S a -> VString a.(i)
     | _, B a -> VBool a.(i)
     | _, D (a, d) -> VString d.values.(a.(i))
+    | TDate, BI v -> VDate (Bigarray.Array1.get v i)
+    | _, BI v -> VInt (Bigarray.Array1.get v i)
+    | _, BF v -> VFloat (Bigarray.Array1.get v i)
+    | _, BD (v, d) -> VString d.values.(Bigarray.Array1.get v i)
 
 (* Raw accessors ignoring nulls; used in tight loops after null checks. *)
 let int_at c i =
   match c.data with
   | I a -> a.(i)
+  | BI v -> Bigarray.Array1.get v i
   | B a -> if a.(i) then 1 else 0
   | F a -> int_of_float a.(i)
-  | S _ | D _ -> invalid_arg "Column.int_at: string column"
+  | BF v -> int_of_float (Bigarray.Array1.get v i)
+  | S _ | D _ | BD _ -> invalid_arg "Column.int_at: string column"
 
 let float_at c i =
   match c.data with
   | F a -> a.(i)
+  | BF v -> Bigarray.Array1.get v i
   | I a -> float_of_int a.(i)
+  | BI v -> float_of_int (Bigarray.Array1.get v i)
   | B a -> if a.(i) then 1. else 0.
-  | S _ | D _ -> invalid_arg "Column.float_at: string column"
+  | S _ | D _ | BD _ -> invalid_arg "Column.float_at: string column"
 
 let string_at c i =
   match c.data with
   | S a -> a.(i)
   | D (a, d) -> d.values.(a.(i))
+  | BD (v, d) -> d.values.(Bigarray.Array1.get v i)
   | _ -> Value.to_string (get c i)
 
 let bool_at c i =
   match c.data with
   | B a -> a.(i)
   | I a -> a.(i) <> 0
+  | BI v -> Bigarray.Array1.get v i <> 0
   | F a -> a.(i) <> 0.
-  | S _ | D _ -> invalid_arg "Column.bool_at: string column"
+  | BF v -> Bigarray.Array1.get v i <> 0.
+  | S _ | D _ | BD _ -> invalid_arg "Column.bool_at: string column"
 
 (* Build a column of type [ty] from boxed values (nulls allowed). *)
 let of_values ty (vs : Value.t array) =
@@ -224,7 +352,9 @@ let of_values ty (vs : Value.t array) =
 
 (* Gather rows [idx] into a new column. [idx.(k) = -1] produces null, which
    outer joins use for unmatched rows. Dictionary columns gather only codes
-   and share the dictionary with the source. *)
+   and share the dictionary with the source. Bigarray sources scatter into
+   fresh bigarray outputs, so radix partitions of base tables keep the
+   unboxed backing for the join and group loops that re-scan them. *)
 let take c idx =
   let n = Array.length idx in
   let any_missing = Array.exists (fun i -> i < 0) idx in
@@ -244,6 +374,14 @@ let take c idx =
     end
     else None
   in
+  let gather_ivec (get : int -> int) =
+    let out = ivec_create n in
+    for k = 0 to n - 1 do
+      let i = Array.unsafe_get idx k in
+      Bigarray.Array1.unsafe_set out k (if i < 0 then 0 else get i)
+    done;
+    out
+  in
   let data =
     match c.data with
     | I a -> I (Array.map (fun i -> if i < 0 then 0 else a.(i)) idx)
@@ -251,6 +389,16 @@ let take c idx =
     | S a -> S (Array.map (fun i -> if i < 0 then "" else a.(i)) idx)
     | B a -> B (Array.map (fun i -> if i < 0 then false else a.(i)) idx)
     | D (a, d) -> D (Array.map (fun i -> if i < 0 then 0 else a.(i)) idx, d)
+    | BI v -> BI (gather_ivec (Bigarray.Array1.unsafe_get v))
+    | BF v ->
+      let out = fvec_create n in
+      for k = 0 to n - 1 do
+        let i = Array.unsafe_get idx k in
+        Bigarray.Array1.unsafe_set out k
+          (if i < 0 then 0. else Bigarray.Array1.unsafe_get v i)
+      done;
+      BF out
+    | BD (v, d) -> BD (gather_ivec (Bigarray.Array1.unsafe_get v), d)
   in
   { ty = c.ty; data; nulls }
 
@@ -265,11 +413,26 @@ let concat cs =
         (fun c ->
           match (first.data, c.data) with
           | I _, I _ | F _, F _ | S _, S _ | B _, B _ -> true
+          | BI _, BI _ | BF _, BF _ -> true
           | D (_, d1), D (_, d2) -> d1 == d2 (* shared dictionary only *)
-          | (I _ | F _ | S _ | B _ | D _), _ -> false)
+          | BD (_, d1), BD (_, d2) -> d1 == d2
+          | (I _ | F _ | S _ | B _ | D _ | BI _ | BF _ | BD _), _ -> false)
         cs
     in
     if no_nulls && same_shape then
+      let ivecs sel =
+        let total = List.fold_left (fun acc c -> acc + length c) 0 cs in
+        let out = ivec_create total in
+        let k = ref 0 in
+        List.iter
+          (fun c ->
+            let v = sel c in
+            let n = Bigarray.Array1.dim v in
+            Bigarray.Array1.blit v (Bigarray.Array1.sub out !k n);
+            k := !k + n)
+          cs;
+        out
+      in
       let data =
         match first.data with
         | I _ ->
@@ -303,6 +466,27 @@ let concat cs =
                     match c.data with D (a, _) -> a | _ -> assert false)
                   cs),
              d)
+        | BI _ ->
+          BI (ivecs (fun c ->
+                  match c.data with BI v -> v | _ -> assert false))
+        | BD (_, d) ->
+          BD (ivecs (fun c ->
+                  match c.data with BD (v, _) -> v | _ -> assert false),
+              d)
+        | BF _ ->
+          let total = List.fold_left (fun acc c -> acc + length c) 0 cs in
+          let out = fvec_create total in
+          let k = ref 0 in
+          List.iter
+            (fun c ->
+              match c.data with
+              | BF v ->
+                let n = Bigarray.Array1.dim v in
+                Bigarray.Array1.blit v (Bigarray.Array1.sub out !k n);
+                k := !k + n
+              | _ -> assert false)
+            cs;
+          BF out
       in
       { ty = first.ty; data; nulls = None }
     else begin

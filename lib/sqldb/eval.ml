@@ -256,6 +256,14 @@ let dict_row_pred (c : Column.t) (f : string -> bool) : (int -> bool) option =
       (match c.Column.nulls with
       | None -> fun row -> tbl.(codes.(row))
       | Some m -> fun row -> (not (Bitset.get m row)) && tbl.(codes.(row)))
+  | Column.BD (codes, d) ->
+    let tbl = Array.map f d.Column.values in
+    Some
+      (match c.Column.nulls with
+      | None -> fun row -> tbl.(Bigarray.Array1.get codes row)
+      | Some m ->
+        fun row ->
+          (not (Bitset.get m row)) && tbl.(Bigarray.Array1.get codes row))
   | _ -> None
 
 (* Same table, materialized as a full bool column (vectorized executor). *)
@@ -299,6 +307,15 @@ let dict_eq_pred (c : Column.t) (k : string) ~(negated : bool) :
       | None -> fun _ -> negated
     in
     Some (with_null_check c body)
+  | Column.BD (codes, d) ->
+    let body =
+      match Column.dict_find d k with
+      | Some code ->
+        if negated then fun row -> Bigarray.Array1.get codes row <> code
+        else fun row -> Bigarray.Array1.get codes row = code
+      | None -> fun _ -> negated
+    in
+    Some (with_null_check c body)
   | _ -> None
 
 (* A plain prefix pattern ('foo%', no other metacharacters) extracted from
@@ -315,35 +332,42 @@ let like_prefix (pattern : string) : string option =
    ranks. One string pass over the dictionary finds the run's bounds;
    each row is then a rank lookup and two integer compares — the strings
    themselves are never touched again. *)
+(* Lexicographic rank interval [lo, hi) of the values matching [prefix]. *)
+let prefix_rank_range (d : Column.dict) (prefix : string) : int * int =
+  let lp = String.length prefix in
+  let lo = ref 0 and hi = ref 0 in
+  Array.iter
+    (fun v ->
+      let lv = String.length v in
+      let cp = String.compare (String.sub v 0 (min lp lv)) prefix in
+      (* cp < 0 or a shorter string with an equal head: sorts before the
+         prefix run; cp = 0 with enough length: inside the run *)
+      if cp < 0 || (cp = 0 && lv < lp) then begin
+        incr lo;
+        incr hi
+      end
+      else if cp = 0 then incr hi)
+    d.Column.values;
+  (!lo, !hi)
+
 let dict_prefix_pred (c : Column.t) (prefix : string) ~(negated : bool) :
     (int -> bool) option =
-  match c.Column.data with
-  | Column.D (codes, d) ->
+  let make codes_at (d : Column.dict) =
     let rank = d.Column.rank in
-    let lp = String.length prefix in
-    let lo = ref 0 and hi = ref 0 in
-    Array.iter
-      (fun v ->
-        let lv = String.length v in
-        let cp = String.compare (String.sub v 0 (min lp lv)) prefix in
-        (* cp < 0 or a shorter string with an equal head: sorts before the
-           prefix run; cp = 0 with enough length: inside the run *)
-        if cp < 0 || (cp = 0 && lv < lp) then begin
-          incr lo;
-          incr hi
-        end
-        else if cp = 0 then incr hi)
-      d.Column.values;
-    let lo = !lo and hi = !hi in
+    let lo, hi = prefix_rank_range d prefix in
     let body =
       if negated then fun row ->
-        let r = rank.(codes.(row)) in
+        let r = rank.(codes_at row) in
         r < lo || r >= hi
       else fun row ->
-        let r = rank.(codes.(row)) in
+        let r = rank.(codes_at row) in
         r >= lo && r < hi
     in
     Some (with_null_check c body)
+  in
+  match c.Column.data with
+  | Column.D (codes, d) -> make (fun row -> codes.(row)) d
+  | Column.BD (codes, d) -> make (Bigarray.Array1.get codes) d
   | _ -> None
 
 (* Code-direct string predicate dispatch shared by both executors:
@@ -382,7 +406,7 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
     let c = cols.(i) in
     let test = cmp_test op in
     match (c.Column.data, lit) with
-    | Column.D _, VString k -> (
+    | (Column.D _ | Column.BD _), VString k -> (
       match dict_cmp_pred c op k test with
       | Some f -> f
       | None -> fallback e)
@@ -392,6 +416,13 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
     | Column.F a, VInt k ->
       let k = float_of_int k in
       fun row -> test (compare a.(row) k)
+    | Column.BI v, (VInt k | VDate k) ->
+      fun row -> test (compare (Bigarray.Array1.get v row) k)
+    | Column.BF v, VFloat k ->
+      fun row -> test (compare (Bigarray.Array1.get v row) k)
+    | Column.BF v, VInt k ->
+      let k = float_of_int k in
+      fun row -> test (compare (Bigarray.Array1.get v row) k)
     | Column.S a, VString k -> fun row -> test (String.compare a.(row) k)
     | _ -> fallback e)
   | PBin (((Sql_ast.Eq | Ne | Lt | Le | Gt | Ge) as op), PCol i, PCol j) -> (
@@ -416,7 +447,24 @@ let rec compile_pred (cols : Column.t array) (e : pexpr) : int -> bool =
     | Column.S x, Column.D (y, dy) ->
       let vy = dy.Column.values in
       fun row -> test (String.compare x.(row) vy.(y.(row)))
-    | _ -> fallback e)
+    | _ -> (
+      (* bigarray backings (and mixed bigarray/legacy pairs of one type)
+         dispatch through readers: same comparisons, one indirection *)
+      match (Column.int_reader ca, Column.int_reader cb) with
+      | Some gx, Some gy -> fun row -> test (Int.compare (gx row) (gy row))
+      | _ -> (
+        match (Column.float_reader ca, Column.float_reader cb) with
+        | Some gx, Some gy ->
+          fun row -> test (Float.compare (gx row) (gy row))
+        | _ -> (
+          match (Column.codes_reader ca, Column.codes_reader cb) with
+          | Some (gx, dx), Some (gy, dy) when dx == dy ->
+            let rank = dx.Column.rank in
+            fun row -> test (Int.compare rank.(gx row) rank.(gy row))
+          | Some (gx, dx), Some (gy, dy) ->
+            let rx, ry = Column.cross_ranks dx dy in
+            fun row -> test (Int.compare rx.(gx row) ry.(gy row))
+          | _ -> fallback e))))
   | PLike (PCol i, pattern, negated) -> (
     match dict_like_pred cols.(i) pattern ~negated with
     | Some f -> f
@@ -563,7 +611,44 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
         out.(i) <- f x.(i) (float_of_int y.(i))
       done;
       { Column.ty = TFloat; data = Column.F out; nulls }
-    | _ -> fallback (PBin (op, a, b))
+    | _ -> (
+      (* bigarray operands (and bigarray/legacy mixes) run the same typed
+         loops through readers; outputs are intermediates and stay on the
+         GC heap *)
+      match (Column.int_reader ca, Column.int_reader cb, op) with
+      | Some gx, Some gy, (Sql_ast.Add | Sub | Mul) ->
+        let f =
+          match op with
+          | Sql_ast.Add -> ( + )
+          | Sql_ast.Sub -> ( - )
+          | _ -> ( * )
+        in
+        let out = Array.make n 0 in
+        for i = 0 to n - 1 do
+          out.(i) <- f (gx i) (gy i)
+        done;
+        let ty =
+          match (ca.Column.ty, cb.Column.ty, op) with
+          | TDate, TInt, _ | TInt, TDate, Sql_ast.Add -> TDate
+          | _ -> TInt
+        in
+        { Column.ty; data = Column.I out; nulls }
+      | _ -> (
+        match (Column.num_reader ca, Column.num_reader cb) with
+        | Some gx, Some gy ->
+          let f =
+            match op with
+            | Sql_ast.Add -> ( +. )
+            | Sql_ast.Sub -> ( -. )
+            | Sql_ast.Mul -> ( *. )
+            | _ -> ( /. )
+          in
+          let out = Array.make n 0. in
+          for i = 0 to n - 1 do
+            out.(i) <- f (gx i) (gy i)
+          done;
+          { Column.ty = TFloat; data = Column.F out; nulls }
+        | _ -> fallback (PBin (op, a, b))))
   and cmp_cols op ca cb =
     let nulls = merged_nulls ca cb in
     let test = cmp_test op in
@@ -616,13 +701,37 @@ let eval_col (cols : Column.t array) ~(n : int) (e : pexpr) : Column.t =
       for i = 0 to n - 1 do
         out.(i) <- test (compare x.(i) (float_of_int y.(i)))
       done
-    | _ ->
-      for i = 0 to n - 1 do
-        out.(i) <-
-          (match apply_bin op (Column.get ca i) (Column.get cb i) with
-          | VBool b -> b
-          | _ -> false)
-      done);
+    | _ -> (
+      match (Column.int_reader ca, Column.int_reader cb) with
+      | Some gx, Some gy ->
+        for i = 0 to n - 1 do
+          out.(i) <- test (Int.compare (gx i) (gy i))
+        done
+      | _ -> (
+        match (Column.num_reader ca, Column.num_reader cb) with
+        | Some gx, Some gy ->
+          for i = 0 to n - 1 do
+            out.(i) <- test (Float.compare (gx i) (gy i))
+          done
+        | _ -> (
+          match (Column.codes_reader ca, Column.codes_reader cb) with
+          | Some (gx, dx), Some (gy, dy) when dx == dy ->
+            let rank = dx.Column.rank in
+            for i = 0 to n - 1 do
+              out.(i) <- test (Int.compare rank.(gx i) rank.(gy i))
+            done
+          | Some (gx, dx), Some (gy, dy) ->
+            let rx, ry = Column.cross_ranks dx dy in
+            for i = 0 to n - 1 do
+              out.(i) <- test (Int.compare rx.(gx i) ry.(gy i))
+            done
+          | _ ->
+            for i = 0 to n - 1 do
+              out.(i) <-
+                (match apply_bin op (Column.get ca i) (Column.get cb i) with
+                | VBool b -> b
+                | _ -> false)
+            done))));
     (* Null in either operand makes the comparison false. *)
     (match nulls with
     | None -> ()

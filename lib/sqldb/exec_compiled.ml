@@ -198,28 +198,9 @@ let seg_zone_test catalog (seg : segment) : (int -> bool) option =
     if Array.for_all Option.is_none zcols then None
     else Stats.zone_tests_with zcols preds
 
-(* Split [lo..hi] into maximal sub-ranges whose zone blocks may all match;
-   with no test the whole range survives. *)
-let alive_ranges (ztest : (int -> bool) option) lo hi : (int * int) list =
-  if lo > hi then []
-  else
-    match ztest with
-    | None -> [ (lo, hi) ]
-    | Some t ->
-      let bs = Stats.block_size in
-      let out = ref [] and cur = ref None in
-      for b = lo / bs to hi / bs do
-        let blo = max lo (b * bs) and bhi = min hi (((b + 1) * bs) - 1) in
-        if t b then
-          match !cur with
-          | Some (clo, chi) when chi + 1 = blo -> cur := Some (clo, bhi)
-          | Some r ->
-            out := r :: !out;
-            cur := Some (blo, bhi)
-          | None -> cur := Some (blo, bhi)
-      done;
-      (match !cur with Some r -> out := r :: !out | None -> ());
-      List.rev !out
+(* Split [lo..hi] into maximal sub-ranges whose zone blocks may all match
+   (moved to {!Stats.alive_ranges} so the fused kernels share it). *)
+let alive_ranges = Stats.alive_ranges
 
 (* Compose a further chunk operation onto a segment. *)
 let seg_then seg (f : chunk -> chunk option) : segment =
@@ -638,6 +619,18 @@ and stream ctx (p : plan) : Relation.t = materialize ctx p
 (* ------------------------------------------------------------------ *)
 
 and run_aggregate ctx (p : plan) sub groups specs : Relation.t =
+  (* fused kernel first: branch-free mask filtering with in-loop
+     accumulation over the base columns (see {!Kernel}); identical output
+     to the fold below, gated on plan shape and PYTOND_FUSE *)
+  match
+    Kernel.fused_aggregate ~threads:ctx.threads ~catalog:ctx.catalog
+      ~lookup:(fun name -> lookup ctx name)
+      p
+  with
+  | Some r -> r
+  | None -> run_aggregate_unfused ctx p sub groups specs
+
+and run_aggregate_unfused ctx (p : plan) sub groups specs : Relation.t =
   let specs_arr = Array.of_list specs in
   let has_distinct = List.exists (fun s -> s.distinct) specs in
   let seg = compile_segment ctx sub in

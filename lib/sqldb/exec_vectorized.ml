@@ -61,23 +61,40 @@ let collect_parts ?(threads = 1) parts =
   idx
 
 let filter_indices ~threads cols ~n pred =
-  if threads <= 1 || n < 4096 then Eval.eval_filter cols ~n pred
+  (* decide mask-kernel eligibility once; each worker still compiles its
+     own mask (fillers carry private scratch) *)
+  let kernel = n >= 4096 && Kernel.filter_supported cols pred in
+  let chunk_fallback start len =
+    (* evaluate predicate row-at-a-time per chunk; survivors go into
+       a chunk-local array (no per-row cons cells → no minor-GC churn
+       in the hot loop) *)
+    let test = Eval.compile_pred cols pred in
+    let out = Array.make (max 1 len) 0 and count = ref 0 in
+    for row = start to start + len - 1 do
+      if test row then begin
+        out.(!count) <- row;
+        incr count
+      end
+    done;
+    (out, !count)
+  in
+  let chunk start len =
+    if kernel then
+      match Kernel.filter_chunk cols pred ~start ~len with
+      | Some rc -> rc
+      | None -> chunk_fallback start len
+    else chunk_fallback start len
+  in
+  if threads <= 1 || n < 4096 then
+    if kernel then begin
+      let rows, count = chunk 0 n in
+      Array.sub rows 0 count
+    end
+    else Eval.eval_filter cols ~n pred
   else
     collect_parts ~threads
       (Parallel.map_chunks ~k:(Parallel.morsel_count ~threads n) ~threads n
-         (fun start len ->
-           (* evaluate predicate row-at-a-time per chunk; survivors go into
-              a chunk-local array (no per-row cons cells → no minor-GC churn
-              in the hot loop) *)
-           let test = Eval.compile_pred cols pred in
-           let out = Array.make (max 1 len) 0 and count = ref 0 in
-           for row = start to start + len - 1 do
-             if test row then begin
-               out.(!count) <- row;
-               incr count
-             end
-           done;
-           (out, !count)))
+         chunk)
 
 (* Zone-map scan skipping: when filtering a full base-table scan, consult
    the per-block min/max computed at ingest and evaluate the predicate only
@@ -107,7 +124,19 @@ let zone_filter ~threads catalog cols ~n pred : int array option =
                   ~k:(Parallel.morsel_count ~threads n)
                   ~threads nb
                   (fun bstart blen ->
-                    let test_row = Eval.compile_pred cols pred in
+                    (* mask kernel over alive blocks when every predicate
+                       leaf specializes; per-row closure otherwise *)
+                    let kfill = Kernel.mask_fill cols pred in
+                    let test_row =
+                      match kfill with
+                      | Some _ -> fun _ -> false
+                      | None -> Eval.compile_pred cols pred
+                    in
+                    let m =
+                      match kfill with
+                      | Some _ -> Bytes.create Kernel.stride
+                      | None -> Bytes.empty
+                    in
                     let cap =
                       max 1 (min (blen * bs) (n - (bstart * bs)))
                     in
@@ -116,12 +145,16 @@ let zone_filter ~threads catalog cols ~n pred : int array option =
                       if alive.(b) then begin
                         Guard.check ();
                         let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
-                        for row = lo to hi do
-                          if test_row row then begin
-                            out.(!count) <- row;
-                            incr count
-                          end
-                        done
+                        match kfill with
+                        | Some fill ->
+                          Kernel.fill_collect fill m ~lo ~hi out count
+                        | None ->
+                          for row = lo to hi do
+                            if test_row row then begin
+                              out.(!count) <- row;
+                              incr count
+                            end
+                          done
                       end
                     done;
                     (out, !count))))
@@ -158,14 +191,23 @@ let row_comparators (r : Relation.t) (keys : (int * bool) list) :
       let cmp =
         match c.Column.data with
         | Column.I a -> fun x y -> compare a.(x) a.(y)
-        | Column.F a -> fun x y -> compare a.(x) a.(y)
+        | Column.BI v ->
+          fun x y ->
+            compare (Bigarray.Array1.unsafe_get v x) (Bigarray.Array1.unsafe_get v y)
+        | Column.F a -> fun x y -> Float.compare a.(x) a.(y)
+        | Column.BF v ->
+          fun x y ->
+            Float.compare
+              (Bigarray.Array1.unsafe_get v x)
+              (Bigarray.Array1.unsafe_get v y)
         | Column.S a -> fun x y -> String.compare a.(x) a.(y)
         | Column.B a -> fun x y -> compare a.(x) a.(y)
-        | Column.D (a, d) ->
+        | Column.D _ | Column.BD _ ->
           (* Dictionary column: precomputed lexicographic rank replaces
              string comparison in the sort loop. *)
+          let codes, d = Option.get (Column.codes_reader c) in
           let rank = d.Column.rank in
-          fun x y -> compare rank.(a.(x)) rank.(a.(y))
+          fun x y -> compare rank.(codes x) rank.(codes y)
       in
       let cmp =
         if Column.has_nulls c then fun x y ->
@@ -823,6 +865,13 @@ and groups_dense ~n cols groups =
   | _ -> None
 
 and run_aggregate ctx (p : plan) sub groups specs =
+  (* Aggregate fusion stays compiled-executor-only: this engine's unfused
+     pipeline already runs column-at-a-time (typed eval_col loops plus the
+     mask kernels in filter_indices), so collapsing it into the fused
+     cascade only replaces one vectorized loop with another while
+     forfeiting the selection-vector reuse downstream operators rely on.
+     The filter-side kernels above are the vectorized engine's share of
+     the fused layer. *)
   let s = run_sel ctx sub in
   let n = srel_nrows s in
   let cols = relation_cols s.rel in

@@ -48,21 +48,24 @@ let mixed_radix ~cross_chunk (cs : Column.t list) :
       | Some m -> fun row -> if Bitset.get m row then 0 else f row
     in
     match c.Column.data with
-    | Column.D (a, d) ->
-      Some (nullable (fun row -> a.(row) + 1), Column.dict_size d + 1)
+    | Column.D _ | Column.BD _ ->
+      let codes, d = Option.get (Column.codes_reader c) in
+      Some (nullable (fun row -> codes row + 1), Column.dict_size d + 1)
     | Column.B a ->
       Some (nullable (fun row -> if a.(row) then 2 else 1), 3)
-    | Column.I a when not cross_chunk ->
-      let n = Array.length a in
+    | (Column.I _ | Column.BI _) when not cross_chunk ->
+      let get = Option.get (Column.int_reader c) in
+      let n = Column.length c in
       if n = 0 then Some ((fun _ -> 0), 2)
       else begin
-        let lo = ref a.(0) and hi = ref a.(0) in
+        let lo = ref (get 0) and hi = ref (get 0) in
         for i = 1 to n - 1 do
-          if a.(i) < !lo then lo := a.(i);
-          if a.(i) > !hi then hi := a.(i)
+          let x = get i in
+          if x < !lo then lo := x;
+          if x > !hi then hi := x
         done;
         let lo = !lo in
-        Some (nullable (fun row -> a.(row) - lo + 1), !hi - lo + 2)
+        Some (nullable (fun row -> get row - lo + 1), !hi - lo + 2)
       end
     | _ -> None
   in
@@ -117,34 +120,28 @@ let key_fn ?(local = false) ?(cross_chunk = false) ~(null_as_key : bool)
   match idxs with
   | [ i ] -> (
     let c = cols.(i) in
-    match (c.Column.data, c.Column.nulls) with
-    | Column.I a, None -> fun row -> Some (KInt a.(row))
-    | Column.S a, None -> fun row -> Some (KStr a.(row))
-    | Column.D (a, _), None when local -> fun row -> Some (KInt a.(row))
-    | Column.D (a, d), None ->
+    (* lift a non-null key extractor over the column's null mask *)
+    let with_nulls (f : int -> key) : int -> key option =
+      match c.Column.nulls with
+      | None -> fun row -> Some (f row)
+      | Some m ->
+        fun row ->
+          if Bitset.get m row then
+            if null_as_key then Some (KStr "\x00N") else None
+          else Some (f row)
+    in
+    match c.Column.data with
+    | Column.I _ | Column.BI _ ->
+      let get = Option.get (Column.int_reader c) in
+      with_nulls (fun row -> KInt (get row))
+    | Column.S a -> with_nulls (fun row -> KStr a.(row))
+    | (Column.D _ | Column.BD _) when local ->
+      let codes, _ = Option.get (Column.codes_reader c) in
+      with_nulls (fun row -> KInt (codes row))
+    | Column.D _ | Column.BD _ ->
+      let codes, d = Option.get (Column.codes_reader c) in
       let values = d.Column.values in
-      fun row -> Some (KStr values.(a.(row)))
-    | Column.I a, Some m ->
-      fun row ->
-        if Bitset.get m row then
-          if null_as_key then Some (KStr "\x00N") else None
-        else Some (KInt a.(row))
-    | Column.S a, Some m ->
-      fun row ->
-        if Bitset.get m row then
-          if null_as_key then Some (KStr "\x00N") else None
-        else Some (KStr a.(row))
-    | Column.D (a, _), Some m when local ->
-      fun row ->
-        if Bitset.get m row then
-          if null_as_key then Some (KStr "\x00N") else None
-        else Some (KInt a.(row))
-    | Column.D (a, d), Some m ->
-      let values = d.Column.values in
-      fun row ->
-        if Bitset.get m row then
-          if null_as_key then Some (KStr "\x00N") else None
-        else Some (KStr values.(a.(row)))
+      with_nulls (fun row -> KStr values.(codes row))
     | _ ->
       fun row ->
         let v = Column.get c row in
@@ -261,21 +258,20 @@ let build_table ?sel ~null_as_key (cols : Column.t array) (idxs : int list)
   in
   let int_col =
     match idxs with
-    | [ i ] -> (
-      match cols.(i).Column.data with
-      | Column.I a when not (null_as_key && Column.has_nulls cols.(i)) ->
-        Some (a, cols.(i).Column.nulls)
-      | _ -> None)
+    | [ i ] when not (null_as_key && Column.has_nulls cols.(i)) -> (
+      match Column.int_reader cols.(i) with
+      | Some get -> Some (get, cols.(i).Column.nulls)
+      | None -> None)
     | _ -> None
   in
   let bl = bloom_create n_log in
   match int_col with
-  | Some (a, nulls) ->
+  | Some (get, nulls) ->
     (* unboxed build: null rows can't be int keys, so they are skipped
        (valid because null_as_key is false whenever nulls are present) *)
     let tbl = Hashtbl.create (max 16 n_log) in
     let insert row =
-      let k = a.(row) in
+      let k = get row in
       bloom_add bl k;
       match Hashtbl.find_opt tbl k with
       | Some rows -> Hashtbl.replace tbl k (row :: rows)
@@ -314,13 +310,13 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
   match idxs with
   | [ i ] -> (
     let c = cols.(i) in
-    match (c.Column.data, t.impl) with
-    | Column.I a, TInt itbl -> (
+    match (Column.int_reader c, Column.codes_reader c, t.impl) with
+    | Some get, _, TInt itbl -> (
       let lookup =
         match t.bloom with
         | Some b ->
           fun row ->
-            let k = a.(row) in
+            let k = get row in
             if not (bloom_may b k) then []
             else (
               match Hashtbl.find_opt itbl k with
@@ -328,14 +324,14 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
               | None -> [])
         | None -> (
           fun row ->
-            match Hashtbl.find_opt itbl a.(row) with
+            match Hashtbl.find_opt itbl (get row) with
             | Some rows -> rows
             | None -> [])
       in
       match c.Column.nulls with
       | None -> lookup
       | Some m -> fun row -> if Bitset.get m row then [] else lookup row)
-    | Column.D (codes, d), _ -> (
+    | _, Some (codes, d), _ -> (
       let values = d.Column.values in
       let memo : int list option array = Array.make (Array.length values) None in
       let lookup code =
@@ -348,8 +344,8 @@ let probe_fn (t : table) (cols : Column.t array) (idxs : int list) :
           rows
       in
       match c.Column.nulls with
-      | None -> fun row -> lookup codes.(row)
-      | Some m -> fun row -> if Bitset.get m row then [] else lookup codes.(row))
+      | None -> fun row -> lookup (codes row)
+      | Some m -> fun row -> if Bitset.get m row then [] else lookup (codes row))
     | _ ->
       let kf = key_fn ~null_as_key:false cols idxs in
       fun row -> ( match kf row with None -> [] | Some k -> boxed_lookup k))
@@ -378,17 +374,20 @@ let row_hash (cols : Column.t array) (idxs : int list) : (int -> int) option =
       | Some m -> fun row -> if Bitset.get m row then -1 else f row
     in
     match c.Column.data with
-    | Column.I a -> Some (nullable (fun row -> bloom_mix a.(row) land max_int))
+    | Column.I _ | Column.BI _ ->
+      let get = Option.get (Column.int_reader c) in
+      Some (nullable (fun row -> bloom_mix (get row) land max_int))
     | Column.S a ->
       Some (nullable (fun row -> bloom_mix (Hashtbl.hash a.(row)) land max_int))
-    | Column.D (codes, d) ->
+    | Column.D _ | Column.BD _ ->
+      let codes, d = Option.get (Column.codes_reader c) in
       let hcode =
         Array.map
           (fun s -> bloom_mix (Hashtbl.hash s) land max_int)
           d.Column.values
       in
-      Some (nullable (fun row -> hcode.(codes.(row))))
-    | Column.B _ | Column.F _ -> None
+      Some (nullable (fun row -> hcode.(codes row)))
+    | Column.B _ | Column.F _ | Column.BF _ -> None
   in
   match idxs with
   | [] -> None
@@ -431,15 +430,18 @@ let scan_test (t : table) (c : Column.t) : (int -> bool) option =
       | Some m -> fun row -> (not (Bitset.get m row)) && test row
     in
     (match c.Column.data with
-    | Column.I a -> Some (not_null (fun row -> bloom_may b a.(row)))
-    | Column.D (codes, d) ->
+    | Column.I _ | Column.BI _ ->
+      let get = Option.get (Column.int_reader c) in
+      Some (not_null (fun row -> bloom_may b (get row)))
+    | Column.D _ | Column.BD _ ->
       (* tri-state per-code memo: -1 unknown, 0 fail, 1 may-match; races
          between domains rewrite the same immediate value, which is safe *)
+      let codes, d = Option.get (Column.codes_reader c) in
       let values = d.Column.values in
       let memo = Array.make (Array.length values) (-1) in
       Some
         (not_null (fun row ->
-             let code = codes.(row) in
+             let code = codes row in
              match memo.(code) with
              | -1 ->
                let r = bloom_may b (bloom_hash_key (KStr values.(code))) in
@@ -448,4 +450,4 @@ let scan_test (t : table) (c : Column.t) : (int -> bool) option =
              | v -> v = 1))
     | Column.S a ->
       Some (not_null (fun row -> bloom_may b (bloom_hash_key (KStr a.(row)))))
-    | Column.B _ | Column.F _ -> None)
+    | Column.B _ | Column.F _ | Column.BF _ -> None)

@@ -177,6 +177,26 @@ let rec map_cols f = function
   | PIsNull (a, n) -> PIsNull (map_cols f a, n)
   | PCast (a, ty) -> PCast (map_cols f a, ty)
 
+(* Substitute [reps.(i)] for every [PCol i]: inlines an expression through a
+   projection, rewriting it onto the projection's input schema. The fused
+   kernel decomposer uses this to push aggregate arguments and filter
+   predicates back down onto the base-table columns. *)
+let rec subst_cols (reps : pexpr array) = function
+  | PCol i -> reps.(i)
+  | PLit v -> PLit v
+  | PBin (op, a, b) -> PBin (op, subst_cols reps a, subst_cols reps b)
+  | PNeg a -> PNeg (subst_cols reps a)
+  | PNot a -> PNot (subst_cols reps a)
+  | PCase (whens, els) ->
+    PCase
+      ( List.map (fun (c, v) -> (subst_cols reps c, subst_cols reps v)) whens,
+        Option.map (subst_cols reps) els )
+  | PFunc (fn, args) -> PFunc (fn, List.map (subst_cols reps) args)
+  | PLike (a, p, n) -> PLike (subst_cols reps a, p, n)
+  | PInList (a, items, n) -> PInList (subst_cols reps a, items, n)
+  | PIsNull (a, n) -> PIsNull (subst_cols reps a, n)
+  | PCast (a, ty) -> PCast (subst_cols reps a, ty)
+
 (* Shift all column references by [k] (used when moving an expression onto a
    concatenated schema). *)
 let rec shift_cols k = function

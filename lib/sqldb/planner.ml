@@ -1376,3 +1376,39 @@ let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
       main = push_filters bq.main }
   in
   Prune.prune_query bq
+
+(* ------------------------------------------------------------------ *)
+(* Fusion gating                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shape gate for the fused scan→filter→aggregate kernels ({!Kernel}): the
+   aggregate's input must be a chain of Filters and arithmetic Projects
+   over a single base-table Scan — no join, breaker, window or limit in
+   between — and no DISTINCT aggregate (distinct needs per-row identity,
+   not mergeable masked partials). The kernel re-checks the fine-grained
+   conditions (supported aggregate argument shapes, group columns that
+   substitute back to plain base columns); this structural predicate is the
+   cheap planner-level agreement between the two executors on *which*
+   pipelines are fusion candidates. *)
+let fusible_agg (p : plan) : bool =
+  let rec arith = function
+    | PCol _ | PLit _ -> true
+    | PBin ((Sql_ast.Add | Sql_ast.Sub | Sql_ast.Mul | Sql_ast.Div), a, b) ->
+      arith a && arith b
+    | _ -> false
+  in
+  let rec chain (q : plan) =
+    match q.node with
+    | Scan _ -> true
+    | Filter (sub, _) -> chain sub
+    | Project (sub, items) ->
+      (* pure column-selects always peel; computed projections must be
+         arithmetic so aggregate arguments substitute into supported
+         numeric expressions *)
+      List.for_all (fun (e, _) -> arith e) items && chain sub
+    | _ -> false
+  in
+  match p.node with
+  | Aggregate (sub, _, specs) ->
+    List.for_all (fun s -> not s.distinct) specs && chain sub
+  | _ -> false

@@ -118,6 +118,9 @@ let partition ~threads ~nparts ~(hash : int -> int) ~(base : int -> int)
            Faults.slow_point ~site:"radix.scatter";
            let hist = Array.make nparts 0 in
            for pos = start to start + len - 1 do
+             (* single-thread chunks can span the whole input: keep the
+                deadline checkpoint at stride granularity regardless *)
+             if (pos - start) land 8191 = 0 then Guard.check ();
              let h = hash (base pos) in
              if h >= 0 then begin
                let p = h land mask in
@@ -152,6 +155,7 @@ let partition ~threads ~nparts ~(hash : int -> int) ~(base : int -> int)
            region with the same values *)
         let cur = Array.copy off in
         for pos = start to start + len - 1 do
+          if (pos - start) land 8191 = 0 then Guard.check ();
           let p = Char.code (Bytes.unsafe_get pid pos) in
           if p <> 255 then begin
             out.(p).(cur.(p)) <- base pos;

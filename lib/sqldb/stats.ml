@@ -118,7 +118,8 @@ let stats_of_col ~unique (c : Column.t) : col_stats =
     if unique then float_of_int (max 1 live)
     else
       match c.Column.data with
-      | Column.D (_, d) -> float_of_int (max 1 (Column.dict_size d))
+      | Column.D (_, d) | Column.BD (_, d) ->
+        float_of_int (max 1 (Column.dict_size d))
       | Column.B _ -> 2.
       | Column.I a ->
         distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
@@ -126,12 +127,19 @@ let stats_of_col ~unique (c : Column.t) : col_stats =
         distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
       | Column.S a ->
         distinct_estimate (fun i -> if is_null i then None else Some a.(i)) n
+      | Column.BI v ->
+        distinct_estimate
+          (fun i -> if is_null i then None else Some (Bigarray.Array1.get v i))
+          n
+      | Column.BF v ->
+        distinct_estimate
+          (fun i -> if is_null i then None else Some (Bigarray.Array1.get v i))
+          n
   in
   let range =
-    match c.Column.data with
-    | Column.I a -> numeric_range (fun i -> float_of_int a.(i))
-    | Column.F a -> numeric_range (fun i -> a.(i))
-    | Column.B _ | Column.S _ | Column.D _ -> None
+    match Column.num_reader c with
+    | Some get when c.Column.ty <> TBool -> numeric_range get
+    | _ -> None
   in
   let str_range =
     let fold_str get =
@@ -151,7 +159,7 @@ let stats_of_col ~unique (c : Column.t) : col_stats =
     in
     match c.Column.data with
     | Column.S a -> fold_str (fun i -> a.(i))
-    | Column.D (_, d) ->
+    | Column.D (_, d) | Column.BD (_, d) ->
       (* every dictionary entry occurs in the column, so the value-array
          extremes are the column extremes *)
       let vs = d.Column.values in
@@ -196,10 +204,9 @@ let zones_of_col (c : Column.t) : zone array option =
     done;
     Some zs
   in
-  match c.Column.data with
-  | Column.I a -> build (fun i -> float_of_int a.(i))
-  | Column.F a -> build (fun i -> a.(i))
-  | Column.B _ | Column.S _ | Column.D _ -> None
+  match Column.num_reader c with
+  | Some get when c.Column.ty <> TBool -> build get
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Table entry point                                                  *)
@@ -225,11 +232,14 @@ let compute ?unique ?(threads = 1) (rel : Relation.t) : table_stats =
     zones = Array.map snd per_col }
 
 (* Physical identity of a column's backing array: zone maps attach to the
-   array, not the Column.t wrapper, so they survive re-wrapping. *)
+   array, not the Column.t wrapper, so they survive re-wrapping. Bigarray
+   payloads are custom blocks and compare by the same physical identity. *)
 let data_key (c : Column.t) : Obj.t option =
   match c.Column.data with
   | Column.I a -> Some (Obj.repr a)
   | Column.F a -> Some (Obj.repr a)
+  | Column.BI v -> Some (Obj.repr v)
+  | Column.BF v -> Some (Obj.repr v)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -331,3 +341,29 @@ let range_may_match (test : int -> bool) ~lo ~hi =
   let b1 = hi / block_size in
   let rec go b = b <= b1 && (test b || go (b + 1)) in
   go (lo / block_size)
+
+(* Split [lo..hi] (inclusive) into maximal sub-ranges whose zone blocks may
+   all match; with no test the whole range survives. Shared by the compiled
+   executor's fused aggregate loops and the {!Kernel} fused scans — both
+   walk only the surviving ranges, so zone-dead blocks never render a
+   mask. *)
+let alive_ranges (ztest : (int -> bool) option) lo hi : (int * int) list =
+  if lo > hi then []
+  else
+    match ztest with
+    | None -> [ (lo, hi) ]
+    | Some t ->
+      let bs = block_size in
+      let out = ref [] and cur = ref None in
+      for b = lo / bs to hi / bs do
+        let blo = max lo (b * bs) and bhi = min hi (((b + 1) * bs) - 1) in
+        if t b then
+          match !cur with
+          | Some (clo, chi) when chi + 1 = blo -> cur := Some (clo, bhi)
+          | Some r ->
+            out := r :: !out;
+            cur := Some (blo, bhi)
+          | None -> cur := Some (blo, bhi)
+      done;
+      (match !cur with Some r -> out := r :: !out | None -> ());
+      List.rev !out

@@ -105,6 +105,65 @@ let column_props =
              (fun i -> Column.int_at t i = arr.(n - 1 - i))
              (Array.init n Fun.id))) ]
 
+(* Bigarray-backed columns must be indistinguishable from the legacy
+   boxed-array layout: same values, same nulls, through ingest, gather
+   (take) and concat, for every promotable type. *)
+let bigarray_tests =
+  let values_of c = Array.init (Column.length c) (Column.get c) in
+  let mixed_floats n =
+    Array.init n (fun i ->
+        if i mod 7 = 0 then Value.VNull
+        else Value.VFloat (float_of_int (i - (n / 2)) /. 3.))
+  in
+  [ tc "round trip vs legacy" (fun () ->
+        let n = 300 in
+        List.iter
+          (fun (name, ty, vals) ->
+            let legacy = Column.of_values ty vals in
+            let big = Column.to_bigarray legacy in
+            Alcotest.(check bool) (name ^ " promoted") true
+              (Column.is_bigarray big);
+            Alcotest.(check bool)
+              (name ^ " values survive") true
+              (values_of big = vals && values_of legacy = vals);
+            (* gather through a reversing permutation with injected nulls *)
+            let idx =
+              Array.init n (fun i -> if i mod 11 = 3 then -1 else n - 1 - i)
+            in
+            let gb = Column.take big idx and gl = Column.take legacy idx in
+            Alcotest.(check bool)
+              (name ^ " take keeps the unboxed backing") true
+              (Column.is_bigarray gb);
+            Alcotest.(check bool)
+              (name ^ " take agrees") true
+              (values_of gb = values_of gl);
+            (* scatter the gathered halves back together via concat *)
+            let cb = Column.concat [ gb; big ]
+            and cl = Column.concat [ gl; legacy ] in
+            Alcotest.(check bool)
+              (name ^ " concat agrees") true
+              (values_of cb = values_of cl))
+          [ ( "int",
+              Value.TInt,
+              Array.init n (fun i ->
+                  if i mod 5 = 0 then Value.VNull
+                  else Value.VInt ((i * 37 mod 211) - 100)) );
+            ("float", Value.TFloat, mixed_floats n);
+            ( "date",
+              Value.TDate,
+              Array.init n (fun i ->
+                  if i mod 9 = 0 then Value.VNull else Value.VDate (i * 3)) ) ]);
+    tc "to_bigarray/to_legacy preserve" (fun () ->
+        let vals = mixed_floats 64 in
+        let c = Column.of_values Value.TFloat vals in
+        let b = Column.to_bigarray c in
+        let l = Column.to_legacy b in
+        Alcotest.(check bool) "bigarray form" true (Column.is_bigarray b);
+        Alcotest.(check bool) "legacy form" false (Column.is_bigarray l);
+        Alcotest.(check bool)
+          "values stable" true
+          (values_of b = vals && values_of l = vals)) ]
+
 let relation_tests =
   [ tc "schema & canonical" (fun () ->
         let r =
@@ -137,5 +196,6 @@ let suites =
   [ ("dates", date_tests @ date_props);
     ("bitset", bitset_tests @ bitset_props);
     ("column", column_tests @ column_props);
+    ("bigarray", bigarray_tests);
     ("relation", relation_tests);
     ("like", like_props) ]
