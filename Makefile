@@ -5,7 +5,7 @@ SMOKE_SF ?= 0.005
 BENCH_SF ?= 0.05
 SF01 ?= 0.1
 
-.PHONY: all build test bench-smoke bench-compare bench-sf01 bench-fused check clean
+.PHONY: all build test server-soak bench-smoke bench-compare bench-sf01 bench-fused check clean
 
 all: build
 
@@ -14,6 +14,15 @@ build:
 
 test: build
 	$(DUNE) runtest
+
+# Service-layer suites under forced fault injection: the concurrent soak
+# (client domains + interleaved ingest against the multi-tenant server),
+# admission/retry/breaker units, and the per-table cache-invalidation
+# tests. `dune runtest` already runs these with whatever PYTOND_FAULTS the
+# environment carries; this leg pins faults on so every `make check` also
+# exercises the recovery paths.
+server-soak: build
+	PYTOND_FAULTS=11 $(DUNE) exec test/test_main.exe -- test server
 
 # Quick end-to-end benchmark pass at a tiny scale factor: exercises the
 # dictionary-vs-raw toggle, the query-cache and zone-map experiments and
@@ -25,7 +34,7 @@ test: build
 # the committed baseline is never clobbered by tiny-SF numbers.
 bench-smoke: build
 	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
-	  $(DUNE) exec bench/main.exe -- dict cache scan --json-out BENCH_smoke.json
+	  $(DUNE) exec bench/main.exe -- dict cache scan mixed --json-out BENCH_smoke.json
 
 # Full-scale regression gate: re-measure at the baseline's scale factor and
 # fail on any variant >10% slower (tolerance via PYTOND_COMPARE_TOL).
@@ -55,7 +64,7 @@ bench-fused: build
 	PYTOND_SF=$(SF01) PYTOND_RUNS=1 PYTOND_WARMUP=1 PYTOND_COMPARE_TOL=0.35 \
 	  $(DUNE) exec bench/main.exe -- fused --compare BENCH_sf01.json --json-out BENCH_sf01_run.json
 
-check: build test bench-smoke
+check: build test server-soak bench-smoke
 
 clean:
 	$(DUNE) clean

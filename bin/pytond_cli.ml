@@ -46,13 +46,14 @@ let read_source file query =
     prerr_endline "provide a .py file or --query qN";
     exit 1
 
-(* Pipeline failures exit 1 with a one-line typed diagnostic instead of a
-   backtrace. *)
+(* Pipeline failures exit with a one-line typed diagnostic instead of a
+   backtrace. Exit codes are stable: 1 fatal, 2 guard budget tripped,
+   3 service overloaded (see Errors.exit_code). *)
 let or_die f =
   try f ()
   with Pytond.Error e ->
     prerr_endline ("pytond: " ^ Pytond.Errors.to_string e);
-    exit 1
+    exit (Pytond.Errors.exit_code e)
 
 let dataset_arg =
   Arg.(value & opt string "tpch" & info [ "dataset" ] ~doc:"tpch or a workload name")

@@ -2,14 +2,21 @@
 
    Example: dune exec bin/tpch_cli.exe -- --sf 0.05 --backend hyper --threads 2 q1 q6
    A query that trips --timeout-ms is reported as a typed error line, and the
-   suite moves on to the next query. *)
+   suite moves on to the next query. The process exits with the worst typed
+   code seen across the suite: 0 ok, 2 budget trips only, 1 any fatal
+   failure or checksum mismatch (Errors.exit_code). *)
 
 open Cmdliner
 
 let run sf backend threads check explain timeout_ms queries =
   let db = Tpch.Dbgen.make_db sf in
   let queries = if queries = [] then List.map fst Tpch.Queries.all else queries in
-  let failed = ref false in
+  (* worst exit code: fatal (1) dominates budget (2) / overloaded (3),
+     which dominate success (0) *)
+  let worst = ref 0 in
+  let note code =
+    worst := (if code = 1 || !worst = 1 then 1 else max !worst code)
+  in
   List.iter
     (fun q ->
       let source =
@@ -32,7 +39,7 @@ let run sf backend threads check explain timeout_ms queries =
         Pytond.run ~backend ~threads ?timeout_ms ~db ~source ~fname:"query" ()
       with
       | exception Pytond.Error e ->
-        failed := true;
+        note (Pytond.Errors.exit_code e);
         Printf.printf "%-4s FAILED  %8.3fs  %s\n%!" q
           (Unix.gettimeofday () -. t0)
           (Pytond.Errors.to_string e)
@@ -47,7 +54,7 @@ let run sf backend threads check explain timeout_ms queries =
               = Sqldb.Relation.canonical ~digits:3 r
             then "  [check: OK]"
             else begin
-              failed := true;
+              note 1;
               "  [check: MISMATCH]"
             end
           end
@@ -55,7 +62,7 @@ let run sf backend threads check explain timeout_ms queries =
         Printf.printf "%-4s %6d rows  %8.3fs%s\n%!" q (Sqldb.Relation.n_rows r)
           dt status)
     queries;
-  if !failed then exit 1
+  if !worst <> 0 then exit !worst
 
 let () =
   let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"scale factor") in

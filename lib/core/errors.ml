@@ -86,6 +86,13 @@ let of_exn : exn -> t option = function
   | Sqldb.Db.Unsupported msg -> Some (make ~code:"backend" Exec msg)
   | Sqldb.Guard.Trip { reason; detail } ->
     Some (make ~code:(Sqldb.Guard.trip_name reason) Exec detail)
+  | Sqldb.Server.Overloaded { scope; retry_after_ms } ->
+    Some
+      (make ~code:"overloaded"
+         ~context:
+           [ ("scope", scope); ("retry_after_ms", string_of_int retry_after_ms) ]
+         Exec
+         (Printf.sprintf "admission rejected (%s at capacity)" scope))
   | Sqldb.Faults.Injected { kind; site } ->
     Some
       (make ~code:"fault"
@@ -121,3 +128,26 @@ let protect ~(stage : stage) (f : unit -> 'a) : ('a, t) result =
 (** Like {!protect} but re-raises as {!Error} instead of returning. *)
 let guard ~(stage : stage) (f : unit -> 'a) : 'a =
   match protect ~stage f with Ok v -> v | Result.Error e -> raise (Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Disposition / exit codes                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** What a caller should do about an error, coarser than [code]:
+    [Budget_exceeded] — the query tripped its own Guard limits (resubmit
+    with a bigger budget or a cheaper query); [Overloaded] — the service
+    shed the request at admission (retry after the hint); [Fatal] —
+    everything else (fix the query / pipeline). *)
+type disposition = Fatal | Budget_exceeded | Overloaded
+
+let disposition (e : t) : disposition =
+  match (e.stage, e.code) with
+  | Exec, ("timeout" | "row-budget" | "cancelled") -> Budget_exceeded
+  | Exec, "overloaded" -> Overloaded
+  | _ -> Fatal
+
+(** Stable process exit code per disposition, used by both CLIs and the
+    server binary: 1 fatal, 2 budget trip, 3 overloaded. Scripted drivers
+    key retry behaviour off these. *)
+let exit_code (e : t) : int =
+  match disposition e with Fatal -> 1 | Budget_exceeded -> 2 | Overloaded -> 3

@@ -1,12 +1,29 @@
 (** Database catalog: named base tables plus integrity constraints and
-    per-table statistics.
+    per-table statistics, organized as immutable snapshots.
 
     PyTond queries the catalog during translation for schema information and
     uniqueness facts that drive group/aggregate and self-join elimination.
     The planner additionally reads {!Stats.table_stats} (computed here at
     ingest) for cost estimation, and the executors resolve zone maps through
-    {!zones_for}. The [version] / [stats_epoch] counters tick on every
-    ingest and key the query cache in {!Db}. *)
+    {!zones_for}.
+
+    {b Snapshot isolation.} A catalog handle ([t]) points at an immutable
+    {!snapshot}: a persistent map of tables plus version counters. Ingest
+    ({!add}, {!append}) never mutates a snapshot — it builds a new one and
+    swings the handle's atomic pointer, so a reader that {!pin}ned the
+    catalog at query start sees one consistent set of tables for the whole
+    query no matter how many ingests land mid-flight. In-flight queries keep
+    old snapshots alive through their pinned handles; the GC reclaims a
+    superseded snapshot once the last reader drops it. Readers therefore
+    never block on writes and writes never block on reads.
+
+    Versioning: the snapshot-wide [version] ticks on every ingest, and each
+    table records the catalog version at which it was last written
+    ({!table_version}). The {!Db} query cache keys entries on the versions
+    of the tables a plan actually references, so an ingest into one table
+    no longer invalidates cached work on unrelated tables. *)
+
+module M = Map.Make (String)
 
 type constraints = {
   primary_key : string list; (* empty list = none *)
@@ -16,17 +33,30 @@ type constraints = {
 
 let no_constraints = { primary_key = []; unique = []; foreign_keys = [] }
 
-type table = { rel : Relation.t; cons : constraints; stats : Stats.table_stats }
-
-type t = {
-  tables : (string, table) Hashtbl.t;
-  mutable version : int; (* keys cached plans *)
-  mutable stats_epoch : int; (* gates cached results *)
+type table = {
+  rel : Relation.t;
+  cons : constraints;
+  stats : Stats.table_stats;
+  tver : int; (* catalog version at which this table was last written *)
 }
 
-let create () : t = { tables = Hashtbl.create 16; version = 0; stats_epoch = 0 }
+type snapshot = {
+  tables : table M.t;
+  version : int; (* ticks on every ingest; keys cached plans *)
+  stats_epoch : int; (* ticks with version; kept for observability *)
+}
 
-let add ?(cons = no_constraints) ?threads t name rel =
+type t = { snap : snapshot Atomic.t }
+
+let create () : t =
+  { snap = Atomic.make { tables = M.empty; version = 0; stats_epoch = 0 } }
+
+(** Freeze the catalog as seen right now: the returned handle resolves every
+    lookup against the current snapshot forever, regardless of later
+    ingests through the original handle. O(1) — no copying. *)
+let pin (t : t) : t = { snap = Atomic.make (Atomic.get t.snap) }
+
+let build_table ?(cons = no_constraints) ?threads ~tver rel =
   (* Base tables move to bigarray backing at ingest (unless disabled), so
      every downstream scan runs over contiguous unboxed memory. Stats and
      zone maps are computed after the move: they attach to the physical
@@ -41,35 +71,79 @@ let add ?(cons = no_constraints) ?threads t name rel =
       rel.Relation.names
   in
   let stats = Stats.compute ~unique ?threads rel in
-  t.version <- t.version + 1;
-  t.stats_epoch <- t.stats_epoch + 1;
-  Hashtbl.replace t.tables name { rel; cons; stats }
+  { rel; cons; stats; tver }
 
-let find_opt (t : t) name = Hashtbl.find_opt t.tables name
+(* Functional snapshot update + CAS swap. Writers are serialized by the Db
+   facade, but the CAS loop keeps the catalog itself safe under concurrent
+   ingest from independent callers. *)
+let swap_in (t : t) (f : snapshot -> int -> table M.t) : unit =
+  let rec go () =
+    let s = Atomic.get t.snap in
+    let version = s.version + 1 in
+    let s' =
+      { tables = f s version; version; stats_epoch = s.stats_epoch + 1 }
+    in
+    if not (Atomic.compare_and_set t.snap s s') then go ()
+  in
+  go ()
+
+let add ?cons ?threads t name rel =
+  swap_in t (fun s version ->
+      M.add name (build_table ?cons ?threads ~tver:version rel) s.tables)
+
+let snapshot_of t = Atomic.get t.snap
+
+let find_opt (t : t) name = M.find_opt name (snapshot_of t).tables
 
 let find t name =
   match find_opt t name with
   | Some tbl -> tbl
   | None -> invalid_arg ("Catalog.find: no table " ^ name)
 
+(** Schema-preserving append: replace [name] with the concatenation of its
+    current rows and [rel] (same schema, raw values), rebuilding stats and
+    zone maps for the new version. Constraints carry over. Readers pinned
+    on the previous snapshot keep seeing the pre-append table. *)
+let append ?threads t name rel =
+  let cur = find t name in
+  (* Normalize both sides to plain decoded storage before concatenating:
+     the resident table is dict-encoded / bigarray-promoted and the batch
+     usually is not, and the two dictionaries need not agree. The merged
+     relation then goes through the standard ingest promotion. *)
+  let plain r = Relation.decode_strings (Relation.to_legacy r) in
+  let merged = Relation.concat [ plain cur.rel; plain rel ] in
+  let merged =
+    if Relation.n_cols merged > 0 then Relation.encode_strings merged
+    else merged
+  in
+  swap_in t (fun s version ->
+      M.add name
+        (build_table ~cons:cur.cons ?threads ~tver:version merged)
+        s.tables)
+
 let relation t name = (find t name).rel
-let mem (t : t) name = Hashtbl.mem t.tables name
-let names (t : t) = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
-let version t = t.version
-let stats_epoch t = t.stats_epoch
+let mem (t : t) name = M.mem name (snapshot_of t).tables
+let names (t : t) = List.map fst (M.bindings (snapshot_of t).tables)
+let version t = (snapshot_of t).version
+let stats_epoch t = (snapshot_of t).stats_epoch
+
+(** The catalog version at which [name] was last written, or [None] if the
+    table does not exist. Cached plans/results depend on exactly the
+    versions of the tables they reference. *)
+let table_version t name = Option.map (fun tb -> tb.tver) (find_opt t name)
 
 let stats_opt t name = Option.map (fun tb -> tb.stats) (find_opt t name)
 
 (* Resolve the zone maps for [c] by physical identity of its data array:
    selection vectors and zero-copy projections hand the executors base-table
-   columns directly, so a linear sweep over the (small) catalog recovers the
-   block min/max computed at ingest. Gathered columns are backed by fresh
-   arrays and correctly resolve to nothing. *)
+   columns directly, so a linear sweep over the (small) snapshot recovers
+   the block min/max computed at ingest. Gathered columns are backed by
+   fresh arrays and correctly resolve to nothing. *)
 let zones_for (t : t) (c : Column.t) : Stats.zone array option =
   match Stats.data_key c with
   | None -> None
   | Some k ->
-    Hashtbl.fold
+    M.fold
       (fun _ tb acc ->
         match acc with
         | Some _ -> acc
@@ -83,7 +157,7 @@ let zones_for (t : t) (c : Column.t) : Stats.zone array option =
               | _ -> go (i + 1)
           in
           go 0)
-      t.tables None
+      (snapshot_of t).tables None
 
 (* Is [cols] (or a subset of it) known unique in [name]?  Grouping by a
    superset of a unique key yields singleton groups. *)

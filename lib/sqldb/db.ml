@@ -6,11 +6,23 @@
     - [Lingo] — the compiled engine with window functions disabled,
       reproducing LingoDB's missing [row_number] support (paper §V-A).
 
-    Repeated queries hit a bounded LRU cache keyed by normalized SQL text,
-    backend and thread count: plans are reused while the catalog version is
-    unchanged, full results while the statistics epoch is unchanged (both
-    tick on every ingest, which also clears the cache outright). The cache
-    is disabled under fault injection and via [PYTOND_CACHE=0]. *)
+    {b Snapshot isolation.} Every execution pins the catalog
+    ({!Catalog.pin}) before planning, so the whole query — plan, zone-map
+    resolution, scans — sees one immutable snapshot even while concurrent
+    ingests swap new versions in. {!load_table} replaces a table;
+    {!append_table} is the schema-preserving write path. Readers never
+    block on writes.
+
+    {b Caching.} Repeated queries hit a bounded LRU cache keyed by
+    normalized SQL text, backend and thread count. Each entry records the
+    per-table versions of exactly the base tables its plan scans: an ingest
+    into table T invalidates only the entries referencing T. Appends keep
+    the bound plan (schema is preserved; only the result is re-executed,
+    counted as a plan hit); replacing a table drops its entries outright
+    (schema may change). Cache state is mutex-protected — executions from
+    concurrent server workers share it safely, and entries can carry an
+    owner so a per-tenant quota bounds any one tenant's share. The cache is
+    disabled under fault injection and via [PYTOND_CACHE=0]. *)
 
 type backend = Vectorized | Compiled | Lingo
 
@@ -29,14 +41,18 @@ let cache_cap = 64
 
 type cache_entry = {
   bq : Plan.bound_query;
-  plan_version : int; (* catalog version the plan was bound against *)
-  mutable result : (int * Relation.t) option; (* stats epoch, rows *)
+  owner : string option; (* tenant the entry is charged to, if any *)
+  mutable deps : (string * int) list;
+      (* base tables the plan scans, with the table version each was read
+         at; the entry's result is valid iff every dep is unchanged *)
+  mutable result : Relation.t option;
   mutable tick : int; (* LRU clock *)
 }
 
 type t = {
   catalog : Catalog.t;
   cache : (string, cache_entry) Hashtbl.t;
+  lock : Mutex.t; (* guards cache + counters; never held during execution *)
   mutable clock : int;
   mutable hits : int; (* full result served *)
   mutable plan_hits : int; (* plan reused, execution re-run *)
@@ -58,14 +74,19 @@ let cache_enabled =
 let set_cache_enabled b = cache_enabled := b
 let cache_enabled_now () = !cache_enabled
 
-let cache_stats (t : t) : cache_stats =
-  { hits = t.hits;
-    plan_hits = t.plan_hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.cache }
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let clear_cache t = Hashtbl.reset t.cache
+let cache_stats (t : t) : cache_stats =
+  locked t (fun () ->
+      { hits = t.hits;
+        plan_hits = t.plan_hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.cache })
+
+let clear_cache t = locked t (fun () -> Hashtbl.reset t.cache)
 
 (* Collapse whitespace runs to a single space outside single-quoted string
    literals, so formatting differences don't defeat the cache. Identifier
@@ -95,22 +116,75 @@ let normalize_sql (s : string) : string =
 let cache_key backend threads sql =
   Printf.sprintf "%s|%d|%s" (backend_name backend) threads (normalize_sql sql)
 
-let evict_lru t =
-  if Hashtbl.length t.cache >= cache_cap then begin
-    let victim =
-      Hashtbl.fold
-        (fun k e acc ->
+(* Base tables a bound query scans: every Scan name that is not one of the
+   query's own CTEs. These are the entry's invalidation dependencies. *)
+let tables_of_bq (bq : Plan.bound_query) : string list =
+  let rec scans acc (p : Plan.plan) =
+    match p.Plan.node with
+    | Plan.Scan name -> name :: acc
+    | Plan.PValues _ -> acc
+    | Plan.Filter (s, _)
+    | Plan.Project (s, _)
+    | Plan.Aggregate (s, _, _)
+    | Plan.Sort (s, _)
+    | Plan.LimitN (s, _)
+    | Plan.Distinct s
+    | Plan.Window (s, _, _) -> scans acc s
+    | Plan.Join { left; right; _ } | Plan.SemiJoin { left; right; _ } ->
+      scans (scans acc left) right
+  in
+  let cte_names = List.map fst bq.Plan.ctes in
+  let all =
+    List.fold_left
+      (fun acc (_, p) -> scans acc p)
+      (scans [] bq.Plan.main) bq.Plan.ctes
+  in
+  List.sort_uniq String.compare
+    (List.filter (fun n -> not (List.mem n cte_names)) all)
+
+(* Version-stamp the plan's base tables against catalog handle [cat]. *)
+let deps_of cat (bq : Plan.bound_query) : (string * int) list =
+  List.filter_map
+    (fun n ->
+      Option.map (fun v -> (n, v)) (Catalog.table_version cat n))
+    (tables_of_bq bq)
+
+let deps_current cat deps =
+  List.for_all
+    (fun (n, v) -> Catalog.table_version cat n = Some v)
+    deps
+
+let evict_lru_where t pred =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        if not (pred e) then acc
+        else
           match acc with
           | Some (_, tick) when tick <= e.tick -> acc
           | _ -> Some (k, e.tick))
-        t.cache None
-    in
-    match victim with
-    | Some (k, _) ->
-      Hashtbl.remove t.cache k;
-      t.evictions <- t.evictions + 1
-    | None -> ()
-  end
+      t.cache None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.cache k;
+    t.evictions <- t.evictions + 1;
+    true
+  | None -> false
+
+(* Capacity + per-owner quota, applied before an insert (under lock). *)
+let make_room t ~owner ~cache_quota =
+  (match (owner, cache_quota) with
+  | Some o, Some quota ->
+    let owned e = e.owner = Some o in
+    let count () = Hashtbl.fold (fun _ e n -> if owned e then n + 1 else n) t.cache 0 in
+    while count () >= max 1 quota && evict_lru_where t owned do
+      ()
+    done
+  | _ -> ());
+  while Hashtbl.length t.cache >= cache_cap && evict_lru_where t (fun _ -> true) do
+    ()
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Facade                                                             *)
@@ -126,19 +200,46 @@ let dict_encoding_enabled () = !dict_encoding
 let create () =
   { catalog = Catalog.create ();
     cache = Hashtbl.create cache_cap;
+    lock = Mutex.create ();
     clock = 0;
     hits = 0;
     plan_hits = 0;
     misses = 0;
     evictions = 0 }
 
+(* Ingest invalidation. A replace may change the table's schema, so any
+   plan scanning it is dead: drop those entries. An append preserves the
+   schema and column positions, so the bound plan stays executable: keep
+   the entry, drop only its materialized result (the next lookup re-runs
+   the plan and re-stamps the deps — a plan hit, not a miss). Entries on
+   untouched tables survive both, by construction of [deps]. *)
+let invalidate_replaced t name =
+  let dead =
+    Hashtbl.fold
+      (fun k e acc -> if List.mem_assoc name e.deps then k :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) dead
+
+let invalidate_appended t name =
+  Hashtbl.iter
+    (fun _ e -> if List.mem_assoc name e.deps then e.result <- None)
+    t.cache
+
 let load_table ?cons ?threads t name rel =
   let rel = if !dict_encoding then Relation.encode_strings rel else rel in
-  Catalog.add ?cons ?threads t.catalog name rel;
-  (* ingest invalidates: cached plans may reference the changed table and
-     every cached result is stale (the version/epoch checks would catch
-     this lazily; dropping eagerly also frees the retained relations) *)
-  Hashtbl.reset t.cache
+  locked t (fun () ->
+      Catalog.add ?cons ?threads t.catalog name rel;
+      invalidate_replaced t name)
+
+(** Schema-preserving append: ingest [rel]'s rows into existing table
+    [name] as a new catalog snapshot (stats and zone maps rebuilt).
+    In-flight queries pinned on the previous snapshot are untouched; cached
+    entries scanning [name] keep their plans but drop their results. *)
+let append_table ?threads t name rel =
+  locked t (fun () ->
+      Catalog.append ?threads t.catalog name rel;
+      invalidate_appended t name)
 
 let catalog t = t.catalog
 
@@ -155,27 +256,48 @@ let rec plan_has_window (p : Plan.plan) =
   | Plan.Join { left; right; _ } | Plan.SemiJoin { left; right; _ } ->
     plan_has_window left || plan_has_window right
 
-let plan t (sql : string) : Plan.bound_query =
+let plan_on cat (sql : string) : Plan.bound_query =
   let ast = Sql_parse.parse sql in
-  Planner.plan_query t.catalog ast
+  Planner.plan_query cat ast
+
+let plan t (sql : string) : Plan.bound_query =
+  plan_on (Catalog.pin t.catalog) sql
+
+(** A frozen view of this database: the returned handle executes against
+    the catalog as of now (with its own private cache), unaffected by later
+    ingests through [t]. The soak tests use this to differentially check
+    concurrent results against serial execution on each snapshot. *)
+let snapshot t : t =
+  { catalog = Catalog.pin t.catalog;
+    cache = Hashtbl.create cache_cap;
+    lock = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    plan_hits = 0;
+    misses = 0;
+    evictions = 0 }
 
 (* PYTOND_TIMING=1 prints a parse/plan vs execute split to stderr. *)
 let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
 
 (** Execute [sql] on [backend]. [timeout_ms] / [row_budget] install a
     cooperative {!Guard} for the duration of the call; on expiry the query
-    unwinds with {!Guard.Trip}. Injected faults ({!Faults}) that escape
-    in-engine recovery are retried once with injection suppressed — a
-    detected storage fault is recovered by re-reading, never by returning a
-    partial or corrupt relation. *)
-let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
-    (sql : string) : Relation.t =
+    unwinds with {!Guard.Trip}. [owner] / [cache_quota] attribute any new
+    cache entry to a tenant and bound that tenant's cache share. Injected
+    faults ({!Faults}) that escape in-engine recovery are retried once with
+    injection suppressed — a detected storage fault is recovered by
+    re-reading, never by returning a partial or corrupt relation. *)
+let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
+    ?owner ?cache_quota t (sql : string) : Relation.t =
+  (* Pin once: planning, cache validation and execution all resolve against
+     this snapshot, so a concurrent ingest cannot tear the query. *)
+  let cat = Catalog.pin t.catalog in
   let exec bq () =
     let t1 = if timing then Unix.gettimeofday () else 0. in
     let r =
       match backend with
-      | Vectorized -> Exec_vectorized.run_query ~threads t.catalog bq
-      | Compiled -> Exec_compiled.run_query ~threads t.catalog bq
+      | Vectorized -> Exec_vectorized.run_query ~threads cat bq
+      | Compiled -> Exec_compiled.run_query ~threads cat bq
       | Lingo ->
         if
           plan_has_window bq.Plan.main
@@ -184,7 +306,7 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
           raise
             (Unsupported
                "lingodb-sim: window functions (row_number) not supported")
-        else Exec_compiled.run_query ~threads t.catalog bq
+        else Exec_compiled.run_query ~threads cat bq
     in
     if timing then
       Printf.eprintf "[timing] exec %.4fs\n%!" (Unix.gettimeofday () -. t1);
@@ -201,55 +323,72 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget t
   if not (!cache_enabled && not (Faults.armed ())) then
     guarded (fun () ->
         let t0 = if timing then Unix.gettimeofday () else 0. in
-        let bq = plan t sql in
+        let bq = plan_on cat sql in
         if timing then
           Printf.eprintf "[timing] plan %.4fs\n%!" (Unix.gettimeofday () -. t0);
         exec bq ())
   else begin
     let key = cache_key backend threads sql in
-    t.clock <- t.clock + 1;
-    let entry =
-      match Hashtbl.find_opt t.cache key with
-      | Some e when e.plan_version = Catalog.version t.catalog -> Some e
-      | Some _ ->
-        Hashtbl.remove t.cache key;
-        None
-      | None -> None
+    (* Lookup under lock; execution outside it (two racing misses both
+       execute — wasteful but correct, and the insert is last-wins). *)
+    let decision =
+      locked t (fun () ->
+          t.clock <- t.clock + 1;
+          match Hashtbl.find_opt t.cache key with
+          | Some e when deps_current cat e.deps -> (
+            e.tick <- t.clock;
+            match e.result with
+            | Some r ->
+              t.hits <- t.hits + 1;
+              `Full r
+            | None ->
+              t.plan_hits <- t.plan_hits + 1;
+              `Reexec e)
+          | Some e ->
+            (* stale deps with the entry still present: only appends have
+               happened to its tables (replaces drop entries eagerly), so
+               the plan is still bound to the right schema *)
+            e.tick <- t.clock;
+            t.plan_hits <- t.plan_hits + 1;
+            `Reexec e
+          | None ->
+            t.misses <- t.misses + 1;
+            `Miss)
     in
-    match entry with
-    | Some e -> (
-      e.tick <- t.clock;
-      match e.result with
-      | Some (epoch, r) when epoch = Catalog.stats_epoch t.catalog ->
-        t.hits <- t.hits + 1;
-        r
-      | _ ->
-        t.plan_hits <- t.plan_hits + 1;
-        let r = guarded (exec e.bq) in
-        e.result <- Some (Catalog.stats_epoch t.catalog, r);
-        r)
-    | None ->
-      t.misses <- t.misses + 1;
-      let bq = plan t sql in
+    match decision with
+    | `Full r -> r
+    | `Reexec e ->
+      let r = guarded (exec e.bq) in
+      locked t (fun () ->
+          (* stamp deps and result together, against the snapshot that
+             actually produced the result *)
+          e.deps <- deps_of cat e.bq;
+          e.result <- Some r);
+      r
+    | `Miss ->
+      let bq = plan_on cat sql in
       let r = guarded (exec bq) in
-      evict_lru t;
-      Hashtbl.replace t.cache key
-        { bq;
-          plan_version = Catalog.version t.catalog;
-          result = Some (Catalog.stats_epoch t.catalog, r);
-          tick = t.clock };
+      locked t (fun () ->
+          make_room t ~owner ~cache_quota;
+          Hashtbl.replace t.cache key
+            { bq;
+              owner;
+              deps = deps_of cat bq;
+              result = Some r;
+              tick = t.clock });
       r
   end
 
 (** EXPLAIN: the plan tree with the optimizer's cardinality estimate and the
     actual row count per operator (from an instrumented vectorized run). *)
 let explain ?(threads = 1) t (sql : string) : string =
-  let bq = plan t sql in
+  let cat = Catalog.pin t.catalog in
+  let bq = plan_on cat sql in
   let actuals : (Plan.plan * int) list ref = ref [] in
   let on_rows p n = actuals := (p, n) :: !actuals in
   ignore
     (Faults.with_suppressed (fun () ->
-         Exec_vectorized.run_query ~threads ~on_rows t.catalog bq));
+         Exec_vectorized.run_query ~threads ~on_rows cat bq));
   let annot p =
     match List.find_opt (fun (q, _) -> q == p) !actuals with
     | Some (_, n) ->

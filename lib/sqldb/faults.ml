@@ -32,13 +32,27 @@ type state = { seed : int; draws : int Atomic.t }
 let registry : state option Atomic.t = Atomic.make None
 
 (* Recovery paths re-execute work with injection suppressed so a retry
-   cannot be re-faulted into a livelock. *)
-let suppress_depth = Atomic.make 0
-let suppressed () = Atomic.get suppress_depth > 0
+   cannot be re-faulted into a livelock. Suppression is domain-local:
+   concurrent queries on a server worker pool must not mask each other's
+   injection points when one of them happens to be inside a retry. Worker
+   domains spawned mid-query inherit the parent's suppression explicitly
+   ({!Parallel} passes [suppressed ()] through {!with_inherited}). *)
+let suppress_depth : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let suppressed () = Domain.DLS.get suppress_depth > 0
 
 let with_suppressed f =
-  Atomic.incr suppress_depth;
-  Fun.protect ~finally:(fun () -> Atomic.decr suppress_depth) f
+  Domain.DLS.set suppress_depth (Domain.DLS.get suppress_depth + 1);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set suppress_depth (Domain.DLS.get suppress_depth - 1))
+    f
+
+(** Run [f] with suppression forced on ([true]) or left as-is ([false]):
+    child domains re-running a suppressed parent's work call this with the
+    parent's [suppressed ()] so a recovery retry stays unfaulted across the
+    spawn boundary. *)
+let with_inherited inherited f = if inherited then with_suppressed f else f ()
 
 let arm ~seed () = Atomic.set registry (Some { seed; draws = Atomic.make 0 })
 let disarm () = Atomic.set registry None

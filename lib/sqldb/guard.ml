@@ -8,9 +8,14 @@
     guard raises {!Trip} from the next checkpoint, which unwinds the query
     and leaves the engine reusable.
 
-    Only one query guard is active per process at a time (queries do not
-    nest); worker domains observe the guard through an [Atomic]. When no
-    guard is installed every checkpoint is a single atomic load. *)
+    The active guard is {b domain-local}: concurrent queries running on
+    different domains (the {!Server} worker pool) each install and observe
+    their own guard without interfering. Worker domains spawned {e inside} a
+    query ({!Parallel}) inherit the dispatching query's guard explicitly via
+    {!current} / {!with_installed}; the guard record itself is shared and
+    its counters are atomics, so row accounting and cancellation are visible
+    across every domain working on the same query. When no guard is
+    installed a checkpoint is a single domain-local load. *)
 
 type trip = Timeout | Row_budget | Cancelled
 
@@ -28,7 +33,19 @@ type t = {
   cancelled : bool Atomic.t;
 }
 
-let active : t option Atomic.t = Atomic.make None
+(* One slot per domain: the guard of the query this domain is currently
+   executing (or helping execute). *)
+let active : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () : t option = Domain.DLS.get active
+
+(** Run [f] with [g] as this domain's active guard, restoring the previous
+    guard afterwards. {!Parallel} uses this to propagate the dispatching
+    query's guard into freshly spawned worker domains. *)
+let with_installed (g : t option) (f : unit -> 'a) : 'a =
+  let prev = Domain.DLS.get active in
+  Domain.DLS.set active g;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set active prev) f
 
 let install ?timeout_ms ?row_budget () : t option =
   match (timeout_ms, row_budget) with
@@ -43,16 +60,16 @@ let install ?timeout_ms ?row_budget () : t option =
         rows = Atomic.make 0;
         cancelled = Atomic.make false }
     in
-    Atomic.set active (Some g);
+    Domain.DLS.set active (Some g);
     Some g
 
-let clear () = Atomic.set active None
+let clear () = Domain.DLS.set active None
 
 let cancel g = Atomic.set g.cancelled true
 
 (* Checkpoint: free when no guard is installed. *)
 let check () =
-  match Atomic.get active with
+  match Domain.DLS.get active with
   | None -> ()
   | Some g ->
     if Atomic.get g.cancelled then
@@ -64,7 +81,7 @@ let check () =
 
 (* Account [n] materialized rows against the budget (if any). *)
 let add_rows n =
-  match Atomic.get active with
+  match Domain.DLS.get active with
   | None -> ()
   | Some { row_budget = None; _ } -> ()
   | Some ({ row_budget = Some budget; _ } as g) ->
@@ -77,8 +94,13 @@ let add_rows n =
                Printf.sprintf "row budget %d exceeded (%d rows materialized)"
                  budget total })
 
-(* Run [f] under a guard; a no-op wrapper when neither limit is given. *)
+(* Run [f] under a guard; a no-op wrapper when neither limit is given. The
+   previous guard (if any) is restored on exit, so a guarded call nested
+   under another guarded call — e.g. a retry wrapper — behaves sanely. *)
 let with_guard ?timeout_ms ?row_budget (f : unit -> 'a) : 'a =
-  match install ?timeout_ms ?row_budget () with
-  | None -> f ()
-  | Some _ -> Fun.protect ~finally:clear f
+  match (timeout_ms, row_budget) with
+  | None, None -> f ()
+  | _ ->
+    let prev = current () in
+    ignore (install ?timeout_ms ?row_budget ());
+    Fun.protect ~finally:(fun () -> Domain.DLS.set active prev) f

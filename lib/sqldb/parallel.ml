@@ -87,10 +87,20 @@ let join_or_retry (work : unit -> 'a) (d : 'a Domain.t) : 'a =
   | exception _ -> run_protected work
 
 let spawn_all (works : (unit -> 'a) list) : 'a list =
+  (* Guard and fault-suppression state are domain-local (concurrent queries
+     each carry their own); child domains must explicitly inherit the
+     dispatching query's context or its deadline/row budget would stop
+     applying exactly where most of the work runs. *)
+  let guard = Guard.current () in
+  let sup = Faults.suppressed () in
+  let in_context work () =
+    Guard.with_installed guard (fun () ->
+        Faults.with_inherited sup (fun () -> run_protected work))
+  in
   let doms =
     List.map
       (fun work ->
-        match Domain.spawn (fun () -> run_protected work) with
+        match Domain.spawn (in_context work) with
         | d -> Either.Left (work, d)
         | exception _ ->
           (* spawn failed (domain limit): degrade to inline execution *)

@@ -1,0 +1,162 @@
+(** Per-tenant serving policy and runtime state for {!Server}.
+
+    A tenant is one logical client of the query service. Its {!policy} caps
+    how much of the shared engine it can hold at once (admission-time
+    in-flight limit, per-query {!Guard} budgets, a query-cache quota) and
+    how the service reacts when its queries fail (retry budget for
+    transient faults, circuit-breaker threshold for repeated primary-engine
+    failures). The runtime state is all atomics: admission runs under the
+    server's lock but completions and breaker updates land from worker
+    domains. *)
+
+type policy = {
+  max_in_flight : int;
+      (** queries admitted (queued or executing) at once; excess submits are
+          rejected with a typed [Overloaded] rather than queued without
+          bound *)
+  timeout_ms : int option; (** per-query {!Guard} deadline *)
+  row_budget : int option; (** per-query {!Guard} materialized-row cap *)
+  cache_quota : int option;
+      (** max {!Db} result-cache entries attributable to this tenant *)
+  max_retries : int;
+      (** additional attempts for fault-classified transient errors *)
+  backoff_ms : float; (** base retry backoff; doubles per attempt, jittered *)
+  breaker_threshold : int;
+      (** consecutive primary-engine failures before the breaker opens *)
+  breaker_cooldown_ms : float;
+      (** how long an open breaker routes the tenant to the fallback engine
+          before probing the primary again *)
+}
+
+let default_policy =
+  { max_in_flight = 4;
+    timeout_ms = None;
+    row_budget = None;
+    cache_quota = None;
+    max_retries = 2;
+    backoff_ms = 2.;
+    breaker_threshold = 5;
+    breaker_cooldown_ms = 1000. }
+
+type t = {
+  name : string;
+  policy : policy;
+  in_flight : int Atomic.t;
+  consecutive_failures : int Atomic.t;
+  breaker_open_until : float Atomic.t; (* absolute Unix time, 0. = closed *)
+  (* counters *)
+  admitted : int Atomic.t;
+  rejected : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  retries : int Atomic.t;
+  fallbacks : int Atomic.t;
+}
+
+let create ?(policy = default_policy) name =
+  { name;
+    policy;
+    in_flight = Atomic.make 0;
+    consecutive_failures = Atomic.make 0;
+    breaker_open_until = Atomic.make 0.;
+    admitted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    completed = Atomic.make 0;
+    failed = Atomic.make 0;
+    retries = Atomic.make 0;
+    fallbacks = Atomic.make 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reserve an in-flight slot, or refuse. Called under the server lock, so
+   the check-then-increment pair cannot race another admission; the atomic
+   still matters because [release] runs lock-free from worker domains. *)
+let try_admit t =
+  if Atomic.get t.in_flight >= t.policy.max_in_flight then begin
+    Atomic.incr t.rejected;
+    false
+  end
+  else begin
+    Atomic.incr t.in_flight;
+    Atomic.incr t.admitted;
+    true
+  end
+
+let release t = Atomic.decr t.in_flight
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** True while the tenant is tripped to the fallback engine. Once the
+    cooldown elapses the breaker half-opens: this returns [false] so the
+    next query probes the primary engine; a probe failure re-opens the
+    window, a success closes the breaker. *)
+let breaker_open t =
+  Atomic.get t.consecutive_failures >= t.policy.breaker_threshold
+  && Unix.gettimeofday () < Atomic.get t.breaker_open_until
+
+let record_success t =
+  Atomic.incr t.completed;
+  Atomic.set t.consecutive_failures 0;
+  Atomic.set t.breaker_open_until 0.
+
+let record_failure t =
+  Atomic.incr t.failed;
+  Atomic.incr t.consecutive_failures;
+  if Atomic.get t.consecutive_failures >= t.policy.breaker_threshold then
+    Atomic.set t.breaker_open_until
+      (Unix.gettimeofday () +. (t.policy.breaker_cooldown_ms /. 1000.))
+
+let record_fallback t =
+  Atomic.incr t.completed;
+  Atomic.incr t.fallbacks
+
+let record_retry t = Atomic.incr t.retries
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic jitter: a splitmix-style hash of (tenant, retry ordinal)
+   spreads synchronized retry storms without pulling in a global RNG — the
+   same property the fault registry relies on for reproducible tests. *)
+let jitter_frac t attempt =
+  let z = ref ((Hashtbl.hash t.name * 0x9E3779B1) + (attempt * 0x85EBCA6B)) in
+  z := (!z lxor (!z lsr 16)) * 0x21F0AAAD;
+  z := (!z lxor (!z lsr 15)) * 0x735A2D97;
+  float_of_int (!z lxor (!z lsr 15) land 0xFFFF) /. 65536.
+
+(** Backoff delay in ms before retry [attempt] (1-based): exponential in the
+    attempt number, halved-to-full jitter, capped at 100ms so a retrying
+    tenant cannot park a worker for long. *)
+let backoff_delay_ms t ~attempt =
+  let base = t.policy.backoff_ms *. (2. ** float_of_int (attempt - 1)) in
+  Float.min 100. (base *. (0.5 +. (0.5 *. jitter_frac t attempt)))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  s_in_flight : int;
+  s_admitted : int;
+  s_rejected : int;
+  s_completed : int;
+  s_failed : int;
+  s_retries : int;
+  s_fallbacks : int;
+  s_breaker_open : bool;
+}
+
+let stats t =
+  { s_in_flight = Atomic.get t.in_flight;
+    s_admitted = Atomic.get t.admitted;
+    s_rejected = Atomic.get t.rejected;
+    s_completed = Atomic.get t.completed;
+    s_failed = Atomic.get t.failed;
+    s_retries = Atomic.get t.retries;
+    s_fallbacks = Atomic.get t.fallbacks;
+    s_breaker_open = breaker_open t }
