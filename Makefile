@@ -5,7 +5,7 @@ SMOKE_SF ?= 0.005
 BENCH_SF ?= 0.05
 SF01 ?= 0.1
 
-.PHONY: all build test server-soak bench-smoke bench-compare bench-sf01 bench-fused check clean
+.PHONY: all build test server-soak bench-smoke bench-compare bench-sf01 bench-fused bench-views check clean
 
 all: build
 
@@ -34,7 +34,7 @@ server-soak: build
 # the committed baseline is never clobbered by tiny-SF numbers.
 bench-smoke: build
 	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
-	  $(DUNE) exec bench/main.exe -- dict cache scan mixed --json-out BENCH_smoke.json
+	  $(DUNE) exec bench/main.exe -- dict cache scan mixed views --json-out BENCH_smoke.json
 
 # Full-scale regression gate: re-measure at the baseline's scale factor and
 # fail on any variant >10% slower (tolerance via PYTOND_COMPARE_TOL).
@@ -63,6 +63,18 @@ bench-sf01: build
 bench-fused: build
 	PYTOND_SF=$(SF01) PYTOND_RUNS=1 PYTOND_WARMUP=1 PYTOND_COMPARE_TOL=0.35 \
 	  $(DUNE) exec bench/main.exe -- fused --compare BENCH_sf01.json --json-out BENCH_sf01_run.json
+
+# Materialized-view refresh leg at SF 0.1: cold plan+execute vs cached-plan
+# re-execution vs incremental delta refresh for q1/q6 under ~1% lineitem
+# append rounds. The timed region is the stale read a dashboard pays after
+# an ingest round; the accept bar for this experiment is the delta refresh
+# staying an order of magnitude under re-execution, checked by eye or via
+# --compare once a baseline with view rows is committed. Rows carry the
+# ivm config stamp, so a PYTOND_IVM=0 run can never be diffed against an
+# IVM-on baseline.
+bench-views: build
+	PYTOND_SF=$(SF01) PYTOND_RUNS=2 PYTOND_WARMUP=1 \
+	  $(DUNE) exec bench/main.exe -- views --json-out BENCH_views_run.json
 
 check: build test server-soak bench-smoke
 

@@ -3,11 +3,17 @@
 
    Requests arrive on stdin, one per line:
 
-     TENANT<TAB>@qN        run built-in TPC-H query N through the full
-                           PyTond pipeline (Python -> SQL -> engine)
-     TENANT<TAB>SELECT ... run raw SQL directly on the engine
-     .stats                print server + per-tenant counters
-     .quit                 drain and exit
+     TENANT<TAB>@qN           run built-in TPC-H query N through the full
+                              PyTond pipeline (Python -> SQL -> engine)
+     TENANT<TAB>SELECT ...    run raw SQL directly on the engine
+     TENANT<TAB>.view N SQL   register SQL as materialized view N (owned
+                              by TENANT, charged against its view quota);
+                              executions of the same SQL are then served
+                              from the view, incrementally refreshed
+     TENANT<TAB>.view N       refresh-if-stale and print view N
+     .stats                   print server, cache, view and per-tenant
+                              counters
+     .quit                    drain and exit
 
    Every request goes through admission control (bounded queue + the
    tenant's in-flight cap — excess load is shed with a typed `overloaded`
@@ -18,15 +24,26 @@
 
    --demo runs a self-driving mixed workload (no stdin) and prints the
    final stats — a smoke test for the whole admission/retry/breaker path.
+   --stream N runs the live-dashboard demo instead: q1 and q3 are
+   registered as materialized views, then N rounds of lineitem appends
+   interleave with dashboard reads served by incremental delta refreshes.
 
    Example:
      dune exec bin/pytond_server.exe -- --sf 0.01 --workers 4 --demo
+     dune exec bin/pytond_server.exe -- --sf 0.01 --stream 5
      printf 'acme\t@q6\n.stats\n.quit\n' | dune exec bin/pytond_server.exe --
 *)
 
 open Cmdliner
 
-type request = Tpch_query of string | Raw_sql of string
+type request =
+  | Tpch_query of string
+  | Raw_sql of string
+  | View_register of string * string (* view name, SQL *)
+  | View_read of string
+
+let status_rel msg =
+  Sqldb.Relation.create [| "status" |] [| Sqldb.Column.of_strings [| msg |] |]
 
 let exec_request ~db ~backend ~threads ~(tenant : Sqldb.Tenant.t) ~fallback req =
   let policy = tenant.Sqldb.Tenant.policy in
@@ -46,6 +63,16 @@ let exec_request ~db ~backend ~threads ~(tenant : Sqldb.Tenant.t) ~fallback req 
     let backend = if fallback then Pytond.Vectorized else backend in
     Sqldb.Db.execute ~threads ~backend ?timeout_ms ?row_budget ~owner
       ?cache_quota db sql
+  | View_register (name, sql) -> (
+    let quota = Sqldb.Tenant.effective_view_quota policy in
+    match
+      Sqldb.Db.register_view ~owner ?quota ?timeout_ms ?row_budget db ~name
+        sql
+    with
+    | Ok () -> status_rel (Printf.sprintf "view %s registered" name)
+    | Error e -> failwith e)
+  | View_read name ->
+    Sqldb.Db.refresh ?timeout_ms ?row_budget ~owner db name
 
 let transient = function
   | Sqldb.Faults.Injected _ -> true
@@ -62,6 +89,16 @@ let parse_line line =
     if tenant = "" || body = "" then None
     else if body.[0] = '@' then
       Some (tenant, Tpch_query (String.sub body 1 (String.length body - 1)))
+    else if
+      String.length body >= 5 && String.lowercase_ascii (String.sub body 0 5) = ".view"
+    then
+      let rest = String.trim (String.sub body 5 (String.length body - 5)) in
+      match String.index_opt rest ' ' with
+      | None -> if rest = "" then None else Some (tenant, View_read rest)
+      | Some j ->
+        let name = String.sub rest 0 j in
+        let sql = String.trim (String.sub rest j (String.length rest - j)) in
+        Some (tenant, View_register (name, sql))
     else Some (tenant, Raw_sql body)
 
 let print_outcome tenant (o : _ Sqldb.Server.outcome) =
@@ -80,6 +117,27 @@ let print_error tenant e =
       (Pytond.Errors.to_string err)
       (Pytond.Errors.exit_code err)
   | None -> Printf.printf "%s: ERROR %s\n%!" tenant (Printexc.to_string e)
+
+(* Server counters plus engine cache/view counters, with the per-tenant
+   cache and view slices the streaming experiments read hit rates from. *)
+let print_full_stats db server =
+  let s = Sqldb.Server.stats server in
+  print_string (Sqldb.Server.stats_to_string s);
+  let cs = Sqldb.Db.cache_stats db in
+  Printf.printf
+    "cache: %d hits, %d plan hits, %d misses, %d entries; views: %d \
+     registered, %d hits, %d delta refreshes, %d recomputes\n%!"
+    cs.Sqldb.Db.hits cs.Sqldb.Db.plan_hits cs.Sqldb.Db.misses
+    cs.Sqldb.Db.entries cs.Sqldb.Db.views cs.Sqldb.Db.view_hits
+    cs.Sqldb.Db.delta_refreshes cs.Sqldb.Db.view_recomputes;
+  List.iter
+    (fun (name, _) ->
+      let h, ph, m, vh, dr = Sqldb.Db.owner_stats db name in
+      Printf.printf
+        "  tenant %-12s cache: hits=%d plan_hits=%d misses=%d view_hits=%d \
+         delta_refreshes=%d\n%!"
+        name h ph m vh dr)
+    (List.sort compare s.Sqldb.Server.tenants)
 
 (* Self-driving smoke workload: two tenants hammer cached TPC-H queries
    while appends land in lineitem, demonstrating shed/retry/snapshot
@@ -104,15 +162,41 @@ let run_demo db server =
           (Sqldb.Relation.n_rows batch)
       end)
     queries;
-  print_string (Sqldb.Server.stats_to_string (Sqldb.Server.stats server));
-  let cs = Sqldb.Db.cache_stats db in
-  Printf.printf
-    "cache: %d hits, %d plan hits, %d misses, %d entries\n%!"
-    cs.Sqldb.Db.hits cs.Sqldb.Db.plan_hits cs.Sqldb.Db.misses
-    cs.Sqldb.Db.entries
+  print_full_stats db server
+
+let run_stream db server rounds =
+  (* Live dashboards under write traffic: q1 and q3 become materialized
+     views, every round appends ~1% of lineitem, and the dashboard reads
+     are served by incremental delta refreshes instead of re-execution. *)
+  let dash = "dash" in
+  List.iter
+    (fun q ->
+      let sql = Pytond.compile ~db ~source:(Tpch.Queries.find q) ~fname:"query" () in
+      match Sqldb.Server.submit server ~tenant:dash (View_register (q, sql)) with
+      | Ok _ -> Printf.printf "-- registered view %s\n%!" q
+      | Error e -> print_error dash e)
+    [ "q1"; "q3" ];
+  let li = Sqldb.Catalog.relation (Sqldb.Db.catalog db) "lineitem" in
+  let batch_n = max 1 (Sqldb.Relation.n_rows li / 100) in
+  let batch = Sqldb.Relation.take li (Array.init batch_n Fun.id) in
+  for r = 1 to rounds do
+    Sqldb.Db.append_table db "lineitem" batch;
+    Printf.printf "round %d: +%d lineitem rows\n%!" r batch_n;
+    List.iter
+      (fun q ->
+        let t0 = Unix.gettimeofday () in
+        match Sqldb.Server.submit server ~tenant:dash (View_read q) with
+        | Ok o ->
+          Printf.printf "  %s: %d rows in %.2fms\n%!" q
+            (Sqldb.Relation.n_rows o.Sqldb.Server.value)
+            (1000. *. (Unix.gettimeofday () -. t0))
+        | Error e -> print_error dash e)
+      [ "q1"; "q3" ]
+  done;
+  print_full_stats db server
 
 let serve dataset sf workers queue_cap backend threads max_in_flight timeout_ms
-    row_budget cache_quota retries breaker_threshold demo =
+    row_budget cache_quota retries breaker_threshold demo stream =
   let db =
     match dataset with
     | "tpch" -> Tpch.Dbgen.make_db sf
@@ -145,24 +229,23 @@ let serve dataset sf workers queue_cap backend threads max_in_flight timeout_ms
     ~finally:(fun () -> Sqldb.Server.stop server)
     (fun () ->
       if demo then run_demo db server
+      else if stream > 0 then run_stream db server stream
       else begin
         Printf.eprintf
           "pytond_server: %d workers, queue cap %d; TENANT<TAB>@qN | \
-           TENANT<TAB>SQL | .stats | .quit\n%!"
+           TENANT<TAB>SQL | TENANT<TAB>.view N [SQL] | .stats | .quit\n%!"
           workers queue_cap;
         let quit = ref false in
         while not !quit do
           match input_line stdin with
           | exception End_of_file -> quit := true
           | ".quit" -> quit := true
-          | ".stats" ->
-            print_string
-              (Sqldb.Server.stats_to_string (Sqldb.Server.stats server))
+          | ".stats" -> print_full_stats db server
           | line when String.trim line = "" -> ()
           | line -> (
             match parse_line line with
             | None ->
-              prerr_endline "expected TENANT<TAB>@qN or TENANT<TAB>SQL"
+              prerr_endline "expected TENANT<TAB>@qN, TENANT<TAB>SQL or TENANT<TAB>.view N [SQL]"
             | Some (tenant, req) -> (
               match Sqldb.Server.submit server ~tenant req with
               | Ok o -> print_outcome tenant o
@@ -225,12 +308,20 @@ let () =
   let demo =
     Arg.(value & flag & info [ "demo" ] ~doc:"run a self-driving mixed workload")
   in
+  let stream =
+    Arg.(
+      value & opt int 0
+      & info [ "stream" ]
+          ~doc:
+            "run the streaming-dashboard demo for this many append rounds \
+             (materialized views refreshed incrementally)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "pytond_server" ~doc:"multi-tenant PyTond query service")
       Term.(
         const serve $ dataset $ sf $ workers $ queue_cap $ backend $ threads
         $ max_in_flight $ timeout_ms $ row_budget $ cache_quota $ retries
-        $ breaker_threshold $ demo)
+        $ breaker_threshold $ demo $ stream)
   in
   exit (Cmd.eval cmd)

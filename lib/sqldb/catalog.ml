@@ -91,6 +91,16 @@ let add ?cons ?threads t name rel =
   swap_in t (fun s version ->
       M.add name (build_table ?cons ?threads ~tver:version rel) s.tables)
 
+(* Register a short-lived relation without ingest costs: no bigarray
+   conversion, no statistics beyond row/null counts, no zone maps. The
+   view engine uses this for delta slices that are scanned exactly once —
+   full ingest would cost more than the replay it feeds. *)
+let add_transient ?(cons = no_constraints) t name rel =
+  swap_in t (fun s version ->
+      M.add name
+        { rel; cons; stats = Stats.trivial rel; tver = version }
+        s.tables)
+
 let snapshot_of t = Atomic.get t.snap
 
 let find_opt (t : t) name = M.find_opt name (snapshot_of t).tables
@@ -101,25 +111,57 @@ let find t name =
   | None -> invalid_arg ("Catalog.find: no table " ^ name)
 
 (** Schema-preserving append: replace [name] with the concatenation of its
-    current rows and [rel] (same schema, raw values), rebuilding stats and
-    zone maps for the new version. Constraints carry over. Readers pinned
-    on the previous snapshot keep seeing the pre-append table. *)
+    current rows and [rel] (same schema, raw values). Cost is O(delta):
+    resident column payloads are blitted, dictionaries grow code-stably
+    ({!Column.append_chunk}), and statistics / zone maps are folded forward
+    over only the appended suffix ({!Stats.append_table}) instead of being
+    rebuilt. Constraints carry over. Readers pinned on the previous
+    snapshot keep seeing the pre-append table. *)
 let append ?threads t name rel =
   let cur = find t name in
-  (* Normalize both sides to plain decoded storage before concatenating:
-     the resident table is dict-encoded / bigarray-promoted and the batch
-     usually is not, and the two dictionaries need not agree. The merged
-     relation then goes through the standard ingest promotion. *)
-  let plain r = Relation.decode_strings (Relation.to_legacy r) in
-  let merged = Relation.concat [ plain cur.rel; plain rel ] in
-  let merged =
-    if Relation.n_cols merged > 0 then Relation.encode_strings merged
-    else merged
-  in
-  swap_in t (fun s version ->
-      M.add name
-        (build_table ~cons:cur.cons ?threads ~tver:version merged)
-        s.tables)
+  let old_rows = Relation.n_rows cur.rel in
+  if old_rows = 0 then
+    (* Nothing resident to preserve: run the full ingest path so the batch
+       is encoded and promoted exactly like a fresh load. *)
+    let merged =
+      if Relation.n_cols rel > 0 then Relation.encode_strings rel else rel
+    in
+    swap_in t (fun s version ->
+        M.add name
+          (build_table ~cons:cur.cons ?threads ~tver:version merged)
+          s.tables)
+  else begin
+    if Array.length rel.Relation.cols <> Array.length cur.rel.Relation.cols
+    then invalid_arg ("Catalog.append: arity mismatch for " ^ name);
+    let cols =
+      Array.map2 Column.append_chunk cur.rel.Relation.cols rel.Relation.cols
+    in
+    let merged = { cur.rel with Relation.cols } in
+    let unique =
+      Array.map
+        (fun nm ->
+          cur.cons.primary_key = [ nm ] || List.mem [ nm ] cur.cons.unique)
+        merged.Relation.names
+    in
+    let stats =
+      Stats.append_table cur.stats ~unique ?threads merged ~from:old_rows
+    in
+    swap_in t (fun s version ->
+        M.add name
+          { rel = merged; cons = cur.cons; stats; tver = version }
+          s.tables)
+  end
+
+(** Copy table [name]'s record — relation, constraints, statistics, zone
+    maps — from [src] into [t] as-is: O(1), no recomputation. The Matview
+    delta engine uses this to assemble hybrid catalogs that bind each base
+    table of a plan to an old pinned snapshot, the current one, or a delta
+    slice, then re-runs the unchanged bound plan against the mix. *)
+let import t ~(src : t) name =
+  match find_opt src name with
+  | None -> invalid_arg ("Catalog.import: no table " ^ name)
+  | Some tb ->
+    swap_in t (fun s version -> M.add name { tb with tver = version } s.tables)
 
 let relation t name = (find t name).rel
 let mem (t : t) name = M.mem name (snapshot_of t).tables

@@ -503,4 +503,132 @@ let concat cs =
       of_values first.ty vs
     end
 
+(* Append batch [b]'s rows after resident column [a] without decoding or
+   rebuilding [a]'s payload: one blit of [a]'s cells into the merged backing
+   plus an O(|b|) pass over the batch. The merged column keeps [a]'s
+   physical family (raw/dict, array/bigarray), and a dictionary grows
+   code-stably — resident codes keep their meaning, unseen batch values get
+   fresh codes at the end — so per-code state computed against the old
+   dictionary (zone maps, cached ranks) stays valid for the resident prefix.
+   This is what keeps {!Catalog.append} at O(delta) instead of O(table). *)
+let append_chunk (a : t) (b : t) : t =
+  if a.ty <> b.ty then invalid_arg "Column.append_chunk: type mismatch";
+  let na = length a and nb = length b in
+  let nulls =
+    if a.nulls = None && b.nulls = None then None
+    else begin
+      let m = Bitset.create (na + nb) in
+      (match a.nulls with
+      | Some ma -> Bitset.iter_set (fun i -> Bitset.set m i) ma
+      | None -> ());
+      (match b.nulls with
+      | Some mb -> Bitset.iter_set (fun i -> Bitset.set m (na + i)) mb
+      | None -> ());
+      if Bitset.is_empty m then None else Some m
+    end
+  in
+  (* Extend [d] with the batch's unseen values; returns the batch's codes
+     against the (possibly grown) dictionary. Null rows keep code 0 and
+     their null bit. The dictionary can grow past the ingest encoding cap:
+     appends are incremental by design, and falling back to raw here would
+     force an O(table) decode of the resident rows. *)
+  let extend_dict (d : dict) : int array * dict =
+    let index = Hashtbl.copy d.index in
+    let fresh = ref [] and n_fresh = ref 0 in
+    let base = dict_size d in
+    let codes_b = Array.make nb 0 in
+    for i = 0 to nb - 1 do
+      if not (is_null b i) then begin
+        let s = string_at b i in
+        match Hashtbl.find_opt index s with
+        | Some c -> codes_b.(i) <- c
+        | None ->
+          let c = base + !n_fresh in
+          Hashtbl.add index s c;
+          fresh := s :: !fresh;
+          incr n_fresh;
+          codes_b.(i) <- c
+      end
+    done;
+    let d' =
+      if !n_fresh = 0 then d
+      else make_dict (Array.append d.values (Array.of_list (List.rev !fresh)))
+    in
+    (codes_b, d')
+  in
+  let int_src =
+    match b.data with
+    | I xs -> fun i -> Array.unsafe_get xs i
+    | BI v -> fun i -> Bigarray.Array1.unsafe_get v i
+    | _ -> fun i -> int_at b i
+  in
+  let float_src =
+    match b.data with
+    | F xs -> fun i -> Array.unsafe_get xs i
+    | BF v -> fun i -> Bigarray.Array1.unsafe_get v i
+    | _ -> fun i -> float_at b i
+  in
+  let data =
+    match a.data with
+    | I xs ->
+      let out = Array.make (na + nb) 0 in
+      Array.blit xs 0 out 0 na;
+      for i = 0 to nb - 1 do
+        out.(na + i) <- (if is_null b i then 0 else int_src i)
+      done;
+      I out
+    | F xs ->
+      let out = Array.make (na + nb) 0. in
+      Array.blit xs 0 out 0 na;
+      for i = 0 to nb - 1 do
+        out.(na + i) <- (if is_null b i then 0. else float_src i)
+      done;
+      F out
+    | B xs ->
+      let out = Array.make (na + nb) false in
+      Array.blit xs 0 out 0 na;
+      for i = 0 to nb - 1 do
+        out.(na + i) <- (if is_null b i then false else bool_at b i)
+      done;
+      B out
+    | S xs ->
+      let out = Array.make (na + nb) "" in
+      Array.blit xs 0 out 0 na;
+      for i = 0 to nb - 1 do
+        out.(na + i) <- (if is_null b i then "" else string_at b i)
+      done;
+      S out
+    | D (codes, d) ->
+      let codes_b, d' = extend_dict d in
+      let out = Array.make (na + nb) 0 in
+      Array.blit codes 0 out 0 na;
+      Array.blit codes_b 0 out na nb;
+      D (out, d')
+    | BI v ->
+      let out = ivec_create (na + nb) in
+      if na > 0 then Bigarray.Array1.blit v (Bigarray.Array1.sub out 0 na);
+      for i = 0 to nb - 1 do
+        Bigarray.Array1.unsafe_set out (na + i)
+          (if is_null b i then 0 else int_src i)
+      done;
+      BI out
+    | BF v ->
+      let out = fvec_create (na + nb) in
+      if na > 0 then Bigarray.Array1.blit v (Bigarray.Array1.sub out 0 na);
+      for i = 0 to nb - 1 do
+        Bigarray.Array1.unsafe_set out (na + i)
+          (if is_null b i then 0. else float_src i)
+      done;
+      BF out
+    | BD (v, d) ->
+      let codes_b, d' = extend_dict d in
+      let out = ivec_create (na + nb) in
+      if na > 0 then Bigarray.Array1.blit v (Bigarray.Array1.sub out 0 na);
+      for i = 0 to nb - 1 do
+        Bigarray.Array1.unsafe_set out (na + i) codes_b.(i)
+      done;
+      BD (out, d')
+  in
+  { ty = a.ty; data; nulls }
+
 let const ty v n = of_values ty (Array.make n v)

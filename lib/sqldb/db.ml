@@ -49,15 +49,30 @@ type cache_entry = {
   mutable tick : int; (* LRU clock *)
 }
 
+(* Per-tenant slice of the counters, so the server's [.stats] can report
+   hit rates per tenant without instrumenting the tests. *)
+type owner_counters = {
+  mutable o_hits : int;
+  mutable o_plan_hits : int;
+  mutable o_misses : int;
+  mutable o_view_hits : int;
+  mutable o_delta_refreshes : int;
+}
+
 type t = {
   catalog : Catalog.t;
   cache : (string, cache_entry) Hashtbl.t;
+  views : Matview.registry; (* incrementally maintained views *)
   lock : Mutex.t; (* guards cache + counters; never held during execution *)
   mutable clock : int;
   mutable hits : int; (* full result served *)
   mutable plan_hits : int; (* plan reused, execution re-run *)
   mutable misses : int;
   mutable evictions : int;
+  mutable view_hits : int; (* reads served from a fresh materialized view *)
+  mutable delta_refreshes : int; (* incremental view refreshes *)
+  mutable view_recomputes : int; (* view fallback full re-executions *)
+  owners : (string, owner_counters) Hashtbl.t;
 }
 
 type cache_stats = {
@@ -66,6 +81,10 @@ type cache_stats = {
   misses : int;
   evictions : int;
   entries : int;
+  view_hits : int;
+  delta_refreshes : int;
+  view_recomputes : int;
+  views : int; (* registered view count *)
 }
 
 let cache_enabled =
@@ -84,7 +103,35 @@ let cache_stats (t : t) : cache_stats =
         plan_hits = t.plan_hits;
         misses = t.misses;
         evictions = t.evictions;
-        entries = Hashtbl.length t.cache })
+        entries = Hashtbl.length t.cache;
+        view_hits = t.view_hits;
+        delta_refreshes = t.delta_refreshes;
+        view_recomputes = t.view_recomputes;
+        views = Matview.size t.views })
+
+let owner_counters_of t o =
+  match Hashtbl.find_opt t.owners o with
+  | Some c -> c
+  | None ->
+    let c =
+      { o_hits = 0;
+        o_plan_hits = 0;
+        o_misses = 0;
+        o_view_hits = 0;
+        o_delta_refreshes = 0 }
+    in
+    Hashtbl.replace t.owners o c;
+    c
+
+(** Per-tenant counters as [(hits, plan_hits, misses, view_hits,
+    delta_refreshes)], or all zeros for an unknown tenant. *)
+let owner_stats (t : t) o : int * int * int * int * int =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.owners o with
+      | None -> (0, 0, 0, 0, 0)
+      | Some c ->
+        (c.o_hits, c.o_plan_hits, c.o_misses, c.o_view_hits,
+         c.o_delta_refreshes))
 
 let clear_cache t = locked t (fun () -> Hashtbl.reset t.cache)
 
@@ -116,38 +163,13 @@ let normalize_sql (s : string) : string =
 let cache_key backend threads sql =
   Printf.sprintf "%s|%d|%s" (backend_name backend) threads (normalize_sql sql)
 
-(* Base tables a bound query scans: every Scan name that is not one of the
-   query's own CTEs. These are the entry's invalidation dependencies. *)
-let tables_of_bq (bq : Plan.bound_query) : string list =
-  let rec scans acc (p : Plan.plan) =
-    match p.Plan.node with
-    | Plan.Scan name -> name :: acc
-    | Plan.PValues _ -> acc
-    | Plan.Filter (s, _)
-    | Plan.Project (s, _)
-    | Plan.Aggregate (s, _, _)
-    | Plan.Sort (s, _)
-    | Plan.LimitN (s, _)
-    | Plan.Distinct s
-    | Plan.Window (s, _, _) -> scans acc s
-    | Plan.Join { left; right; _ } | Plan.SemiJoin { left; right; _ } ->
-      scans (scans acc left) right
-  in
-  let cte_names = List.map fst bq.Plan.ctes in
-  let all =
-    List.fold_left
-      (fun acc (_, p) -> scans acc p)
-      (scans [] bq.Plan.main) bq.Plan.ctes
-  in
-  List.sort_uniq String.compare
-    (List.filter (fun n -> not (List.mem n cte_names)) all)
-
-(* Version-stamp the plan's base tables against catalog handle [cat]. *)
+(* Version-stamp the plan's base tables ({!Plan.bound_tables}) against
+   catalog handle [cat]. These are the entry's invalidation dependencies. *)
 let deps_of cat (bq : Plan.bound_query) : (string * int) list =
   List.filter_map
     (fun n ->
       Option.map (fun v -> (n, v)) (Catalog.table_version cat n))
-    (tables_of_bq bq)
+    (Plan.bound_tables bq)
 
 let deps_current cat deps =
   List.for_all
@@ -200,12 +222,17 @@ let dict_encoding_enabled () = !dict_encoding
 let create () =
   { catalog = Catalog.create ();
     cache = Hashtbl.create cache_cap;
+    views = Matview.create_registry ();
     lock = Mutex.create ();
     clock = 0;
     hits = 0;
     plan_hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    view_hits = 0;
+    delta_refreshes = 0;
+    view_recomputes = 0;
+    owners = Hashtbl.create 8 }
 
 (* Ingest invalidation. A replace may change the table's schema, so any
    plan scanning it is dead: drop those entries. An append preserves the
@@ -230,7 +257,10 @@ let load_table ?cons ?threads t name rel =
   let rel = if !dict_encoding then Relation.encode_strings rel else rel in
   locked t (fun () ->
       Catalog.add ?cons ?threads t.catalog name rel;
-      invalidate_replaced t name)
+      invalidate_replaced t name);
+  (* A replace may change the table's schema: any view over it must replan
+     and rebuild at its next read rather than attempt a delta. *)
+  Matview.note_replaced t.views name
 
 (** Schema-preserving append: ingest [rel]'s rows into existing table
     [name] as a new catalog snapshot (stats and zone maps rebuilt).
@@ -270,12 +300,103 @@ let plan t (sql : string) : Plan.bound_query =
 let snapshot t : t =
   { catalog = Catalog.pin t.catalog;
     cache = Hashtbl.create cache_cap;
+    views = Matview.create_registry ();
     lock = Mutex.create ();
     clock = 0;
     hits = 0;
     plan_hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    view_hits = 0;
+    delta_refreshes = 0;
+    view_recomputes = 0;
+    owners = Hashtbl.create 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Materialized views                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve a registered view: refresh-if-stale then return the stored
+   result. Counters attribute the read to [owner] (the reading tenant).
+   Unlike the query cache, views do NOT stand down under fault injection —
+   crash consistency of the refresh path is part of their contract. *)
+let serve_view ?timeout_ms ?row_budget ?owner t (v : Matview.t) : Relation.t =
+  let cat = Catalog.pin t.catalog in
+  let r, how =
+    Guard.with_guard ?timeout_ms ?row_budget (fun () -> Matview.read v ~cat)
+  in
+  locked t (fun () ->
+      let oc = Option.map (owner_counters_of t) owner in
+      match how with
+      | `Hit ->
+        t.view_hits <- t.view_hits + 1;
+        Option.iter (fun c -> c.o_view_hits <- c.o_view_hits + 1) oc
+      | `Delta ->
+        t.delta_refreshes <- t.delta_refreshes + 1;
+        Option.iter
+          (fun c -> c.o_delta_refreshes <- c.o_delta_refreshes + 1)
+          oc
+      | `Recompute -> t.view_recomputes <- t.view_recomputes + 1
+      | `Init -> ());
+  r
+
+(** Register [sql] as materialized view [name]: the initial result is built
+    eagerly (under the caller's Guard budgets), and subsequent executions
+    of the same SQL are answered from the view — O(result) when fresh,
+    incrementally refreshed after appends when the plan is maintainable,
+    fully re-executed otherwise. [quota] bounds how many views [owner] may
+    register. *)
+let register_view ?owner ?quota ?timeout_ms ?row_budget (t : t) ~name sql :
+    (unit, string) result =
+  let cat = Catalog.pin t.catalog in
+  let key = normalize_sql sql in
+  Guard.with_guard ?timeout_ms ?row_budget (fun () ->
+      match
+        Matview.register t.views ~cat ?owner ?quota ~name ~sql ~key ()
+      with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
+
+(** Refresh view [name] if stale and return its contents. *)
+let refresh ?timeout_ms ?row_budget ?owner (t : t) name : Relation.t =
+  match Matview.find t.views name with
+  | None -> invalid_arg ("Db.refresh: no view " ^ name)
+  | Some v -> serve_view ?timeout_ms ?row_budget ?owner t v
+
+(** The stored contents of view [name] as of its last completed refresh,
+    without refreshing — what a reader observes after a crashed refresh. *)
+let view_peek (t : t) name : Relation.t option =
+  Option.bind (Matview.find t.views name) Matview.peek
+
+type view_info = {
+  vi_name : string;
+  vi_owner : string option;
+  vi_maintainable : bool;
+  vi_reason : string option; (* typed fallback reason when not maintainable *)
+  vi_version : int;
+  vi_rows : int; (* rows in the materialized result *)
+  vi_hits : int;
+  vi_deltas : int;
+  vi_recomputes : int;
+}
+
+let view_infos (t : t) : view_info list =
+  List.map
+    (fun v ->
+      let hits, deltas, recomputes = Matview.counters v in
+      { vi_name = Matview.name v;
+        vi_owner = Matview.owner v;
+        vi_maintainable = Matview.maintainable v;
+        vi_reason = Matview.reason_string v;
+        vi_version = Matview.current_version v;
+        vi_rows =
+          (match Matview.peek v with
+          | Some r -> Relation.n_rows r
+          | None -> 0);
+        vi_hits = hits;
+        vi_deltas = deltas;
+        vi_recomputes = recomputes })
+    (Matview.list t.views)
 
 (* PYTOND_TIMING=1 prints a parse/plan vs execute split to stderr. *)
 let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
@@ -288,7 +409,13 @@ let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
     injection suppressed — a detected storage fault is recovered by
     re-reading, never by returning a partial or corrupt relation. *)
 let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
-    ?owner ?cache_quota t (sql : string) : Relation.t =
+    ?owner ?cache_quota (t : t) (sql : string) : Relation.t =
+  match Matview.find_by_key t.views (normalize_sql sql) with
+  | Some v ->
+    (* A registered view answers its own SQL on any backend: the stored
+       result IS the view, O(result) when fresh. *)
+    serve_view ?timeout_ms ?row_budget ?owner t v
+  | None ->
   (* Pin once: planning, cache validation and execution all resolve against
      this snapshot, so a concurrent ingest cannot tear the query. *)
   let cat = Catalog.pin t.catalog in
@@ -334,15 +461,18 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
     let decision =
       locked t (fun () ->
           t.clock <- t.clock + 1;
+          let oc = Option.map (owner_counters_of t) owner in
           match Hashtbl.find_opt t.cache key with
           | Some e when deps_current cat e.deps -> (
             e.tick <- t.clock;
             match e.result with
             | Some r ->
               t.hits <- t.hits + 1;
+              Option.iter (fun c -> c.o_hits <- c.o_hits + 1) oc;
               `Full r
             | None ->
               t.plan_hits <- t.plan_hits + 1;
+              Option.iter (fun c -> c.o_plan_hits <- c.o_plan_hits + 1) oc;
               `Reexec e)
           | Some e ->
             (* stale deps with the entry still present: only appends have
@@ -350,9 +480,11 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
                the plan is still bound to the right schema *)
             e.tick <- t.clock;
             t.plan_hits <- t.plan_hits + 1;
+            Option.iter (fun c -> c.o_plan_hits <- c.o_plan_hits + 1) oc;
             `Reexec e
           | None ->
             t.misses <- t.misses + 1;
+            Option.iter (fun c -> c.o_misses <- c.o_misses + 1) oc;
             `Miss)
     in
     match decision with
@@ -402,4 +534,16 @@ let explain ?(threads = 1) t (sql : string) : string =
       Buffer.add_string buf (Plan.explain_tree ~annot p))
     bq.Plan.ctes;
   Buffer.add_string buf (Plan.explain_tree ~annot bq.Plan.main);
+  (* Would this query be incrementally maintainable as a view? On fallback,
+     report the typed reason (the same decision Matview makes). *)
+  (match Planner.analyze_ivm bq with
+  | Ok s ->
+    Buffer.add_string buf
+      (Printf.sprintf "matview: maintainable (tables=%s; driver=%s)\n"
+         (String.concat "," s.Planner.ivm_tables)
+         (Option.value ~default:"-" s.Planner.ivm_driver))
+  | Error r ->
+    Buffer.add_string buf
+      (Printf.sprintf "matview: fallback (%s)\n"
+         (Planner.ivm_reason_to_string r)));
   Buffer.contents buf

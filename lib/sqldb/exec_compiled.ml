@@ -974,3 +974,9 @@ let run_query ?(threads = 1) (catalog : Catalog.t) (bq : bound_query) :
     bq.ctes;
   let r = stream ctx bq.main in
   Relation.rename r (Array.map fst bq.main.Plan.schema)
+
+(** Run a bare plan subtree (no CTEs) — the compiled-engine counterpart of
+    [Exec_vectorized.run_plan]; the Matview differential tests cross-check
+    delta streams through both executors. *)
+let run_plan ?threads (catalog : Catalog.t) (p : Plan.plan) : Relation.t =
+  run_query ?threads catalog { Plan.ctes = []; main = p }

@@ -1091,3 +1091,11 @@ let run_query ?(threads = 1) ?on_rows (catalog : Catalog.t) (bq : bound_query)
       Hashtbl.replace ctx.ctes name r)
     bq.ctes;
   run ctx bq.main
+
+(** Run a bare plan subtree (no CTEs). The Matview delta engine streams
+    plan fragments — the select-project-join stream below a view's
+    aggregate, or its finish chain over accumulator output — through this
+    entry point against hybrid catalogs. *)
+let run_plan ?threads ?on_rows (catalog : Catalog.t) (p : Plan.plan) :
+    Relation.t =
+  run_query ?threads ?on_rows catalog { Plan.ctes = []; main = p }

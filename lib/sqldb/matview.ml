@@ -1,0 +1,550 @@
+(** Incrementally maintained materialized views: the delta engine.
+
+    A registered query becomes a {e view}: its result is stored and kept
+    fresh from appended rows alone, instead of re-executing the whole plan
+    on every read after an ingest (the PR-8 cache behaviour, which remains
+    the fallback).
+
+    {b Shape.} The planner splits a maintainable plan at its pipeline
+    breaker ({!Planner.analyze_ivm}): a select-project-join {e stream}
+    below the view's Aggregate, and a {e finish} chain above it (HAVING,
+    projections, sorts, limits). View state is the set of per-group
+    accumulators ({!Agg_util.acc}) produced by folding the stream's output
+    rows in order; the user-visible result is the finish chain run over the
+    finished accumulators — O(result), by the ordinary executor. Pure
+    filter/project views accumulate the stream rows themselves.
+
+    {b Delta derivation.} Appends only ever add rows at the end of a base
+    table, so the delta of table [T] is the row range [old_n, new_n) — a
+    zero-copy slice. A refresh never rewrites the plan: it re-runs the same
+    bound stream against a {e hybrid catalog} ({!Catalog.import}) that
+    binds one table to its delta slice and every other table to either the
+    current snapshot or the snapshot pinned at the last refresh. For
+    changed tables [T1..Tn] (in the stream's left-to-right probe order) the
+    standard telescoping delta rule applies: term [i] binds tables before
+    [Ti] to the {e new} snapshot, [Ti] to its delta, and tables after [Ti]
+    to the {e old} pinned snapshot; the terms' outputs are replayed into
+    the accumulators in order.
+
+    {b Exactness.} Accumulator updates replay {!Agg_util.update_fn} row by
+    row — the same count-before-body / null-skip / Neumaier-compensated
+    discipline as a from-scratch fold. When appends hit only the stream's
+    driver (leftmost probe-spine) table, both executors emit the delta rows
+    as a literal suffix of the full stream, so the incremental fold is a
+    prefix-continuation of the recompute fold and the state is
+    {e bit-identical} to recomputing on the final snapshot. When a
+    non-driver (build-side) table grows, the delta-rule terms see the same
+    multiset of rows in a different interleaving: results are exact up to
+    compensated-summation rounding (~1 ulp), which output rounding absorbs.
+
+    {b Crash safety.} A refresh deep-clones the accumulator state, replays
+    into the clone, and installs the new state only after every term (and
+    the finish run) succeeded. A fault or tripped {!Guard} mid-refresh
+    unwinds and leaves the view at its previous consistent version;
+    injected faults are retried once with injection suppressed, mirroring
+    [Db.execute]. *)
+
+(* PYTOND_IVM=0 keeps registration and view serving live but forces every
+   stale read through the full-recompute path — the fallback the CI matrix
+   leg proves out. *)
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "PYTOND_IVM" with
+    | Some ("0" | "false" | "off") -> false
+    | Some _ | None -> true)
+
+let set_enabled b = enabled_ref := b
+let enabled () = !enabled_ref
+
+type group = { gkey : Value.t array; accs : Agg_util.acc array }
+
+type state = {
+  deps : (string * int) list; (* table versions at this refresh *)
+  rows_at : (string * int) list; (* row counts, in stream table order *)
+  pinned : Catalog.t; (* the snapshot this state reflects *)
+  groups : (string, group) Hashtbl.t; (* packed group key -> group *)
+  order : string list; (* group keys, reverse first-seen order *)
+  spj_rows : Relation.t option; (* filter/project views: stream rows *)
+  version : int; (* view state version, ticks per refresh *)
+  result : Relation.t; (* finished, user-visible result *)
+}
+
+type t = {
+  v_name : string;
+  v_sql : string;
+  v_owner : string option;
+  v_lock : Mutex.t; (* guards all mutable fields below *)
+  mutable v_bq : Plan.bound_query;
+  mutable v_shape : Planner.ivm_shape option; (* None = fallback view *)
+  mutable v_reason : Planner.ivm_reason option;
+  mutable v_state : state option;
+  mutable v_dirty_replace : bool; (* a dep was replaced: plans are stale *)
+  mutable v_hits : int; (* reads served from fresh state *)
+  mutable v_deltas : int; (* incremental (suffix / delta-rule) refreshes *)
+  mutable v_recomputes : int; (* full re-executions (fallback path) *)
+}
+
+type served = [ `Hit | `Delta | `Recompute | `Init ]
+
+let name v = v.v_name
+let owner v = v.v_owner
+let maintainable v = v.v_shape <> None
+
+let reason_string v =
+  Option.map Planner.ivm_reason_to_string v.v_reason
+
+let counters v = (v.v_hits, v.v_deltas, v.v_recomputes)
+
+let current_version v =
+  match v.v_state with Some st -> st.version | None -> 0
+
+(** The stored result as of the last completed refresh, without refreshing:
+    what a reader observes after a crashed delta refresh. *)
+let peek v : Relation.t option =
+  Mutex.lock v.v_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock v.v_lock)
+    (fun () -> Option.map (fun st -> st.result) v.v_state)
+
+(* ------------------------------------------------------------------ *)
+(* Replay: the one fold that defines view state                       *)
+(* ------------------------------------------------------------------ *)
+
+let clone_acc (a : Agg_util.acc) : Agg_util.acc =
+  { Agg_util.count = a.Agg_util.count;
+    sumi = a.Agg_util.sumi;
+    sumf = a.Agg_util.sumf;
+    sumc = a.Agg_util.sumc;
+    minv = a.Agg_util.minv;
+    maxv = a.Agg_util.maxv;
+    seen = Option.map Hashtbl.copy a.Agg_util.seen;
+    seeni = Option.map Hashtbl.copy a.Agg_util.seeni }
+
+let clone_group g = { gkey = g.gkey; accs = Array.map clone_acc g.accs }
+
+let clone_groups (tbl : (string, group) Hashtbl.t) =
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter (fun k g -> Hashtbl.add out k (clone_group g)) tbl;
+  out
+
+(* Fold one stream chunk into the accumulators, row by row and in row
+   order. Chunks are decoded first: the accumulators outlive any one
+   execution, so DISTINCT tracking and group hashing must key on values,
+   never on dictionary codes private to one chunk's dictionaries. *)
+let replay ~(groups_idx : int array) ~(specs : Plan.agg_spec array)
+    (tbl : (string, group) Hashtbl.t) (order : string list ref)
+    (chunk : Relation.t) : unit =
+  let chunk = Relation.decode_strings chunk in
+  let cols = chunk.Relation.cols in
+  let n = Relation.n_rows chunk in
+  let upds = Array.map (fun s -> Agg_util.update_fn s cols) specs in
+  let nspec = Array.length upds in
+  for row = 0 to n - 1 do
+    if row land 4095 = 0 then Guard.check ();
+    let gkey = Array.map (fun i -> Column.get cols.(i) row) groups_idx in
+    let key = Hash_util.pack_values (Array.to_list gkey) in
+    let g =
+      match Hashtbl.find_opt tbl key with
+      | Some g -> g
+      | None ->
+        let g = { gkey; accs = Array.map Agg_util.create specs } in
+        Hashtbl.add tbl key g;
+        order := key :: !order;
+        g
+    in
+    for k = 0 to nspec - 1 do
+      upds.(k) g.accs.(k) row
+    done
+  done;
+  Guard.add_rows n
+
+(* A global aggregate emits exactly one row even over empty input, so its
+   single group exists from the start — recompute and incremental states
+   agree on empty streams by construction. *)
+let seed_global ~(specs : Plan.agg_spec array) tbl (order : string list ref) =
+  let key = Hash_util.pack_values [] in
+  if not (Hashtbl.mem tbl key) then begin
+    Hashtbl.add tbl key { gkey = [||]; accs = Array.map Agg_util.create specs };
+    order := key :: !order
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Finishing accumulator state into the user-visible result           *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the finish chain over a replacement input: register the relation as
+   the one table of a scratch catalog and execute rebuild(Scan __mv). *)
+let run_finish (shape : Planner.ivm_shape) (schema : Plan.schema)
+    (rel : Relation.t) : Relation.t =
+  let finish = shape.Planner.ivm_rebuild (Plan.mk (Plan.Scan "__mv") schema) in
+  match finish.Plan.node with
+  | Plan.Scan _ -> rel (* identity finish chain *)
+  | _ ->
+    let scratch = Catalog.create () in
+    Catalog.add_transient scratch "__mv" rel;
+    Exec_vectorized.run_plan ~threads:1 scratch finish
+
+let agg_result (shape : Planner.ivm_shape)
+    (tbl : (string, group) Hashtbl.t) (order : string list) : Relation.t =
+  match shape.Planner.ivm_agg with
+  | None -> invalid_arg "Matview.agg_result: not an aggregate view"
+  | Some (groups_idx, specs, agg_schema) ->
+    let n_g = List.length groups_idx in
+    let specs = Array.of_list specs in
+    let keys = List.rev order in
+    let gs = List.map (Hashtbl.find tbl) keys in
+    let ng = List.length gs in
+    let cols =
+      Array.init (Array.length agg_schema) (fun ci ->
+          let _, ty = agg_schema.(ci) in
+          let vs = Array.make ng Value.VNull in
+          List.iteri
+            (fun r g ->
+              vs.(r) <-
+                (if ci < n_g then g.gkey.(ci)
+                 else Agg_util.finish specs.(ci - n_g) g.accs.(ci - n_g)))
+            gs;
+          Column.of_values ty vs)
+    in
+    let rel = Relation.create (Array.map fst agg_schema) cols in
+    run_finish shape agg_schema rel
+
+let spj_result (shape : Planner.ivm_shape) (rows : Relation.t) : Relation.t =
+  run_finish shape shape.Planner.ivm_stream.Plan.schema rows
+
+(* ------------------------------------------------------------------ *)
+(* Refresh strategies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stamp_deps cat tables =
+  List.filter_map
+    (fun n -> Option.map (fun v -> (n, v)) (Catalog.table_version cat n))
+    tables
+
+let stamp_rows cat tables =
+  List.map (fun n -> (n, Relation.n_rows (Catalog.relation cat n))) tables
+
+(* Zero-copy-ish suffix slice [from..n) of a base table: gathers share
+   dictionaries with the source, so delta slices stay cheap. *)
+let delta_slice cat name ~from : Relation.t =
+  let rel = Catalog.relation cat name in
+  let n = Relation.n_rows rel in
+  Relation.take rel (Array.init (n - from) (fun i -> from + i))
+
+(* Hybrid catalog for delta-rule term [ti]: stream tables before [ti] bind
+   to the new snapshot, [ti] to its delta slice, tables after [ti] to the
+   old pinned snapshot. Unchanged tables are identical in both snapshots,
+   so only the changed tables' positions matter. *)
+let term_catalog (shape : Planner.ivm_shape) (st : state) (cat : Catalog.t)
+    ~(changed : string list) (ti : string) : Catalog.t =
+  let c = Catalog.create () in
+  let before = ref true in
+  List.iter
+    (fun n ->
+      if n = ti then begin
+        Catalog.add_transient c n
+          (delta_slice cat n ~from:(List.assoc n st.rows_at));
+        before := false
+      end
+      else if List.mem n changed then
+        Catalog.import c ~src:(if !before then cat else st.pinned) n
+      else Catalog.import c ~src:cat n)
+    shape.Planner.ivm_tables;
+  c
+
+let next_version v = 1 + match v.v_state with Some st -> st.version | None -> 0
+
+(* Full build of a maintainable view's state on [cat] by replaying the
+   whole stream — the same fold a delta refresh continues, so the two are
+   comparable bit for bit. *)
+let build_full (view : t) (shape : Planner.ivm_shape) (cat : Catalog.t) :
+    state =
+  let stream =
+    Exec_vectorized.run_plan ~threads:1 cat shape.Planner.ivm_stream
+  in
+  match shape.Planner.ivm_agg with
+  | Some (gidx, specs, _) ->
+    let specs_a = Array.of_list specs in
+    let tbl = Hashtbl.create 64 and order = ref [] in
+    if gidx = [] then seed_global ~specs:specs_a tbl order;
+    replay ~groups_idx:(Array.of_list gidx) ~specs:specs_a tbl order stream;
+    { deps = stamp_deps cat shape.Planner.ivm_tables;
+      rows_at = stamp_rows cat shape.Planner.ivm_tables;
+      pinned = Catalog.pin cat;
+      groups = tbl;
+      order = !order;
+      spj_rows = None;
+      version = next_version view;
+      result = agg_result shape tbl !order }
+  | None ->
+    let rows = Relation.decode_strings stream in
+    { deps = stamp_deps cat shape.Planner.ivm_tables;
+      rows_at = stamp_rows cat shape.Planner.ivm_tables;
+      pinned = Catalog.pin cat;
+      groups = Hashtbl.create 1;
+      order = [];
+      spj_rows = Some rows;
+      version = next_version view;
+      result = spj_result shape rows }
+
+(* Full recompute, used at registration, for fallback views, after a
+   replace, and when IVM is disabled. Always replans from SQL: a replaced
+   table may have a new schema, and the replan re-decides maintainability. *)
+let recompute (view : t) (cat : Catalog.t) : state =
+  let bq = Planner.plan_query cat (Sql_parse.parse view.v_sql) in
+  view.v_bq <- bq;
+  (match Planner.analyze_ivm bq with
+  | Ok s ->
+    view.v_shape <- Some s;
+    view.v_reason <- None
+  | Error r ->
+    view.v_shape <- None;
+    view.v_reason <- Some r);
+  view.v_dirty_replace <- false;
+  match view.v_shape with
+  | Some shape -> build_full view shape cat
+  | None ->
+    let tables = Plan.bound_tables bq in
+    let result = Exec_vectorized.run_query ~threads:1 cat bq in
+    { deps = stamp_deps cat tables;
+      rows_at = stamp_rows cat tables;
+      pinned = Catalog.pin cat;
+      groups = Hashtbl.create 1;
+      order = [];
+      spj_rows = None;
+      version = next_version view;
+      result }
+
+(* Incremental refresh: replay each changed table's delta-rule term into a
+   deep clone of the accumulator state, then finish and install. *)
+let delta_refresh (view : t) (shape : Planner.ivm_shape) (st : state)
+    (cat : Catalog.t) ~(changed : string list) : state =
+  let run_term ti =
+    let ccat = term_catalog shape st cat ~changed ti in
+    Exec_vectorized.run_plan ~threads:1 ccat shape.Planner.ivm_stream
+  in
+  match shape.Planner.ivm_agg with
+  | Some (gidx, specs, _) ->
+    let specs_a = Array.of_list specs in
+    let tbl = clone_groups st.groups in
+    let order = ref st.order in
+    List.iter
+      (fun ti ->
+        if List.mem ti changed then
+          replay ~groups_idx:(Array.of_list gidx) ~specs:specs_a tbl order
+            (run_term ti))
+      shape.Planner.ivm_tables;
+    { deps = stamp_deps cat shape.Planner.ivm_tables;
+      rows_at = stamp_rows cat shape.Planner.ivm_tables;
+      pinned = Catalog.pin cat;
+      groups = tbl;
+      order = !order;
+      spj_rows = None;
+      version = next_version view;
+      result = agg_result shape tbl !order }
+  | None ->
+    let old_rows = Option.get st.spj_rows in
+    let fresh =
+      List.filter_map
+        (fun ti ->
+          if List.mem ti changed then
+            Some (Relation.decode_strings (run_term ti))
+          else None)
+        shape.Planner.ivm_tables
+    in
+    let rows = Relation.concat (old_rows :: fresh) in
+    { deps = stamp_deps cat shape.Planner.ivm_tables;
+      rows_at = stamp_rows cat shape.Planner.ivm_tables;
+      pinned = Catalog.pin cat;
+      groups = Hashtbl.create 1;
+      order = [];
+      spj_rows = Some rows;
+      version = next_version view;
+      result = spj_result shape rows }
+
+(* ------------------------------------------------------------------ *)
+(* Read path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type plan_of_action =
+  | Fresh of state
+  | Append of state * Planner.ivm_shape * string list
+  | Full of bool (* true = initial build *)
+
+(* Decide how to serve a read against [cat]. Appends are recognised by
+   grown row counts on unchanged-schema tables; anything else — replaced
+   deps (flagged by [note_replaced]), dropped tables, shrunk row counts,
+   IVM disabled — recomputes. *)
+let classify (view : t) (cat : Catalog.t) : plan_of_action =
+  match view.v_state with
+  | None -> Full true
+  | Some st ->
+    if
+      List.for_all
+        (fun (n, ver) -> Catalog.table_version cat n = Some ver)
+        st.deps
+    then Fresh st
+    else if view.v_dirty_replace || not (enabled ()) then Full false
+    else (
+      match view.v_shape with
+      | None -> Full false
+      | Some shape ->
+        let ok = ref true in
+        let changed =
+          List.filter_map
+            (fun (n, old_rows) ->
+              match
+                (Catalog.table_version cat n, List.assoc_opt n st.deps)
+              with
+              | None, _ ->
+                ok := false;
+                None
+              | Some v, Some v0 when v = v0 -> None
+              | Some _, _ ->
+                if Relation.n_rows (Catalog.relation cat n) > old_rows then
+                  Some n
+                else begin
+                  ok := false;
+                  None
+                end)
+            st.rows_at
+        in
+        if !ok && changed <> [] then Append (st, shape, changed)
+        else Full false)
+
+(* Injected-fault recovery mirrors [Db.execute]: one retry with injection
+   suppressed. Guard trips are not retried — they unwind to the caller
+   with the view still at its previous version. *)
+let with_fault_retry f =
+  try f ()
+  with Faults.Injected _ when not (Faults.suppressed ()) ->
+    Faults.with_suppressed f
+
+(** Serve the view against snapshot [cat], refreshing first if stale.
+    Returns the result and how it was produced (for counters). Must be
+    called with the catalog already pinned. *)
+let read (view : t) ~(cat : Catalog.t) : Relation.t * served =
+  Mutex.lock view.v_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock view.v_lock)
+    (fun () ->
+      match classify view cat with
+      | Fresh st ->
+        view.v_hits <- view.v_hits + 1;
+        (st.result, `Hit)
+      | Append (st, shape, changed) ->
+        let st' =
+          with_fault_retry (fun () ->
+              Faults.crash_point ~site:"matview.refresh";
+              delta_refresh view shape st cat ~changed)
+        in
+        view.v_state <- Some st';
+        view.v_deltas <- view.v_deltas + 1;
+        (st'.result, `Delta)
+      | Full initial ->
+        let st' =
+          with_fault_retry (fun () ->
+              Faults.crash_point ~site:"matview.refresh";
+              recompute view cat)
+        in
+        view.v_state <- Some st';
+        if not initial then view.v_recomputes <- view.v_recomputes + 1;
+        (st'.result, if initial then `Init else `Recompute))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type registry = {
+  views : (string, t) Hashtbl.t; (* by view name *)
+  by_key : (string, string) Hashtbl.t; (* normalized SQL -> view name *)
+  rlock : Mutex.t;
+}
+
+let create_registry () =
+  { views = Hashtbl.create 8; by_key = Hashtbl.create 8;
+    rlock = Mutex.create () }
+
+let rlocked reg f =
+  Mutex.lock reg.rlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.rlock) f
+
+let size reg = rlocked reg (fun () -> Hashtbl.length reg.views)
+let find reg name = rlocked reg (fun () -> Hashtbl.find_opt reg.views name)
+
+let find_by_key reg key =
+  rlocked reg (fun () ->
+      Option.bind
+        (Hashtbl.find_opt reg.by_key key)
+        (Hashtbl.find_opt reg.views))
+
+let list reg =
+  rlocked reg (fun () ->
+      List.sort
+        (fun a b -> String.compare a.v_name b.v_name)
+        (Hashtbl.fold (fun _ v acc -> v :: acc) reg.views []))
+
+(** Register [sql] as view [name] and build its initial state eagerly (so
+    the first read is a hit). [key] is the caller's normalized-SQL cache
+    key: [Db.execute] routes matching queries to the view through it.
+    [quota] bounds the number of views [owner] may hold — views are
+    charged against the tenant's cache quota. *)
+let register reg ~(cat : Catalog.t) ?owner ?quota ~name ~sql ~key () :
+    (t, string) result =
+  rlocked reg (fun () ->
+      if Hashtbl.mem reg.views name then
+        Error (Printf.sprintf "view %s already registered" name)
+      else begin
+        let over_quota =
+          match (owner, quota) with
+          | Some o, Some q ->
+            let owned =
+              Hashtbl.fold
+                (fun _ v n -> if v.v_owner = Some o then n + 1 else n)
+                reg.views 0
+            in
+            owned >= max 1 q
+          | _ -> false
+        in
+        if over_quota then
+          Error
+            (Printf.sprintf "view quota exceeded for %s"
+               (Option.value ~default:"?" owner))
+        else begin
+          let bq = Planner.plan_query cat (Sql_parse.parse sql) in
+          let shape, reason =
+            match Planner.analyze_ivm bq with
+            | Ok s -> (Some s, None)
+            | Error r -> (None, Some r)
+          in
+          let v =
+            { v_name = name;
+              v_sql = sql;
+              v_owner = owner;
+              v_lock = Mutex.create ();
+              v_bq = bq;
+              v_shape = shape;
+              v_reason = reason;
+              v_state = None;
+              v_dirty_replace = false;
+              v_hits = 0;
+              v_deltas = 0;
+              v_recomputes = 0 }
+          in
+          ignore (read v ~cat);
+          Hashtbl.replace reg.views name v;
+          Hashtbl.replace reg.by_key key name;
+          Ok v
+        end
+      end)
+
+(** A base table was replaced (schema may have changed): force every view
+    depending on it through the full recompute-and-replan path at its next
+    read. *)
+let note_replaced reg tname =
+  rlocked reg (fun () ->
+      Hashtbl.iter
+        (fun _ v ->
+          if List.mem tname (Plan.bound_tables v.v_bq) then
+            v.v_dirty_replace <- true)
+        reg.views)

@@ -215,6 +215,31 @@ let rec shift_cols k = function
   | PIsNull (a, n) -> PIsNull (shift_cols k a, n)
   | PCast (a, ty) -> PCast (shift_cols k a, ty)
 
+(* Base tables a bound query scans: every Scan name that is not one of the
+   query's own CTEs. These are a cached entry's (and a materialized view's)
+   invalidation dependencies. *)
+let bound_tables (bq : bound_query) : string list =
+  let rec scans acc (p : plan) =
+    match p.node with
+    | Scan name -> name :: acc
+    | PValues _ -> acc
+    | Filter (s, _)
+    | Project (s, _)
+    | Aggregate (s, _, _)
+    | Sort (s, _)
+    | LimitN (s, _)
+    | Distinct s
+    | Window (s, _, _) -> scans acc s
+    | Join { left; right; _ } | SemiJoin { left; right; _ } ->
+      scans (scans acc left) right
+  in
+  let cte_names = List.map fst bq.ctes in
+  let all =
+    List.fold_left (fun acc (_, p) -> scans acc p) (scans [] bq.main) bq.ctes
+  in
+  List.sort_uniq String.compare
+    (List.filter (fun n -> not (List.mem n cte_names)) all)
+
 let conj = function
   | [] -> None
   | e :: rest ->

@@ -1412,3 +1412,175 @@ let fusible_agg (p : plan) : bool =
   | Aggregate (sub, _, specs) ->
     List.for_all (fun s -> not s.distinct) specs && chain sub
   | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-maintainability analysis (Matview)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Why a registered query cannot be maintained from deltas alone; surfaced
+   verbatim in [Db.explain] and the server's view registration reply, so
+   a fallback view is always a diagnosed one. *)
+type ivm_reason =
+  | IVM_window
+  | IVM_cte
+  | IVM_semi_join
+  | IVM_outer_join
+  | IVM_self_join
+  | IVM_nested_agg
+  | IVM_distinct_stream
+  | IVM_sort_stream
+  | IVM_limit_stream
+  | IVM_join_without_agg
+  | IVM_no_base_table
+
+let ivm_reason_to_string = function
+  | IVM_window -> "window function in plan"
+  | IVM_cte -> "multi-use CTE survives inlining"
+  | IVM_semi_join -> "semi/anti join in the delta stream"
+  | IVM_outer_join -> "outer join in the delta stream"
+  | IVM_self_join -> "same base table scanned more than once"
+  | IVM_nested_agg -> "nested aggregate below the view aggregate"
+  | IVM_distinct_stream -> "DISTINCT over a non-aggregated stream"
+  | IVM_sort_stream -> "sort inside the delta stream"
+  | IVM_limit_stream -> "LIMIT over a non-aggregated stream"
+  | IVM_join_without_agg ->
+    "join without an aggregate (view state would grow with the input)"
+  | IVM_no_base_table -> "no base table in plan"
+
+(* A maintainable plan, split at the pipeline breaker:
+   [ivm_stream] is the select-project-join subtree whose output rows feed
+   the view's accumulators — running it over a hybrid catalog that binds
+   one table to a delta slice yields exactly the delta rows. [ivm_agg]
+   carries the Aggregate node's grouping/specs/schema (None for pure
+   filter/project views, whose state is the accumulated stream itself).
+   [ivm_rebuild] re-attaches the finish chain (HAVING filters, projections,
+   sorts, limits above the breaker) over a replacement subtree, so the
+   stored accumulator state is finished into the user-visible result by
+   the ordinary executor. *)
+type ivm_shape = {
+  ivm_stream : Plan.plan;
+  ivm_agg : (int list * Plan.agg_spec list * Plan.schema) option;
+  ivm_rebuild : Plan.plan -> Plan.plan;
+  ivm_tables : string list; (* stream base tables, leftmost (probe) first *)
+  ivm_driver : string option; (* leftmost-leaf scan: the probe spine *)
+}
+
+(* Stream validity: Scan/Values/Filter/Project/inner-Join only. Anything
+   order-destroying or non-monotone (outer joins produce retractions when
+   the null-padded side later matches; semi/anti joins retract on build
+   growth; nested aggregates fold) falls back with a typed reason. *)
+let rec ivm_stream_ok (p : Plan.plan) : ivm_reason option =
+  match p.Plan.node with
+  | Plan.Scan _ | Plan.PValues _ -> None
+  | Plan.Filter (s, _) | Plan.Project (s, _) -> ivm_stream_ok s
+  | Plan.Join { kind = Plan.JInner; left; right; _ } -> (
+    match ivm_stream_ok left with
+    | Some r -> Some r
+    | None -> ivm_stream_ok right)
+  | Plan.Join _ -> Some IVM_outer_join
+  | Plan.SemiJoin _ -> Some IVM_semi_join
+  | Plan.Aggregate _ -> Some IVM_nested_agg
+  | Plan.Sort _ -> Some IVM_sort_stream
+  | Plan.LimitN _ -> Some IVM_limit_stream
+  | Plan.Distinct _ -> Some IVM_distinct_stream
+  | Plan.Window _ -> Some IVM_window
+
+(* Scans of a stream subtree, left to right: the executors stream the left
+   (probe) side in order, so position in this list is the delta-rule term
+   order. *)
+let rec ivm_scans (p : Plan.plan) : string list =
+  match p.Plan.node with
+  | Plan.Scan n -> [ n ]
+  | Plan.PValues _ -> []
+  | Plan.Filter (s, _) | Plan.Project (s, _) -> ivm_scans s
+  | Plan.Join { left; right; _ } -> ivm_scans left @ ivm_scans right
+  | _ -> []
+
+let rec ivm_leftmost (p : Plan.plan) : string option =
+  match p.Plan.node with
+  | Plan.Scan n -> Some n
+  | Plan.Filter (s, _) | Plan.Project (s, _) -> ivm_leftmost s
+  | Plan.Join { left; _ } -> ivm_leftmost left
+  | _ -> None
+
+(* Is there an Aggregate on the unary spine from the root? Decides whether
+   the view folds (aggregate view) or accumulates (filter/project view). *)
+let rec ivm_has_agg_spine (p : Plan.plan) =
+  match p.Plan.node with
+  | Plan.Aggregate _ -> true
+  | Plan.Filter (s, _)
+  | Plan.Project (s, _)
+  | Plan.Sort (s, _)
+  | Plan.LimitN (s, _)
+  | Plan.Distinct s
+  | Plan.Window (s, _, _) -> ivm_has_agg_spine s
+  | _ -> false
+
+let ivm_finish_shape stream agg wrap =
+  let tables = ivm_scans stream in
+  if tables = [] then Error IVM_no_base_table
+  else if
+    List.length (List.sort_uniq String.compare tables) <> List.length tables
+  then Error IVM_self_join
+  else
+    Ok
+      { ivm_stream = stream;
+        ivm_agg = agg;
+        ivm_rebuild = wrap;
+        ivm_tables = tables;
+        ivm_driver = ivm_leftmost stream }
+
+(** Decide whether [bq] can be maintained incrementally from appended rows
+    alone, and if so split it into stream / aggregate / finish parts. *)
+let analyze_ivm (bq : Plan.bound_query) : (ivm_shape, ivm_reason) result =
+  if bq.Plan.ctes <> [] then Error IVM_cte
+  else if ivm_has_agg_spine bq.Plan.main then
+    (* Aggregate view: descend the finish chain to the breaker. Filters
+       above the Aggregate are HAVING predicates; all finish ops are
+       recomputed from the accumulator state at O(result). *)
+    let rec split (p : Plan.plan) (wrap : Plan.plan -> Plan.plan) =
+      match p.Plan.node with
+      | Plan.Aggregate (stream, groups, specs) -> (
+        match ivm_stream_ok stream with
+        | Some r -> Error r
+        | None ->
+          ivm_finish_shape stream
+            (Some (groups, specs, p.Plan.schema))
+            wrap)
+      | Plan.Sort (s, k) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Sort (x, k) })
+      | Plan.LimitN (s, n) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.LimitN (x, n) })
+      | Plan.Distinct s ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Distinct x })
+      | Plan.Filter (s, e) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Filter (x, e) })
+      | Plan.Project (s, items) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Project (x, items) })
+      | Plan.Window _ -> Error IVM_window
+      | _ -> Error IVM_nested_agg (* unreachable given has_agg_spine *)
+    in
+    split bq.Plan.main Fun.id
+  else
+    (* Filter/project view: state is the accumulated stream itself, so the
+       stream must come from a single table (a join's output — and hence
+       the state — would grow superlinearly with the base tables; those
+       shapes are only worth maintaining below an aggregate). Sorts,
+       limits and distincts above the stream are recomputed at finish. *)
+    let rec split (p : Plan.plan) (wrap : Plan.plan -> Plan.plan) =
+      match p.Plan.node with
+      | Plan.Sort (s, k) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Sort (x, k) })
+      | Plan.LimitN (s, n) ->
+        split s (fun x -> wrap { p with Plan.node = Plan.LimitN (x, n) })
+      | Plan.Distinct s ->
+        split s (fun x -> wrap { p with Plan.node = Plan.Distinct x })
+      | Plan.Window _ -> Error IVM_window
+      | _ -> (
+        match ivm_stream_ok p with
+        | Some r -> Error r
+        | None ->
+          if List.length (ivm_scans p) > 1 then Error IVM_join_without_agg
+          else ivm_finish_shape p None wrap)
+    in
+    split bq.Plan.main Fun.id

@@ -21,6 +21,15 @@ open Value
 
 let block_size = 4096
 
+(* Observability: rows iterated by statistics / zone-map passes since the
+   last reset. Each per-column pass accounts the row range it walks, so the
+   ingest-cost regression test can pin an append's statistics work to
+   O(delta) regardless of resident table size. *)
+let scanned : int Atomic.t = Atomic.make 0
+let reset_rows_scanned () = Atomic.set scanned 0
+let rows_scanned () = Atomic.get scanned
+let note_scanned n = if n > 0 then ignore (Atomic.fetch_and_add scanned n)
+
 type col_stats = {
   null_count : int;
   null_frac : float; (* null_count / column length *)
@@ -100,6 +109,7 @@ let null_count_of (c : Column.t) _n =
 
 let stats_of_col ~unique (c : Column.t) : col_stats =
   let n = Column.length c in
+  note_scanned n;
   let nulls = null_count_of c n in
   let live = n - nulls in
   let is_null i = Column.is_null c i in
@@ -188,6 +198,7 @@ let empty_zone = { zmin = infinity; zmax = neg_infinity }
 let zones_of_col (c : Column.t) : zone array option =
   let build get =
     let n = Column.length c in
+    note_scanned n;
     let nb = (n + block_size - 1) / block_size in
     let zs = Array.make (max 1 nb) empty_zone in
     for b = 0 to nb - 1 do
@@ -215,6 +226,27 @@ let zones_of_col (c : Column.t) : zone array option =
 (* [unique.(i)] marks columns known unique from constraints (single-column
    primary keys), giving an exact distinct count for free. Columns are
    independent, so ingest statistics fan out one column per worker. *)
+(* Minimal statistics for short-lived relations (delta slices the view
+   engine replays exactly once): row and null counts only — no ranges, no
+   distinct estimation, no zone maps. The planner never sees these tables;
+   they exist inside an already-planned stream replay, so the expensive
+   fields would be computed and immediately discarded. *)
+let trivial (rel : Relation.t) : table_stats =
+  let n = Relation.n_rows rel in
+  { row_count = n;
+    cols =
+      Array.map
+        (fun c ->
+          let nulls = null_count_of c n in
+          { null_count = nulls;
+            null_frac =
+              (if n = 0 then 0. else float_of_int nulls /. float_of_int n);
+            distinct = 1.;
+            range = None;
+            str_range = None })
+        rel.Relation.cols;
+    zones = Array.map (fun _ -> None) rel.Relation.cols }
+
 let compute ?unique ?(threads = 1) (rel : Relation.t) : table_stats =
   let uniq i =
     match unique with Some u when i < Array.length u -> u.(i) | _ -> false
@@ -224,6 +256,153 @@ let compute ?unique ?(threads = 1) (rel : Relation.t) : table_stats =
       (Array.to_list
          (Array.mapi
             (fun i c () -> (stats_of_col ~unique:(uniq i) c, zones_of_col c))
+            rel.Relation.cols))
+  in
+  let per_col = Array.of_list per_col in
+  { row_count = Relation.n_rows rel;
+    cols = Array.map fst per_col;
+    zones = Array.map snd per_col }
+
+(* ------------------------------------------------------------------ *)
+(* O(delta) maintenance for appends                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold the appended rows [from..n) of the merged column into [old]'s
+   statistics without revisiting resident rows. Null counts and ranges
+   merge exactly; distinct counts stay exact on the cheap paths (unique
+   columns, dictionaries, booleans) and otherwise become the capped sum of
+   the old estimate and a delta-only estimate — an upper bound, which only
+   makes the planner more conservative. *)
+let append_col_stats ~unique (old : col_stats) (c : Column.t) ~from :
+    col_stats =
+  let n = Column.length c in
+  let d = n - from in
+  let is_null i = Column.is_null c i in
+  let nulls_delta = ref 0 in
+  for i = from to n - 1 do
+    if is_null i then incr nulls_delta
+  done;
+  note_scanned d;
+  let nulls = old.null_count + !nulls_delta in
+  let live = n - nulls in
+  let range =
+    match Column.num_reader c with
+    | Some get when c.Column.ty <> TBool ->
+      note_scanned d;
+      let lo = ref infinity and hi = ref neg_infinity in
+      for i = from to n - 1 do
+        if not (is_null i) then begin
+          let v = get i in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v
+        end
+      done;
+      (match old.range with
+      | Some (olo, ohi) -> Some (Float.min olo !lo, Float.max ohi !hi)
+      | None -> if !lo > !hi then None else Some (!lo, !hi))
+    | _ -> None
+  in
+  let str_range =
+    match c.Column.data with
+    | Column.S _ | Column.D _ | Column.BD _ ->
+      note_scanned d;
+      let merged = ref old.str_range in
+      for i = from to n - 1 do
+        if not (is_null i) then begin
+          let s = Column.string_at c i in
+          merged :=
+            (match !merged with
+            | None -> Some (s, s)
+            | Some (l, h) ->
+              Some
+                ( (if String.compare s l < 0 then s else l),
+                  if String.compare s h > 0 then s else h ))
+        end
+      done;
+      !merged
+    | _ -> old.str_range
+  in
+  let distinct =
+    if unique then float_of_int (max 1 live)
+    else
+      match c.Column.data with
+      | Column.D (_, dd) | Column.BD (_, dd) ->
+        float_of_int (max 1 (Column.dict_size dd))
+      | Column.B _ -> 2.
+      | _ ->
+        note_scanned d;
+        let at key_at =
+          distinct_estimate
+            (fun i ->
+              let i = from + i in
+              if is_null i then None else Some (key_at i))
+            d
+        in
+        let delta_d =
+          match c.Column.data with
+          | Column.I a -> at (fun i -> a.(i))
+          | Column.F a -> at (fun i -> a.(i))
+          | Column.S a -> at (fun i -> a.(i))
+          | Column.BI v -> at (Bigarray.Array1.get v)
+          | Column.BF v -> at (Bigarray.Array1.get v)
+          | Column.B _ | Column.D _ | Column.BD _ -> 1.
+        in
+        Float.max 1. (Float.min (float_of_int (max 1 live)) (old.distinct +. delta_d))
+  in
+  { null_count = nulls;
+    null_frac = (if n = 0 then 0. else float_of_int nulls /. float_of_int n);
+    distinct; range; str_range }
+
+(* Zone maps after an append: blocks entirely inside the resident prefix
+   are carried over as-is; only the block the append landed in and the
+   fresh tail blocks are (re)computed — O(delta + block_size) rows. *)
+let extend_zones (old : zone array option) (c : Column.t) ~from :
+    zone array option =
+  match Column.num_reader c with
+  | Some get when c.Column.ty <> TBool ->
+    let n = Column.length c in
+    let nb = max 1 ((n + block_size - 1) / block_size) in
+    let zs = Array.make nb empty_zone in
+    let start =
+      match old with
+      | Some ozs ->
+        let keep = min (Array.length ozs) (from / block_size) in
+        Array.blit ozs 0 zs 0 keep;
+        keep
+      | None -> 0
+    in
+    note_scanned (n - (start * block_size));
+    for b = start to nb - 1 do
+      let lo = b * block_size and hi = min n ((b + 1) * block_size) - 1 in
+      let zmin = ref infinity and zmax = ref neg_infinity in
+      for i = lo to hi do
+        if not (Column.is_null c i) then begin
+          let v = get i in
+          if v < !zmin then zmin := v;
+          if v > !zmax then zmax := v
+        end
+      done;
+      zs.(b) <- { zmin = !zmin; zmax = !zmax }
+    done;
+    Some zs
+  | _ -> None
+
+(** Statistics for [rel] after appending rows [from..n): every per-column
+    pass walks only the appended suffix (plus at most one straddled zone
+    block), so ingest cost is O(delta), not O(table). [rel] must be the
+    merged relation whose first [from] rows carried [old]. *)
+let append_table (old : table_stats) ?unique ?(threads = 1)
+    (rel : Relation.t) ~from : table_stats =
+  let uniq i =
+    match unique with Some u when i < Array.length u -> u.(i) | _ -> false
+  in
+  let per_col =
+    Parallel.map_list ~threads
+      (Array.to_list
+         (Array.mapi
+            (fun i c () ->
+              ( append_col_stats ~unique:(uniq i) old.cols.(i) c ~from,
+                extend_zones old.zones.(i) c ~from ))
             rel.Relation.cols))
   in
   let per_col = Array.of_list per_col in

@@ -18,6 +18,10 @@ type policy = {
   row_budget : int option; (** per-query {!Guard} materialized-row cap *)
   cache_quota : int option;
       (** max {!Db} result-cache entries attributable to this tenant *)
+  view_quota : int option;
+      (** max materialized views this tenant may register; [None] falls
+          back to [cache_quota] — views are charged against the same
+          per-tenant budget as cached results *)
   max_retries : int;
       (** additional attempts for fault-classified transient errors *)
   backoff_ms : float; (** base retry backoff; doubles per attempt, jittered *)
@@ -33,10 +37,15 @@ let default_policy =
     timeout_ms = None;
     row_budget = None;
     cache_quota = None;
+    view_quota = None;
     max_retries = 2;
     backoff_ms = 2.;
     breaker_threshold = 5;
     breaker_cooldown_ms = 1000. }
+
+(** Effective view quota: explicit [view_quota], else the cache quota. *)
+let effective_view_quota p =
+  match p.view_quota with Some q -> Some q | None -> p.cache_quota
 
 type t = {
   name : string;

@@ -1,0 +1,450 @@
+(** Materialized views: the Matview delta engine.
+
+    The core check is a differential oracle — after every append, a view's
+    incrementally maintained result must equal a from-scratch rebuild on
+    the final snapshot. Exactness is adaptive: when appends only touch the
+    view's driver (leftmost probe-spine) table, the incremental fold is a
+    literal prefix-continuation of the full fold and results must be
+    {e bit-identical} (hex-float compare); when a build-side table grows,
+    the delta rule replays the same multiset in a different interleaving
+    and results are compared at canonical rounding instead. *)
+
+open Sqldb
+
+(* Bit-exact canonicalization: floats printed as hex ("%h") so two results
+   compare equal only when every float cell is the same IEEE value. *)
+let exact_rows (r : Relation.t) : string list =
+  List.init (Relation.n_rows r) (fun i ->
+      String.concat "|"
+        (Array.to_list
+           (Array.map
+              (fun c ->
+                match Column.get c i with
+                | Value.VFloat f -> Printf.sprintf "%h" f
+                | v -> Value.to_string v)
+              r.Relation.cols)))
+
+(* Reference rebuild: register the same SQL as a fresh view over a frozen
+   snapshot of [db], forcing Matview's full build path on the final data.
+   This is the fold the incremental state claims to equal bit for bit. *)
+let rebuild_view db sql : Relation.t =
+  let snap = Db.snapshot db in
+  match Db.register_view snap ~name:"__ref" sql with
+  | Ok () -> Db.refresh snap "__ref"
+  | Error e -> Alcotest.failf "reference view registration failed: %s" e
+
+let ok_or_fail = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "register_view failed: %s" e
+
+let find_info db name =
+  match List.find_opt (fun i -> i.Db.vi_name = name) (Db.view_infos db) with
+  | Some i -> i
+  | None -> Alcotest.failf "view %s not registered" name
+
+(* ------------------------------------------------------------------ *)
+(* O(delta) appends (stats/zone recompute scoped to the delta)         *)
+(* ------------------------------------------------------------------ *)
+
+let test_append_scan_bound () =
+  let db = Tpch.Dbgen.make_db 0.01 in
+  let li = Catalog.relation (Db.catalog db) "lineitem" in
+  let n = Relation.n_rows li in
+  Alcotest.(check bool) "table is non-trivial" true (n > 10_000);
+  let batch = Relation.take li (Array.init 64 Fun.id) in
+  Stats.reset_rows_scanned ();
+  Db.append_table db "lineitem" batch;
+  let delta_scan = Stats.rows_scanned () in
+  Stats.reset_rows_scanned ();
+  ignore (Stats.compute (Catalog.relation (Db.catalog db) "lineitem"));
+  let full_scan = Stats.rows_scanned () in
+  Alcotest.(check bool) "append recomputed something" true (delta_scan > 0);
+  (* the regression that matters: appending 64 rows must not rescan the
+     table — stats and zone maps fold forward over the suffix only *)
+  Alcotest.(check bool)
+    (Printf.sprintf "append scan is O(delta): %d << %d" delta_scan full_scan)
+    true
+    (delta_scan * 5 < full_scan);
+  let r =
+    Db.execute db "SELECT count(*) AS c FROM lineitem" |> Relation.canonical
+  in
+  Alcotest.(check (list string)) "row count" [ string_of_int (n + 64) ] r
+
+let test_append_stats_consistency () =
+  (* appended-path stats must agree with recomputed stats on the facts the
+     planner consumes (ranges, null counts), and zone maps must still
+     prune correctly *)
+  let db = Db.create () in
+  Db.load_table db "t"
+    (Helpers.rel [ "k"; "v"; "s" ]
+       [ Helpers.ints [| 1; 2; 3; 4 |];
+         Helpers.floats [| 1.5; -2.0; 3.25; 0.0 |];
+         Helpers.strings [| "b"; "d"; "a"; "c" |] ]);
+  Db.append_table db "t"
+    (Helpers.rel [ "k"; "v"; "s" ]
+       [ Helpers.ints [| 9; 0 |];
+         Helpers.floats [| 10.5; -7.0 |];
+         Helpers.strings [| "z"; "aa" |] ]);
+  let st =
+    match Catalog.stats_opt (Db.catalog db) "t" with
+    | Some s -> s
+    | None -> Alcotest.fail "no stats"
+  in
+  let full = Stats.compute (Catalog.relation (Db.catalog db) "t") in
+  Array.iteri
+    (fun i inc ->
+      let f = full.Stats.cols.(i) in
+      Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+        (Printf.sprintf "range col %d" i)
+        f.Stats.range inc.Stats.range;
+      Alcotest.(check int)
+        (Printf.sprintf "nulls col %d" i)
+        f.Stats.null_count inc.Stats.null_count)
+    st.Stats.cols;
+  Alcotest.(check int) "row count" 6 st.Stats.row_count;
+  let r =
+    Db.execute db "SELECT k FROM t WHERE v > 4.0 ORDER BY k"
+    |> Relation.canonical ~digits:0
+  in
+  Alcotest.(check (list string)) "scan after append" [ "9" ] r
+
+(* ------------------------------------------------------------------ *)
+(* Differential IVM oracle over TPC-H                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_sql db q =
+  Pytond.compile ~db ~source:(Tpch.Queries.find q) ~fname:"query" ()
+
+(* Register [q] as a view, interleave lineitem appends with reads; after
+   every append the served result must equal a from-scratch rebuild on
+   that snapshot — bit-identical when lineitem is the view's driver. *)
+let oracle ?(rounds = 3) ~q db =
+  let sql = tpch_sql db q in
+  ok_or_fail (Db.register_view db ~name:q sql);
+  let info = find_info db q in
+  Alcotest.(check bool) (q ^ " maintainable") true info.Db.vi_maintainable;
+  let driver =
+    match Planner.analyze_ivm (Db.plan db sql) with
+    | Ok s -> s.Planner.ivm_driver
+    | Error r -> Alcotest.failf "%s: %s" q (Planner.ivm_reason_to_string r)
+  in
+  let suffix_exact = driver = Some "lineitem" in
+  let before = (Db.cache_stats db).Db.delta_refreshes in
+  for k = 1 to rounds do
+    let li = Catalog.relation (Db.catalog db) "lineitem" in
+    let batch =
+      Relation.take li
+        (Array.init 48 (fun i -> (i + (k * 7)) mod Relation.n_rows li))
+    in
+    Db.append_table db "lineitem" batch;
+    let served = Db.execute db sql in
+    let rebuilt = rebuild_view db sql in
+    if suffix_exact then
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s round %d bit-exact" q k)
+        (exact_rows rebuilt) (exact_rows served)
+    else
+      Helpers.check_rel ~digits:6
+        (Printf.sprintf "%s round %d canonical" q k)
+        rebuilt served;
+    (* and against the ordinary executor on the same snapshot *)
+    Helpers.check_rows_close ~digits:3
+      (Printf.sprintf "%s round %d vs executor" q k)
+      (Relation.canonical ~digits:3 (Db.execute (Db.snapshot db) sql))
+      (Relation.canonical ~digits:3 served)
+  done;
+  (* counter expectations only apply on the delta path; with PYTOND_IVM=0
+     every stale read above took the recompute fallback and the
+     differential checks are the whole point of the run *)
+  if Matview.enabled () then begin
+    Alcotest.(check int)
+      (q ^ " appends maintained incrementally")
+      rounds
+      ((Db.cache_stats db).Db.delta_refreshes - before);
+    (* a second read with no intervening write is a pure view hit *)
+    let vh = (Db.cache_stats db).Db.view_hits in
+    ignore (Db.execute db sql);
+    Alcotest.(check int) (q ^ " fresh read hits") (vh + 1)
+      (Db.cache_stats db).Db.view_hits
+  end
+
+let test_oracle_q1 () = oracle ~q:"q1" (Tpch.Dbgen.make_db 0.005)
+let test_oracle_q6 () = oracle ~q:"q6" (Tpch.Dbgen.make_db 0.005)
+let test_oracle_q3 () = oracle ~q:"q3" (Tpch.Dbgen.make_db 0.005)
+
+let test_oracle_q12 () =
+  (* q12's driver is orders: lineitem appends extend the build side, so
+     this exercises the delta-rule (hybrid old/new catalog) path *)
+  let db = Tpch.Dbgen.make_db 0.005 in
+  let sql = tpch_sql db "q12" in
+  (match Planner.analyze_ivm (Db.plan db sql) with
+  | Ok s ->
+    Alcotest.(check (option string))
+      "q12 drives from orders" (Some "orders") s.Planner.ivm_driver
+  | Error r -> Alcotest.failf "q12: %s" (Planner.ivm_reason_to_string r));
+  oracle ~q:"q12" db
+
+let test_oracle_q12_driver_appends () =
+  (* appending to orders (the driver) must stay bit-exact even for the
+     join-shaped q12 *)
+  let db = Tpch.Dbgen.make_db 0.005 in
+  let sql = tpch_sql db "q12" in
+  ok_or_fail (Db.register_view db ~name:"q12o" sql);
+  for k = 1 to 2 do
+    let ord = Catalog.relation (Db.catalog db) "orders" in
+    Db.append_table db "orders"
+      (Relation.take ord
+         (Array.init 32 (fun i -> (i + k) mod Relation.n_rows ord)));
+    let served = Db.execute db sql in
+    let rebuilt = rebuild_view db sql in
+    Alcotest.(check (list string))
+      (Printf.sprintf "q12 driver round %d bit-exact" k)
+      (exact_rows rebuilt) (exact_rows served)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Grouped-filter view on a synthetic table: groups appear, nulls skip  *)
+(* ------------------------------------------------------------------ *)
+
+let grp_sql =
+  "SELECT grp, count(*) AS n, sum(x) AS s, avg(x) AS a FROM a WHERE x > 0 \
+   GROUP BY grp ORDER BY grp"
+
+let grp_db () =
+  let db = Db.create () in
+  Db.load_table db "a"
+    (Helpers.rel [ "x"; "grp" ]
+       [ Helpers.floats [| 1.5; 2.5; -1.0; 4.0 |];
+         Helpers.ints [| 1; 2; 1; 2 |] ]);
+  db
+
+let test_grouped_filter_view () =
+  let db = grp_db () in
+  ok_or_fail (Db.register_view db ~name:"g" grp_sql);
+  Alcotest.(check (list string))
+    "initial" [ "1|1|1.5000|1.5000"; "2|2|6.5000|3.2500" ]
+    (Relation.canonical ~digits:4 (Db.execute db grp_sql));
+  (* new group 3 appears, group 1 grows, negatives are filtered out *)
+  Db.append_table db "a"
+    (Helpers.rel [ "x"; "grp" ]
+       [ Helpers.floats [| 10.0; -5.0; 7.0 |];
+         Helpers.ints [| 1; 2; 3 |] ]);
+  Alcotest.(check (list string))
+    "after append" [ "1|2|11.5000|5.7500"; "2|2|6.5000|3.2500"; "3|1|7.0000|7.0000" ]
+    (Relation.canonical ~digits:4 (Db.execute db grp_sql));
+  (* the view result is served identically on every backend and thread
+     count: the stored state IS the answer *)
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun threads ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "served on %s @%dt" (Db.backend_name backend)
+               threads)
+            [ "1|2|11.5000|5.7500"; "2|2|6.5000|3.2500"; "3|1|7.0000|7.0000" ]
+            (Relation.canonical ~digits:4
+               (Db.execute ~backend ~threads db grp_sql)))
+        [ 1; 3 ])
+    [ Db.Vectorized; Db.Compiled ];
+  if Matview.enabled () then
+    Alcotest.(check int) "exactly one delta refresh" 1
+      (Db.cache_stats db).Db.delta_refreshes
+
+(* ------------------------------------------------------------------ *)
+(* Fallback: non-maintainable plans recompute, with a typed reason      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fallback_join_without_agg () =
+  let db = Helpers.mini_db () in
+  let sql =
+    "SELECT o_id, c_name FROM orders, cust WHERE o_cust = c_id ORDER BY o_id"
+  in
+  ok_or_fail (Db.register_view db ~name:"j" sql);
+  let info = find_info db "j" in
+  Alcotest.(check bool) "not maintainable" false info.Db.vi_maintainable;
+  Alcotest.(check (option string))
+    "typed reason"
+    (Some "join without an aggregate (view state would grow with the input)")
+    info.Db.vi_reason;
+  (* the explain surface reports the same decision *)
+  Alcotest.(check bool) "explain says fallback" true
+    (Helpers.contains_sub "matview: fallback (join without an aggregate"
+       (Db.explain db sql));
+  let before = Relation.canonical ~digits:0 (Db.execute db sql) in
+  Alcotest.(check int) "4 rows" 4 (List.length before);
+  Db.append_table db "orders"
+    (Helpers.rel [ "o_id"; "o_cust"; "o_total"; "o_date" ]
+       [ Helpers.ints [| 6 |]; Helpers.ints [| 20 |];
+         Helpers.floats [| 10. |]; Helpers.dates [| "1997-01-01" |] ]);
+  let after = Relation.canonical ~digits:0 (Db.execute db sql) in
+  Alcotest.(check int) "5 rows after append" 5 (List.length after);
+  let st = Db.cache_stats db in
+  Alcotest.(check int) "served by recompute, not delta" 0 st.Db.delta_refreshes;
+  Alcotest.(check bool) "recompute counted" true (st.Db.view_recomputes >= 1)
+
+let test_explain_maintainable () =
+  let db = Tpch.Dbgen.make_db 0.002 in
+  let sql = tpch_sql db "q1" in
+  Alcotest.(check bool) "q1 explain is maintainable" true
+    (Helpers.contains_sub "matview: maintainable" (Db.explain db sql));
+  Alcotest.(check bool) "q1 driver reported" true
+    (Helpers.contains_sub "driver=lineitem" (Db.explain db sql))
+
+(* ------------------------------------------------------------------ *)
+(* Crash consistency: a failed refresh leaves the previous version      *)
+(* ------------------------------------------------------------------ *)
+
+let test_crashed_refresh_keeps_version () =
+  let db = grp_db () in
+  ok_or_fail (Db.register_view db ~name:"g" grp_sql);
+  let v0 = (find_info db "g").Db.vi_version in
+  let before =
+    match Db.view_peek db "g" with
+    | Some r -> Relation.canonical ~digits:4 r
+    | None -> Alcotest.fail "no initial state"
+  in
+  Db.append_table db "a"
+    (Helpers.rel [ "x"; "grp" ]
+       [ Helpers.floats [| 100.0 |]; Helpers.ints [| 1 |] ]);
+  (* a 1-row budget cannot cover the delta replay: the refresh must trip
+     and unwind without installing partial state *)
+  (match Db.refresh ~row_budget:1 db "g" with
+  | exception Guard.Trip _ -> ()
+  | _ -> Alcotest.fail "expected Guard.Trip");
+  Alcotest.(check int) "version unchanged after crash" v0
+    (find_info db "g").Db.vi_version;
+  (match Db.view_peek db "g" with
+  | Some r ->
+    Alcotest.(check (list string))
+      "stored state is the previous consistent version" before
+      (Relation.canonical ~digits:4 r)
+  | None -> Alcotest.fail "state lost");
+  (* an unbudgeted refresh then completes the delta *)
+  Alcotest.(check (list string))
+    "recovered refresh"
+    [ "1|2|101.5000|50.7500"; "2|2|6.5000|3.2500" ]
+    (Relation.canonical ~digits:4 (Db.refresh db "g"));
+  Alcotest.(check bool) "version advanced" true
+    ((find_info db "g").Db.vi_version > v0)
+
+let test_faulty_refresh_differential () =
+  (* under armed fault injection every read must still equal a rebuild:
+     injected faults either recover (suppressed retry) or unwind whole *)
+  let db = grp_db () in
+  Faults.arm ~seed:20260808 ();
+  Fun.protect
+    ~finally:(fun () -> Faults.arm_from_env ())
+    (fun () ->
+      ok_or_fail (Db.register_view db ~name:"g" grp_sql);
+      for k = 1 to 6 do
+        Db.append_table db "a"
+          (Helpers.rel [ "x"; "grp" ]
+             [ Helpers.floats [| float_of_int k; -.float_of_int k |];
+               Helpers.ints [| (k mod 3) + 1; 2 |] ]);
+        Helpers.check_rel ~digits:6
+          (Printf.sprintf "faulty round %d" k)
+          (rebuild_view db grp_sql)
+          (Db.execute db grp_sql)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* PYTOND_IVM=0: fallback recompute path stays live                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ivm_disabled () =
+  let saved = Matview.enabled () in
+  Matview.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Matview.set_enabled saved)
+    (fun () ->
+      let db = grp_db () in
+      ok_or_fail (Db.register_view db ~name:"g" grp_sql);
+      Db.append_table db "a"
+        (Helpers.rel [ "x"; "grp" ]
+           [ Helpers.floats [| 7.0 |]; Helpers.ints [| 3 |] ]);
+      Helpers.check_rel ~digits:6 "disabled IVM still correct"
+        (rebuild_view db grp_sql)
+        (Db.execute db grp_sql);
+      let st = Db.cache_stats db in
+      Alcotest.(check int) "no delta refreshes" 0 st.Db.delta_refreshes;
+      Alcotest.(check bool) "recompute path used" true
+        (st.Db.view_recomputes >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Tenancy: per-owner counters and view quotas                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_owner_counters_and_quota () =
+  let db = grp_db () in
+  ok_or_fail (Db.register_view db ~owner:"t1" ~quota:1 ~name:"g" grp_sql);
+  (* quota of one: a second view for the same tenant is refused *)
+  (match
+     Db.register_view db ~owner:"t1" ~quota:1 ~name:"g2"
+       "SELECT count(*) AS n FROM a"
+   with
+  | Error e ->
+    Alcotest.(check bool) "quota error names the tenant" true
+      (Helpers.contains_sub "quota" e)
+  | Ok () -> Alcotest.fail "quota not enforced");
+  (* duplicate names are refused regardless of owner *)
+  (match Db.register_view db ~owner:"t2" ~name:"g" grp_sql with
+  | Error e ->
+    Alcotest.(check bool) "duplicate name refused" true
+      (Helpers.contains_sub "already registered" e)
+  | Ok () -> Alcotest.fail "duplicate view name accepted");
+  (* reads attribute to the reading tenant, not the view's owner *)
+  ignore (Db.execute ~owner:"t2" db grp_sql);
+  Db.append_table db "a"
+    (Helpers.rel [ "x"; "grp" ]
+       [ Helpers.floats [| 1.0 |]; Helpers.ints [| 1 |] ]);
+  ignore (Db.execute ~owner:"t2" db grp_sql);
+  if Matview.enabled () then begin
+    let _, _, _, vh, dr = Db.owner_stats db "t2" in
+    Alcotest.(check (pair int int)) "t2: one hit, one delta" (1, 1) (vh, dr);
+    let _, _, _, vh1, dr1 = Db.owner_stats db "t1" in
+    Alcotest.(check (pair int int)) "t1 never read" (0, 0) (vh1, dr1)
+  end
+
+let test_replace_triggers_replan () =
+  let db = grp_db () in
+  ok_or_fail (Db.register_view db ~name:"g" grp_sql);
+  ignore (Db.execute db grp_sql);
+  (* replacing the base table (same schema, new contents) must force the
+     view through the replan-and-rebuild path, never a delta *)
+  Db.load_table db "a"
+    (Helpers.rel [ "x"; "grp" ]
+       [ Helpers.floats [| 2.0; 3.0 |]; Helpers.ints [| 7; 7 |] ]);
+  Alcotest.(check (list string))
+    "view reflects the replacement" [ "7|2|5.0000|2.5000" ]
+    (Relation.canonical ~digits:4 (Db.execute db grp_sql));
+  let st = Db.cache_stats db in
+  Alcotest.(check int) "no delta across replace" 0 st.Db.delta_refreshes;
+  Alcotest.(check bool) "recompute counted" true (st.Db.view_recomputes >= 1)
+
+let suites =
+  let tc = Helpers.tc in
+  [ ( "matview-append",
+      [ tc "append scans O(delta), not O(table)" test_append_scan_bound;
+        tc "appended stats match recompute" test_append_stats_consistency ] );
+    ( "matview-oracle",
+      [ tc "q1 suffix refresh bit-exact" test_oracle_q1;
+        tc "q6 suffix refresh bit-exact" test_oracle_q6;
+        tc "q3 join view bit-exact on driver appends" test_oracle_q3;
+        tc "q12 delta-rule on build-side appends" test_oracle_q12;
+        tc "q12 driver appends bit-exact" test_oracle_q12_driver_appends ] );
+    ( "matview-groups",
+      [ tc "grouped filter: new groups, nulls, backends"
+          test_grouped_filter_view ] );
+    ( "matview-fallback",
+      [ tc "join without aggregate recomputes with typed reason"
+          test_fallback_join_without_agg;
+        tc "explain reports maintainability" test_explain_maintainable;
+        tc "PYTOND_IVM=0 forces recompute" test_ivm_disabled ] );
+    ( "matview-crash",
+      [ tc "tripped refresh keeps previous version"
+          test_crashed_refresh_keeps_version;
+        tc "differential under fault injection"
+          test_faulty_refresh_differential ] );
+    ( "matview-tenancy",
+      [ tc "owner counters and view quota" test_owner_counters_and_quota;
+        tc "replace triggers replan" test_replace_triggers_replan ] ) ]
