@@ -5,7 +5,7 @@ SMOKE_SF ?= 0.005
 BENCH_SF ?= 0.05
 SF01 ?= 0.1
 
-.PHONY: all build test server-soak bench-smoke bench-compare bench-sf01 bench-fused bench-views check clean
+.PHONY: all build test server-soak bench-smoke bench-compare bench-sf01 bench-fused bench-views bench-plancache check clean
 
 all: build
 
@@ -34,7 +34,7 @@ server-soak: build
 # the committed baseline is never clobbered by tiny-SF numbers.
 bench-smoke: build
 	PYTOND_SF=$(SMOKE_SF) PYTOND_RUNS=1 PYTOND_WARMUP=0 \
-	  $(DUNE) exec bench/main.exe -- dict cache scan mixed views --json-out BENCH_smoke.json
+	  $(DUNE) exec bench/main.exe -- dict cache scan mixed views plancache --json-out BENCH_smoke.json
 
 # Full-scale regression gate: re-measure at the baseline's scale factor and
 # fail on any variant >10% slower (tolerance via PYTOND_COMPARE_TOL).
@@ -75,6 +75,17 @@ bench-fused: build
 bench-views: build
 	PYTOND_SF=$(SF01) PYTOND_RUNS=2 PYTOND_WARMUP=1 \
 	  $(DUNE) exec bench/main.exe -- views --json-out BENCH_views_run.json
+
+# Plan-cache leg at SF 0.1: per-call cold plan (fingerprint + parse +
+# template plan + insert) vs cached bind (fingerprint + lookup + constant
+# substitution) for q1/q3/q6, plus the PR-8 mixed-tenant stream reporting
+# the bind hit rate under interleaved ingest. The accept bar is the cached
+# bind staying >=5x under the cold plan; rows carry the plancache config
+# stamp so a PYTOND_PLANCACHE=0 run can never be diffed against a
+# cache-on baseline.
+bench-plancache: build
+	PYTOND_SF=$(SF01) PYTOND_RUNS=2 PYTOND_WARMUP=1 \
+	  $(DUNE) exec bench/main.exe -- plancache --json-out BENCH_plancache_run.json
 
 check: build test server-soak bench-smoke
 

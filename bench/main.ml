@@ -74,12 +74,14 @@ type row = {
   bigarray : bool option; (* bigarray column storage enabled? *)
   fused : bool option; (* fused filter→aggregate kernels enabled? *)
   ivm : bool option; (* incremental view maintenance enabled? *)
+  plancache : bool option; (* parameterized plan cache enabled? *)
   mean : float;
 }
 
 let results : row list ref = ref []
 
-let record ?radix ?bigarray ?fused ?ivm ~experiment ~variant ~threads mean =
+let record ?radix ?bigarray ?fused ?ivm ?plancache ~experiment ~variant
+    ~threads mean =
   let radix =
     match radix with Some b -> b | None -> Sqldb.Radix.enabled ()
   in
@@ -92,6 +94,11 @@ let record ?radix ?bigarray ?fused ?ivm ~experiment ~variant ~threads mean =
     match fused with Some b -> b | None -> Sqldb.Kernel.fuse_enabled ()
   in
   let ivm = match ivm with Some b -> b | None -> Sqldb.Matview.enabled () in
+  let plancache =
+    match plancache with
+    | Some b -> b
+    | None -> Sqldb.Db.plancache_enabled_now ()
+  in
   results :=
     { exp_ = experiment;
       variant;
@@ -101,6 +108,7 @@ let record ?radix ?bigarray ?fused ?ivm ~experiment ~variant ~threads mean =
       bigarray = Some bigarray;
       fused = Some fused;
       ivm = Some ivm;
+      plancache = Some plancache;
       mean }
     :: !results
 
@@ -149,6 +157,12 @@ let write_json path =
                 match r.ivm with
                 | Some v -> Printf.sprintf ", \"ivm\": %b" v
                 | None -> ""
+              in
+              let ivm_s =
+                (* ...and the plancache stamp postdates ivm *)
+                match r.plancache with
+                | Some v -> ivm_s ^ Printf.sprintf ", \"plancache\": %b" v
+                | None -> ivm_s
               in
               Printf.sprintf ", \"bigarray\": %b, \"fused\": %b%s" ba fu
                 ivm_s
@@ -248,6 +262,7 @@ let read_baseline path : row list =
              bigarray = field_bool line "bigarray";
              fused = field_bool line "fused";
              ivm = field_bool line "ivm";
+             plancache = field_bool line "plancache";
              mean = m }
            :: !out
        | _ -> ()
@@ -305,7 +320,8 @@ let check_config ~(fresh : row) ~(base : row) =
   check_toggle "radix" fresh.radix base.radix;
   check_toggle "bigarray" fresh.bigarray base.bigarray;
   check_toggle "fused" fresh.fused base.fused;
-  check_toggle "ivm" fresh.ivm base.ivm
+  check_toggle "ivm" fresh.ivm base.ivm;
+  check_toggle "plancache" fresh.plancache base.plancache
 
 (* Compare this run's measurements against a saved baseline; returns false
    when any shared variant regressed by more than [compare_tol] (and by more
@@ -1079,6 +1095,107 @@ let fig_views () =
     st.Sqldb.Db.view_hits
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache: cold parse+plan vs cached bind, and the bind hit rate  *)
+(* under the mixed-tenant stream                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements. First, the plan-acquisition stage in isolation for
+   representative shapes: cold pays parse + plan from the literal text
+   (what every execution paid before the plan cache); bind pays the hot
+   path — fingerprint the text, look the template up, substitute the
+   constants into the bound plan. The executions themselves are identical,
+   so the stage ratio is the whole story. Second, a rerun of the mixed
+   workload with two tenants re-issuing the same shapes under fresh
+   constants each round (so the result cache never hits) with ingest
+   landing between batches: the reported bind hit rate is what a
+   constant-varying dashboard workload actually gets from the cache. *)
+let fig_plancache () =
+  Printf.printf "\n== plancache: cold plan vs cached bind, SF=%g ==\n" sf;
+  let db = Tpch.Dbgen.make_db sf in
+  let cat = Sqldb.Catalog.pin (Sqldb.Db.catalog db) in
+  let sqls =
+    List.map
+      (fun q ->
+        (q, Pytond.compile ~db ~source:(Tpch.Queries.find q) ~fname:"query" ()))
+      [ "q1"; "q3"; "q6" ]
+  in
+  let prev = Sqldb.Db.plancache_enabled_now () in
+  Sqldb.Db.set_plancache_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Sqldb.Db.set_plancache_enabled prev)
+    (fun () ->
+      (* per-call cost via an inner loop: a single plan is microseconds,
+         below the timer's useful resolution *)
+      let n = 100 in
+      let per f = measure (fun () -> for _ = 1 to n do f () done)
+                  /. float_of_int n in
+      Printf.printf "%-4s %13s %13s %9s\n" "q" "cold-plan" "cached-bind"
+        "speedup";
+      List.iter
+        (fun (q, sql) ->
+          (* plan acquisition through the public cache entry: on a miss it
+             pays fingerprint + parse + template plan + guard bookkeeping;
+             on a hit, fingerprint + lookup + constant substitution *)
+          let acquire () =
+            let f = Sqldb.Sql_shape.fingerprint sql in
+            ignore
+              (Sqldb.Db.bind_from_plan_cache db cat
+                 ~backend:Sqldb.Db.Vectorized ~threads:1 ~owner:None
+                 ~plan_quota:None f)
+          in
+          let cold =
+            per (fun () ->
+                Sqldb.Db.clear_plan_cache db;
+                acquire ())
+          in
+          acquire () (* warm the template *);
+          let bind = per acquire in
+          record ~experiment:"plancache" ~variant:(q ^ "-coldplan") ~threads:1
+            cold;
+          record ~experiment:"plancache" ~variant:(q ^ "-bind") ~threads:1
+            bind;
+          Printf.printf "%-4s %12.6fs %12.6fs %8.1fx\n%!" q cold bind
+            (cold /. Float.max 1e-9 bind))
+        sqls;
+      (* mixed-tenant stream: fresh constants every round, ingest between
+         batches; templates survive appends so every round after the first
+         binds instead of replanning *)
+      let li_rel = Sqldb.Catalog.relation (Sqldb.Db.catalog db) "lineitem" in
+      let li =
+        Sqldb.Relation.take li_rel
+          (Array.init (min 64 (Sqldb.Relation.n_rows li_rel)) Fun.id)
+      in
+      let q_scan i =
+        Printf.sprintf
+          "SELECT l_returnflag, SUM(l_extendedprice) AS s FROM lineitem \
+           WHERE l_quantity < %d.0 GROUP BY l_returnflag"
+          (20 + (i mod 5))
+      in
+      let q_ord i =
+        Printf.sprintf
+          "SELECT COUNT(*) AS c FROM orders WHERE o_totalprice > %d.0"
+          (1000 + (137 * i))
+      in
+      Sqldb.Db.clear_plan_cache db;
+      let s0 = Sqldb.Db.cache_stats db in
+      let rounds = 20 in
+      for i = 1 to rounds do
+        if i mod 5 = 0 then Sqldb.Db.append_table db "lineitem" li;
+        ignore (Sqldb.Db.execute ~owner:"t1" db (q_scan i));
+        ignore (Sqldb.Db.execute ~owner:"t2" db (q_ord i))
+      done;
+      let s1 = Sqldb.Db.cache_stats db in
+      let binds = s1.Sqldb.Db.bind_hits - s0.Sqldb.Db.bind_hits in
+      let colds = s1.Sqldb.Db.bind_misses - s0.Sqldb.Db.bind_misses in
+      let trips = s1.Sqldb.Db.guard_trips - s0.Sqldb.Db.guard_trips in
+      let lookups = binds + colds + trips in
+      Printf.printf
+        "mixed-tenant (%d rounds, 2 tenants, ingest every 5): %d binds, %d \
+         cold plans, %d guard trips -> %.0f%% bind hit rate\n"
+        rounds binds colds trips
+        (100. *. float_of_int binds /. float_of_int (max 1 lookups)))
+
+(* ------------------------------------------------------------------ *)
 (* Table I: capability matrix                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1167,6 +1284,7 @@ let experiments : (string * (unit -> unit)) list =
     ("scan", fig_scan);
     ("mixed", fig_mixed);
     ("views", fig_views);
+    ("plancache", fig_plancache);
     ("micro", micro) ]
 
 let () =

@@ -50,6 +50,7 @@ let exec_request ~db ~backend ~threads ~(tenant : Sqldb.Tenant.t) ~fallback req 
   let timeout_ms = policy.Sqldb.Tenant.timeout_ms in
   let row_budget = policy.Sqldb.Tenant.row_budget in
   let cache_quota = policy.Sqldb.Tenant.cache_quota in
+  let plan_quota = Sqldb.Tenant.effective_plan_quota policy in
   let owner = tenant.Sqldb.Tenant.name in
   match req with
   | Tpch_query q ->
@@ -62,7 +63,7 @@ let exec_request ~db ~backend ~threads ~(tenant : Sqldb.Tenant.t) ~fallback req 
     (* the vectorized engine is the conservative fallback for raw SQL *)
     let backend = if fallback then Pytond.Vectorized else backend in
     Sqldb.Db.execute ~threads ~backend ?timeout_ms ?row_budget ~owner
-      ?cache_quota db sql
+      ?cache_quota ?plan_quota db sql
   | View_register (name, sql) -> (
     let quota = Sqldb.Tenant.effective_view_quota policy in
     match
@@ -130,13 +131,19 @@ let print_full_stats db server =
     cs.Sqldb.Db.hits cs.Sqldb.Db.plan_hits cs.Sqldb.Db.misses
     cs.Sqldb.Db.entries cs.Sqldb.Db.views cs.Sqldb.Db.view_hits
     cs.Sqldb.Db.delta_refreshes cs.Sqldb.Db.view_recomputes;
+  Printf.printf
+    "plancache: %d bind hits, %d cold plans, %d guard trips, %d shapes \
+     cached (%s)\n%!"
+    cs.Sqldb.Db.bind_hits cs.Sqldb.Db.bind_misses cs.Sqldb.Db.guard_trips
+    cs.Sqldb.Db.plan_entries
+    (if Sqldb.Db.plancache_enabled_now () then "enabled" else "disabled");
   List.iter
     (fun (name, _) ->
-      let h, ph, m, vh, dr = Sqldb.Db.owner_stats db name in
+      let h, ph, m, vh, dr, bh = Sqldb.Db.owner_stats db name in
       Printf.printf
         "  tenant %-12s cache: hits=%d plan_hits=%d misses=%d view_hits=%d \
-         delta_refreshes=%d\n%!"
-        name h ph m vh dr)
+         delta_refreshes=%d bind_hits=%d\n%!"
+        name h ph m vh dr bh)
     (List.sort compare s.Sqldb.Server.tenants)
 
 (* Self-driving smoke workload: two tenants hammer cached TPC-H queries
@@ -196,7 +203,7 @@ let run_stream db server rounds =
   print_full_stats db server
 
 let serve dataset sf workers queue_cap backend threads max_in_flight timeout_ms
-    row_budget cache_quota retries breaker_threshold demo stream =
+    row_budget cache_quota plan_quota retries breaker_threshold demo stream =
   let db =
     match dataset with
     | "tpch" -> Tpch.Dbgen.make_db sf
@@ -216,6 +223,7 @@ let serve dataset sf workers queue_cap backend threads max_in_flight timeout_ms
       timeout_ms;
       row_budget;
       cache_quota;
+      plan_quota;
       max_retries = retries;
       breaker_threshold }
   in
@@ -294,6 +302,12 @@ let () =
       value & opt (some int) None
       & info [ "cache-quota" ] ~doc:"per-tenant result-cache entry quota")
   in
+  let plan_quota =
+    Arg.(
+      value & opt (some int) None
+      & info [ "plan-quota" ]
+          ~doc:"per-tenant plan-cache template quota (default: cache quota)")
+  in
   let retries =
     Arg.(
       value & opt int 2
@@ -321,7 +335,7 @@ let () =
       (Cmd.info "pytond_server" ~doc:"multi-tenant PyTond query service")
       Term.(
         const serve $ dataset $ sf $ workers $ queue_cap $ backend $ threads
-        $ max_in_flight $ timeout_ms $ row_budget $ cache_quota $ retries
-        $ breaker_threshold $ demo $ stream)
+        $ max_in_flight $ timeout_ms $ row_budget $ cache_quota $ plan_quota
+        $ retries $ breaker_threshold $ demo $ stream)
   in
   exit (Cmd.eval cmd)

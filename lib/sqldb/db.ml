@@ -49,6 +49,36 @@ type cache_entry = {
   mutable tick : int; (* LRU clock *)
 }
 
+(* ---- Parameterized plan cache (shape-keyed) ----------------------- *)
+
+let plan_cache_cap = 64
+
+(* Bound on sibling specializations one shape may hold: guard signatures
+   are selectivity-bucket tuples, so the space is small, but a pathological
+   workload sweeping constants across every bucket must not grow an entry
+   without limit. *)
+let max_specializations = 16
+
+(* One cached template per (backend, threads, shape, param types): the
+   planned artifact for a query {e shape} ({!Sql_shape}), with parameter
+   slots still open. Executing a cache hit = substitute constants into the
+   template ({!Plan.bind_query}) — no reparse, no replan. [pe_guards] are
+   the selectivity assumptions the template's plan shape depends on; a
+   binding whose guard signature differs from [pe_sig] is planned afresh
+   with its own constants and remembered in [pe_specials] under that
+   signature, so the shared entry is never poisoned by an outlier
+   constant. *)
+type plan_entry = {
+  pe_shape : string;
+  pe_owner : string option;
+  pe_template : Plan.bound_query;
+  pe_guards : Planner.plan_guard list;
+  pe_sig : string; (* guard signature of the constants planned at *)
+  pe_specials : (string, Plan.bound_query) Hashtbl.t;
+  pe_tables : string list; (* dropped when any of these is replaced *)
+  mutable pe_tick : int; (* LRU clock *)
+}
+
 (* Per-tenant slice of the counters, so the server's [.stats] can report
    hit rates per tenant without instrumenting the tests. *)
 type owner_counters = {
@@ -57,11 +87,13 @@ type owner_counters = {
   mutable o_misses : int;
   mutable o_view_hits : int;
   mutable o_delta_refreshes : int;
+  mutable o_bind_hits : int; (* plan-cache template binds *)
 }
 
 type t = {
   catalog : Catalog.t;
   cache : (string, cache_entry) Hashtbl.t;
+  plans : (string, plan_entry) Hashtbl.t; (* parameterized plan cache *)
   views : Matview.registry; (* incrementally maintained views *)
   lock : Mutex.t; (* guards cache + counters; never held during execution *)
   mutable clock : int;
@@ -72,6 +104,9 @@ type t = {
   mutable view_hits : int; (* reads served from a fresh materialized view *)
   mutable delta_refreshes : int; (* incremental view refreshes *)
   mutable view_recomputes : int; (* view fallback full re-executions *)
+  mutable bind_hits : int; (* plan-cache template bound, no replan *)
+  mutable bind_misses : int; (* shape planned cold (new template) *)
+  mutable guard_trips : int; (* out-of-range constant: specialized replan *)
   owners : (string, owner_counters) Hashtbl.t;
 }
 
@@ -85,6 +120,10 @@ type cache_stats = {
   delta_refreshes : int;
   view_recomputes : int;
   views : int; (* registered view count *)
+  bind_hits : int; (* parameterized plan cache: bind-only executions *)
+  bind_misses : int; (* cold template plans *)
+  guard_trips : int; (* specialized replans forced by guards *)
+  plan_entries : int; (* cached shapes (excluding specializations) *)
 }
 
 let cache_enabled =
@@ -92,6 +131,17 @@ let cache_enabled =
 
 let set_cache_enabled b = cache_enabled := b
 let cache_enabled_now () = !cache_enabled
+
+(* The parameterized plan cache has its own kill switch so the cold path
+   stays exactly measurable (and CI can run the whole suite without it). *)
+let plancache_enabled =
+  ref
+    (match Sys.getenv_opt "PYTOND_PLANCACHE" with
+    | Some "0" -> false
+    | _ -> true)
+
+let set_plancache_enabled b = plancache_enabled := b
+let plancache_enabled_now () = !plancache_enabled
 
 let locked t f =
   Mutex.lock t.lock;
@@ -107,7 +157,11 @@ let cache_stats (t : t) : cache_stats =
         view_hits = t.view_hits;
         delta_refreshes = t.delta_refreshes;
         view_recomputes = t.view_recomputes;
-        views = Matview.size t.views })
+        views = Matview.size t.views;
+        bind_hits = t.bind_hits;
+        bind_misses = t.bind_misses;
+        guard_trips = t.guard_trips;
+        plan_entries = Hashtbl.length t.plans })
 
 let owner_counters_of t o =
   match Hashtbl.find_opt t.owners o with
@@ -118,50 +172,76 @@ let owner_counters_of t o =
         o_plan_hits = 0;
         o_misses = 0;
         o_view_hits = 0;
-        o_delta_refreshes = 0 }
+        o_delta_refreshes = 0;
+        o_bind_hits = 0 }
     in
     Hashtbl.replace t.owners o c;
     c
 
 (** Per-tenant counters as [(hits, plan_hits, misses, view_hits,
-    delta_refreshes)], or all zeros for an unknown tenant. *)
-let owner_stats (t : t) o : int * int * int * int * int =
+    delta_refreshes, bind_hits)], or all zeros for an unknown tenant. *)
+let owner_stats (t : t) o : int * int * int * int * int * int =
   locked t (fun () ->
       match Hashtbl.find_opt t.owners o with
-      | None -> (0, 0, 0, 0, 0)
+      | None -> (0, 0, 0, 0, 0, 0)
       | Some c ->
         (c.o_hits, c.o_plan_hits, c.o_misses, c.o_view_hits,
-         c.o_delta_refreshes))
+         c.o_delta_refreshes, c.o_bind_hits))
 
 let clear_cache t = locked t (fun () -> Hashtbl.reset t.cache)
+let clear_plan_cache t = locked t (fun () -> Hashtbl.reset t.plans)
 
-(* Collapse whitespace runs to a single space outside single-quoted string
-   literals, so formatting differences don't defeat the cache. Identifier
-   case is left alone: a conservative key can only cost a duplicate entry,
-   never a wrong answer. *)
+(* Literal-text cache key: strip SQL comments ([-- ...] to end of line,
+   [/* ... */] blocks), collapse whitespace runs to a single space, and drop
+   whitespace adjacent to '(', ')' or ',' — all outside single-quoted string
+   literals — so trivially different spellings of one query share a key.
+   Identifier case is left alone: a conservative key can only cost a
+   duplicate entry, never a wrong answer. *)
 let normalize_sql (s : string) : string =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let in_str = ref false and pending = ref false in
-  for i = 0 to n - 1 do
-    let c = s.[i] in
+  let tight c = c = '(' || c = ')' || c = ',' in
+  let last_tight () =
+    Buffer.length buf > 0 && tight (Buffer.nth buf (Buffer.length buf - 1))
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
     if !in_str then begin
       Buffer.add_char buf c;
-      if c = '\'' then in_str := false
+      if c = '\'' then in_str := false;
+      incr i
     end
-    else
-      match c with
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      (* line comment: acts as whitespace *)
+      while !i < n && s.[!i] <> '\n' do incr i done;
+      pending := true
+    end
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '*' then begin
+      (* block comment: acts as whitespace; unterminated eats to the end *)
+      i := !i + 2;
+      while
+        !i + 1 < n && not (s.[!i] = '*' && s.[!i + 1] = '/')
+      do incr i done;
+      i := if !i + 1 < n then !i + 2 else n;
+      pending := true
+    end
+    else begin
+      (match c with
       | ' ' | '\t' | '\n' | '\r' -> pending := true
       | c ->
-        if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        if
+          !pending && Buffer.length buf > 0 && not (tight c)
+          && not (last_tight ())
+        then Buffer.add_char buf ' ';
         pending := false;
         Buffer.add_char buf c;
-        if c = '\'' then in_str := true
+        if c = '\'' then in_str := true);
+      incr i
+    end
   done;
   Buffer.contents buf
-
-let cache_key backend threads sql =
-  Printf.sprintf "%s|%d|%s" (backend_name backend) threads (normalize_sql sql)
 
 (* Version-stamp the plan's base tables ({!Plan.bound_tables}) against
    catalog handle [cat]. These are the entry's invalidation dependencies. *)
@@ -208,6 +288,44 @@ let make_room t ~owner ~cache_quota =
     ()
   done
 
+(* Same LRU + per-owner quota policy for the plan cache. A tenant's quota
+   bounds how many shapes it may pin ([plan_quota], defaulting via Tenant
+   to its result-cache quota), and the shared table is capped overall. *)
+let plan_evict_lru_where t pred =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        if not (pred e) then acc
+        else
+          match acc with
+          | Some (_, tick) when tick <= e.pe_tick -> acc
+          | _ -> Some (k, e.pe_tick))
+      t.plans None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.plans k;
+    true
+  | None -> false
+
+let plan_make_room t ~owner ~plan_quota =
+  (match (owner, plan_quota) with
+  | Some o, Some quota ->
+    let owned e = e.pe_owner = Some o in
+    let count () =
+      Hashtbl.fold (fun _ e n -> if owned e then n + 1 else n) t.plans 0
+    in
+    while count () >= max 1 quota && plan_evict_lru_where t owned do
+      ()
+    done
+  | _ -> ());
+  while
+    Hashtbl.length t.plans >= plan_cache_cap
+    && plan_evict_lru_where t (fun _ -> true)
+  do
+    ()
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Facade                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -222,6 +340,7 @@ let dict_encoding_enabled () = !dict_encoding
 let create () =
   { catalog = Catalog.create ();
     cache = Hashtbl.create cache_cap;
+    plans = Hashtbl.create plan_cache_cap;
     views = Matview.create_registry ();
     lock = Mutex.create ();
     clock = 0;
@@ -232,6 +351,9 @@ let create () =
     view_hits = 0;
     delta_refreshes = 0;
     view_recomputes = 0;
+    bind_hits = 0;
+    bind_misses = 0;
+    guard_trips = 0;
     owners = Hashtbl.create 8 }
 
 (* Ingest invalidation. A replace may change the table's schema, so any
@@ -246,7 +368,16 @@ let invalidate_replaced t name =
       (fun k e acc -> if List.mem_assoc name e.deps then k :: acc else acc)
       t.cache []
   in
-  List.iter (Hashtbl.remove t.cache) dead
+  List.iter (Hashtbl.remove t.cache) dead;
+  (* A replace may change the schema, so templates scanning the table are
+     dead too. Appends keep them: templates hold no results, only plans,
+     and the bound plan re-executes against the current snapshot. *)
+  let dead_plans =
+    Hashtbl.fold
+      (fun k e acc -> if List.mem name e.pe_tables then k :: acc else acc)
+      t.plans []
+  in
+  List.iter (Hashtbl.remove t.plans) dead_plans
 
 let invalidate_appended t name =
   Hashtbl.iter
@@ -293,6 +424,84 @@ let plan_on cat (sql : string) : Plan.bound_query =
 let plan t (sql : string) : Plan.bound_query =
   plan_on (Catalog.pin t.catalog) sql
 
+(* Constant-identity key: the canonical shape plus rendered constants
+   ({!Sql_shape.constant_key}), so any spelling of the same query —
+   comments, whitespace, keyword case, literal spelling — shares one
+   matview/result-cache identity. Falls back to literal normalization for
+   text that cannot be fingerprinted. *)
+let query_key (sql : string) : string =
+  match Sql_shape.constant_key sql with
+  | Some k -> k
+  | None -> normalize_sql sql
+
+(* Serve a planned template for fingerprint [f] on this (backend, threads):
+   bind on a guard-clean hit, replan a sibling specialization on a guard
+   trip, plan and remember the template when the shape is cold. Lock is
+   held only for table operations — template planning runs outside it. *)
+let bind_from_plan_cache t cat ~backend ~threads ~owner ~plan_quota
+    (f : Sql_shape.t) : Plan.bound_query =
+  let shape = f.Sql_shape.shape and params = f.Sql_shape.params in
+  (* hot path: plain concatenation, not Printf — the shape dominates the
+     key and must be copied exactly once *)
+  let key =
+    String.concat "|"
+      [ backend_name backend; string_of_int threads; Sql_shape.ty_sig params;
+        shape ]
+  in
+  let plan_shape () = Planner.plan_template cat ~params (Sql_parse.parse shape) in
+  let decision =
+    locked t (fun () ->
+        t.clock <- t.clock + 1;
+        match Hashtbl.find_opt t.plans key with
+        | Some pe -> (
+          pe.pe_tick <- t.clock;
+          let sg = Planner.guard_signature pe.pe_guards params in
+          let hit tpl =
+            t.bind_hits <- t.bind_hits + 1;
+            Option.iter
+              (fun o ->
+                let c = owner_counters_of t o in
+                c.o_bind_hits <- c.o_bind_hits + 1)
+              owner;
+            `Bind tpl
+          in
+          if String.equal sg pe.pe_sig then hit pe.pe_template
+          else
+            match Hashtbl.find_opt pe.pe_specials sg with
+            | Some tpl -> hit tpl
+            | None -> `Specialize (pe, sg))
+        | None -> `Cold)
+  in
+  match decision with
+  | `Bind tpl -> Plan.bind_query params tpl
+  | `Specialize (pe, sg) ->
+    (* Constants outside the template's guard range: plan afresh with them
+       and remember the sibling under its signature, leaving the shared
+       template untouched. *)
+    let tpl, _ = plan_shape () in
+    locked t (fun () ->
+        t.guard_trips <- t.guard_trips + 1;
+        if Hashtbl.length pe.pe_specials >= max_specializations then
+          Hashtbl.reset pe.pe_specials;
+        Hashtbl.replace pe.pe_specials sg tpl);
+    Plan.bind_query params tpl
+  | `Cold ->
+    let tpl, guards = plan_shape () in
+    let sg = Planner.guard_signature guards params in
+    locked t (fun () ->
+        t.bind_misses <- t.bind_misses + 1;
+        plan_make_room t ~owner ~plan_quota;
+        Hashtbl.replace t.plans key
+          { pe_shape = shape;
+            pe_owner = owner;
+            pe_template = tpl;
+            pe_guards = guards;
+            pe_sig = sg;
+            pe_specials = Hashtbl.create 4;
+            pe_tables = Plan.bound_tables tpl;
+            pe_tick = t.clock });
+    Plan.bind_query params tpl
+
 (** A frozen view of this database: the returned handle executes against
     the catalog as of now (with its own private cache), unaffected by later
     ingests through [t]. The soak tests use this to differentially check
@@ -300,6 +509,7 @@ let plan t (sql : string) : Plan.bound_query =
 let snapshot t : t =
   { catalog = Catalog.pin t.catalog;
     cache = Hashtbl.create cache_cap;
+    plans = Hashtbl.create plan_cache_cap;
     views = Matview.create_registry ();
     lock = Mutex.create ();
     clock = 0;
@@ -310,6 +520,9 @@ let snapshot t : t =
     view_hits = 0;
     delta_refreshes = 0;
     view_recomputes = 0;
+    bind_hits = 0;
+    bind_misses = 0;
+    guard_trips = 0;
     owners = Hashtbl.create 8 }
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +562,9 @@ let serve_view ?timeout_ms ?row_budget ?owner t (v : Matview.t) : Relation.t =
 let register_view ?owner ?quota ?timeout_ms ?row_budget (t : t) ~name sql :
     (unit, string) result =
   let cat = Catalog.pin t.catalog in
-  let key = normalize_sql sql in
+  (* Shape-based key: the view serves any constant-identical spelling of
+     its query, not just the registered text. *)
+  let key = query_key sql in
   Guard.with_guard ?timeout_ms ?row_budget (fun () ->
       match
         Matview.register t.views ~cat ?owner ?quota ~name ~sql ~key ()
@@ -409,8 +624,22 @@ let timing = Sys.getenv_opt "PYTOND_TIMING" <> None
     injection suppressed — a detected storage fault is recovered by
     re-reading, never by returning a partial or corrupt relation. *)
 let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
-    ?owner ?cache_quota (t : t) (sql : string) : Relation.t =
-  match Matview.find_by_key t.views (normalize_sql sql) with
+    ?owner ?cache_quota ?plan_quota (t : t) (sql : string) : Relation.t =
+  (* One fingerprint pass (token-level, no parse) drives all three lookups:
+     the matview key, the result-cache key, and the plan-cache shape. *)
+  let fp =
+    if !plancache_enabled then
+      match Sql_shape.fingerprint sql with
+      | f -> Some f
+      | exception _ -> None
+    else None
+  in
+  let ckey =
+    match fp with
+    | Some f -> f.Sql_shape.shape ^ "#" ^ Sql_shape.render_params f.Sql_shape.params
+    | None -> query_key sql
+  in
+  match Matview.find_by_key t.views ckey with
   | Some v ->
     (* A registered view answers its own SQL on any backend: the stored
        result IS the view, O(result) when fresh. *)
@@ -419,6 +648,16 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
   (* Pin once: planning, cache validation and execution all resolve against
      this snapshot, so a concurrent ingest cannot tear the query. *)
   let cat = Catalog.pin t.catalog in
+  (* Plan acquisition for a result-cache miss: bind a cached template when
+     the plan cache is live (no reparse/replan on a shape hit), else plan
+     from the literal text. The plan cache stands down with faults armed,
+     like the result cache, so fault tests exercise the full cold path. *)
+  let plan_or_bind () =
+    match fp with
+    | Some f when not (Faults.armed ()) ->
+      bind_from_plan_cache t cat ~backend ~threads ~owner ~plan_quota f
+    | _ -> plan_on cat sql
+  in
   let exec bq () =
     let t1 = if timing then Unix.gettimeofday () else 0. in
     let r =
@@ -450,12 +689,12 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
   if not (!cache_enabled && not (Faults.armed ())) then
     guarded (fun () ->
         let t0 = if timing then Unix.gettimeofday () else 0. in
-        let bq = plan_on cat sql in
+        let bq = plan_or_bind () in
         if timing then
           Printf.eprintf "[timing] plan %.4fs\n%!" (Unix.gettimeofday () -. t0);
         exec bq ())
   else begin
-    let key = cache_key backend threads sql in
+    let key = Printf.sprintf "%s|%d|%s" (backend_name backend) threads ckey in
     (* Lookup under lock; execution outside it (two racing misses both
        execute — wasteful but correct, and the insert is last-wins). *)
     let decision =
@@ -488,7 +727,15 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
             `Miss)
     in
     match decision with
-    | `Full r -> r
+    | `Full r ->
+      (* A guarded query honors its deadline even on a cache hit: a caller
+         whose budget is already exhausted must not be served for free, and
+         whether it trips must not depend on which concurrent query happened
+         to populate the entry first. Rows are not re-accounted — nothing is
+         materialized when serving a stored result. *)
+      Guard.with_guard ?timeout_ms ?row_budget (fun () ->
+          Guard.check ();
+          r)
     | `Reexec e ->
       let r = guarded (exec e.bq) in
       locked t (fun () ->
@@ -498,7 +745,7 @@ let execute ?(threads = 1) ?(backend = Vectorized) ?timeout_ms ?row_budget
           e.result <- Some r);
       r
     | `Miss ->
-      let bq = plan_on cat sql in
+      let bq = plan_or_bind () in
       let r = guarded (exec bq) in
       locked t (fun () ->
           make_room t ~owner ~cache_quota;
@@ -546,4 +793,57 @@ let explain ?(threads = 1) t (sql : string) : string =
     Buffer.add_string buf
       (Printf.sprintf "matview: fallback (%s)\n"
          (Planner.ivm_reason_to_string r)));
+  (* Plan-cache routing this query would take (vectorized backend at
+     [threads], matching what [execute] defaults to): bind hit, specialized
+     hit, guard trip forcing a specialized replan, or cold. *)
+  (match
+     (if !plancache_enabled then
+        match Sql_shape.fingerprint sql with
+        | f -> Some f
+        | exception _ -> None
+      else None)
+   with
+  | None -> Buffer.add_string buf "plancache: off\n"
+  | Some f ->
+    let params = f.Sql_shape.params in
+    let key =
+      Printf.sprintf "%s|%d|%s|%s" (backend_name Vectorized) threads
+        (Sql_shape.ty_sig params) f.Sql_shape.shape
+    in
+    let state =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.plans key with
+          | None -> `Cold
+          | Some pe ->
+            let sg = Planner.guard_signature pe.pe_guards params in
+            if String.equal sg pe.pe_sig then `Hit pe
+            else if Hashtbl.mem pe.pe_specials sg then `Special (pe, sg)
+            else `Trip (pe, sg))
+    in
+    let add = Buffer.add_string buf in
+    (match state with
+    | `Cold ->
+      add
+        (Printf.sprintf "plancache: cold (shape not cached, %d params)\n"
+           (Array.length params))
+    | `Hit pe ->
+      add (Printf.sprintf "plancache: bind hit (sig=[%s])\n" pe.pe_sig)
+    | `Special (pe, sg) ->
+      add
+        (Printf.sprintf
+           "plancache: specialized bind hit (sig=[%s], template sig=[%s])\n"
+           sg pe.pe_sig)
+    | `Trip (pe, sg) ->
+      add
+        (Printf.sprintf
+           "plancache: guard trip (sig=[%s] outside template sig=[%s]) -> \
+            specialized replan\n"
+           sg pe.pe_sig));
+    (match state with
+    | `Hit pe | `Special (pe, _) | `Trip (pe, _) ->
+      List.iter
+        (fun g ->
+          add (Printf.sprintf "  guard %s\n" (Planner.guard_to_string g)))
+        pe.pe_guards
+    | `Cold -> ()));
   Buffer.contents buf

@@ -168,6 +168,10 @@ let rec compile_row (cols : Column.t array) (e : pexpr) : int -> Value.t =
     let c = cols.(i) in
     fun row -> Column.get c row
   | PLit v -> fun _ -> v
+  | PParam (i, _) ->
+    (* templates are bound ({!Plan.bind_query}) before execution; reaching
+       a live slot here is a plan-cache routing bug, not bad user SQL *)
+    invalid_arg (Printf.sprintf "Eval: unbound query parameter $%d" (i + 1))
   | PBin (op, a, b) ->
     let fa = compile_row cols a and fb = compile_row cols b in
     fun row -> apply_bin op (fa row) (fb row)

@@ -128,6 +128,8 @@ let make_residual_check (r : Relation.t) (pred : pexpr) :
     match e with
     | PCol i -> get i
     | PLit v -> v
+    | PParam (i, _) ->
+      invalid_arg (Printf.sprintf "exec: unbound query parameter $%d" (i + 1))
     | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
     | PNeg a -> (
       match ev a with

@@ -782,6 +782,9 @@ and run_semijoin ctx anti left right keys residual =
             match e with
             | PCol i -> get i
             | PLit v -> v
+            | PParam (i, _) ->
+              invalid_arg
+                (Printf.sprintf "exec: unbound query parameter $%d" (i + 1))
             | PBin (op, a, b) -> Eval.apply_bin op (ev a) (ev b)
             | PNeg a -> (
               match ev a with

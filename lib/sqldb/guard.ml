@@ -75,7 +75,9 @@ let check () =
     if Atomic.get g.cancelled then
       raise (Trip { reason = Cancelled; detail = "query cancelled" });
     (match g.deadline with
-    | Some d when Unix.gettimeofday () > d ->
+    (* [>=], not [>]: a 0ms budget sets the deadline to install time, and a
+       checkpoint reached within the same clock tick must still trip. *)
+    | Some d when Unix.gettimeofday () >= d ->
       raise (Trip { reason = Timeout; detail = "deadline exceeded" })
     | _ -> ())
 

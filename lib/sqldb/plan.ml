@@ -12,6 +12,11 @@ type binop = Sql_ast.binop
 type pexpr =
   | PCol of int
   | PLit of Value.t
+  | PParam of int * ty
+      (* parameter slot in a cached plan template; carries the type the
+         template was planned at so schema inference is bind-independent.
+         [bind_query] replaces every PParam with a PLit before execution —
+         executors, kernels and zone maps only ever see bound plans. *)
   | PBin of binop * pexpr * pexpr
   | PNeg of pexpr
   | PNot of pexpr
@@ -85,9 +90,18 @@ let func_return_type name (arg_tys : ty list) =
   | _, (t :: _) -> t
   | _, [] -> TInt
 
+let ty_of_value : Value.t -> ty = function
+  | VInt _ -> TInt
+  | VFloat _ -> TFloat
+  | VString _ -> TString
+  | VBool _ -> TBool
+  | VDate _ -> TDate
+  | VNull -> TInt
+
 let rec type_of_pexpr (schema : schema) e : ty =
   match e with
   | PCol i -> snd schema.(i)
+  | PParam (_, ty) -> ty
   | PLit v -> (
     match v with
     | VInt _ -> TInt
@@ -144,7 +158,7 @@ let agg_output_type (fn : agg_fn) (arg_ty : ty option) =
 
 let rec pexpr_cols acc = function
   | PCol i -> i :: acc
-  | PLit _ -> acc
+  | PLit _ | PParam _ -> acc
   | PBin (_, a, b) -> pexpr_cols (pexpr_cols acc a) b
   | PNeg a | PNot a | PCast (a, _) -> pexpr_cols acc a
   | PCase (whens, els) ->
@@ -163,7 +177,7 @@ let rec pexpr_cols acc = function
    remaps). *)
 let rec map_cols f = function
   | PCol i -> PCol (f i)
-  | PLit v -> PLit v
+  | (PLit _ | PParam _) as e -> e
   | PBin (op, a, b) -> PBin (op, map_cols f a, map_cols f b)
   | PNeg a -> PNeg (map_cols f a)
   | PNot a -> PNot (map_cols f a)
@@ -183,7 +197,7 @@ let rec map_cols f = function
    predicates back down onto the base-table columns. *)
 let rec subst_cols (reps : pexpr array) = function
   | PCol i -> reps.(i)
-  | PLit v -> PLit v
+  | (PLit _ | PParam _) as e -> e
   | PBin (op, a, b) -> PBin (op, subst_cols reps a, subst_cols reps b)
   | PNeg a -> PNeg (subst_cols reps a)
   | PNot a -> PNot (subst_cols reps a)
@@ -201,7 +215,7 @@ let rec subst_cols (reps : pexpr array) = function
    concatenated schema). *)
 let rec shift_cols k = function
   | PCol i -> PCol (i + k)
-  | PLit v -> PLit v
+  | (PLit _ | PParam _) as e -> e
   | PBin (op, a, b) -> PBin (op, shift_cols k a, shift_cols k b)
   | PNeg a -> PNeg (shift_cols k a)
   | PNot a -> PNot (shift_cols k a)
@@ -244,6 +258,70 @@ let conj = function
   | [] -> None
   | e :: rest ->
     Some (List.fold_left (fun acc e -> PBin (Sql_ast.And, acc, e)) e rest)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter binding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Substitute constants for parameter slots. This is the plan cache's whole
+   execution path: a cached template is a normal bound query whose literals
+   are PParam holes; binding rebuilds the tree with PLits so every
+   downstream consumer — evaluator dictionary fast paths, fused kernels,
+   zone-map and bloom pruning — sees the *bound* constants, exactly as if
+   the query had been planned from literal text. *)
+let rec bind_pexpr (vals : Value.t array) = function
+  | PParam (i, _) ->
+    if i < Array.length vals then PLit vals.(i)
+    else invalid_arg (Printf.sprintf "Plan.bind: unbound parameter $%d" (i + 1))
+  | (PCol _ | PLit _) as e -> e
+  | PBin (op, a, b) -> PBin (op, bind_pexpr vals a, bind_pexpr vals b)
+  | PNeg a -> PNeg (bind_pexpr vals a)
+  | PNot a -> PNot (bind_pexpr vals a)
+  | PCase (whens, els) ->
+    PCase
+      ( List.map (fun (c, v) -> (bind_pexpr vals c, bind_pexpr vals v)) whens,
+        Option.map (bind_pexpr vals) els )
+  | PFunc (fn, args) -> PFunc (fn, List.map (bind_pexpr vals) args)
+  | PLike (a, p, n) -> PLike (bind_pexpr vals a, p, n)
+  | PInList (a, items, n) -> PInList (bind_pexpr vals a, items, n)
+  | PIsNull (a, n) -> PIsNull (bind_pexpr vals a, n)
+  | PCast (a, ty) -> PCast (bind_pexpr vals a, ty)
+
+(* Fresh plan records throughout (est copied): executors attribute actual
+   row counts by physical node identity, so a bound copy must not alias the
+   shared template. *)
+let rec bind_plan (vals : Value.t array) (p : plan) : plan =
+  let b = bind_plan vals in
+  let node =
+    match p.node with
+    | Scan name -> Scan name
+    | PValues (sch, rows) -> PValues (sch, rows)
+    | Filter (s, e) -> Filter (b s, bind_pexpr vals e)
+    | Project (s, items) ->
+      Project (b s, List.map (fun (e, nm) -> (bind_pexpr vals e, nm)) items)
+    | Join j ->
+      Join
+        { j with
+          left = b j.left;
+          right = b j.right;
+          residual = Option.map (bind_pexpr vals) j.residual }
+    | SemiJoin j ->
+      SemiJoin
+        { j with
+          left = b j.left;
+          right = b j.right;
+          residual = Option.map (bind_pexpr vals) j.residual }
+    | Aggregate (s, gs, aggs) -> Aggregate (b s, gs, aggs)
+    | Sort (s, keys) -> Sort (b s, keys)
+    | LimitN (s, n) -> LimitN (b s, n)
+    | Distinct s -> Distinct (b s)
+    | Window (s, keys, nm) -> Window (b s, keys, nm)
+  in
+  { node; schema = p.schema; est = p.est }
+
+let bind_query (vals : Value.t array) (bq : bound_query) : bound_query =
+  { ctes = List.map (fun (n, p) -> (n, bind_plan vals p)) bq.ctes;
+    main = bind_plan vals bq.main }
 
 (* Pretty-printer used by tests and the CLI's EXPLAIN. *)
 let rec pp_node fmt (p : plan) =

@@ -33,10 +33,28 @@ type comp = {
   origins : (string * int) option array;
 }
 
+(* A bind-time validity guard on a cached plan template. Plan shape follows
+   from constant-driven selectivity estimates (conjunct order, join order,
+   build side, radix/fuse gating, semi/anti inversion), so a template
+   records, for every parameter that fed an estimate, the column stats and
+   the selectivity it assumed. At bind, the same formula is re-evaluated on
+   the new constant: a result in the same selectivity bucket keeps the
+   template; out of range forces a replan cached as a sibling
+   specialization (see {!Db}). *)
+type plan_guard = {
+  g_slot : int; (* parameter slot the estimate depended on *)
+  g_op : Sql_ast.binop; (* comparison whose selectivity was estimated *)
+  g_col : string; (* "table.column" for EXPLAIN output *)
+  g_stats : Stats.col_stats; (* stats snapshot the estimate used *)
+  g_sel : float; (* selectivity assumed at plan time *)
+}
+
 type env = {
   catalog : Catalog.t;
   mutable cte_schemas : (string * schema) list;
   mutable cte_ests : (string * float) list;
+  params : Value.t array; (* constants behind $k slots; [||] = literal plan *)
+  on_guard : (plan_guard -> unit) option; (* template planning only *)
 }
 
 let with_est est p =
@@ -99,12 +117,62 @@ let sel_cmp (st : Stats.col_stats) (op : Sql_ast.binop) (v : Value.t) =
   in
   not_null *. clamp01 frac
 
+(* Selectivity buckets: the granularity at which a guard considers two
+   constants plan-equivalent. Log-ish spacing — plan decisions care about
+   order of magnitude near zero and coarse fractions above. *)
+let sel_bucket s =
+  if s <= 0.001 then 0
+  else if s <= 0.01 then 1
+  else if s <= 0.05 then 2
+  else if s <= 0.2 then 3
+  else if s <= 0.5 then 4
+  else 5
+
+let guard_value (g : plan_guard) (vals : Value.t array) =
+  if g.g_slot < Array.length vals then vals.(g.g_slot) else Value.VNull
+
+(* Deterministic routing key: the bucket of every guard's selectivity when
+   re-evaluated on [vals]. Equal signature = the template's decisions are
+   assumed valid; a differing signature keys the sibling specialization. *)
+let guard_signature (guards : plan_guard list) (vals : Value.t array) : string =
+  (* One digit per guard (buckets are 0..5): a single small allocation on
+     the bind hot path, no per-guard strings. *)
+  let b = Bytes.create (List.length guards) in
+  List.iteri
+    (fun i g ->
+      Bytes.unsafe_set b i
+        (Char.chr
+           (Char.code '0'
+           + sel_bucket (sel_cmp g.g_stats g.g_op (guard_value g vals)))))
+    guards;
+  Bytes.unsafe_to_string b
+
+let guard_to_string (g : plan_guard) : string =
+  Printf.sprintf "$%d (%s %s): assumed sel=%.4f (bucket %d)" (g.g_slot + 1)
+    g.g_col
+    (Sql_ast.binop_name g.g_op)
+    g.g_sel (sel_bucket g.g_sel)
+
 (* Selectivity of a bound predicate given a per-column stats lookup.
-   Unrecognized shapes keep the legacy 1/3 guess. *)
-let rec pred_selectivity (lookup : int -> Stats.col_stats option) (e : pexpr) :
-    float =
+   Unrecognized shapes keep the legacy 1/3 guess. [params] resolves
+   parameter slots during template planning; [record] is told about every
+   slot whose constant fed an estimate (it becomes a bind-time guard). *)
+let rec pred_selectivity ?(params = [||]) ?record
+    (lookup : int -> Stats.col_stats option) (e : pexpr) : float =
   let default = 1. /. 3. in
-  let s e = pred_selectivity lookup e in
+  let s e = pred_selectivity ~params ?record lookup e in
+  let cmp_sel op col rhs =
+    match lookup col with
+    | None -> default
+    | Some st -> (
+      match rhs with
+      | PLit v -> sel_cmp st op v
+      | PParam (k, _) when k < Array.length params ->
+        let sel = sel_cmp st op params.(k) in
+        (match record with Some f -> f k op col st sel | None -> ());
+        sel
+      | _ -> default)
+  in
   match e with
   | PBin (Sql_ast.And, a, b) -> s a *. s b
   | PBin (Sql_ast.Or, a, b) ->
@@ -112,10 +180,9 @@ let rec pred_selectivity (lookup : int -> Stats.col_stats option) (e : pexpr) :
     clamp01 (x +. y -. (x *. y))
   | PNot a -> clamp01 (1. -. s a)
   | PBin ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
-          PCol i, PLit v) -> (
-    match lookup i with Some st -> sel_cmp st op v | None -> default)
+          PCol i, ((PLit _ | PParam _) as rhs)) -> cmp_sel op i rhs
   | PBin ((Sql_ast.Eq | Sql_ast.Ne | Sql_ast.Lt | Sql_ast.Le | Sql_ast.Gt | Sql_ast.Ge) as op,
-          PLit v, PCol i) -> (
+          ((PLit _ | PParam _) as lhs), PCol i) ->
     let op =
       match op with
       | Sql_ast.Lt -> Sql_ast.Gt
@@ -124,7 +191,7 @@ let rec pred_selectivity (lookup : int -> Stats.col_stats option) (e : pexpr) :
       | Sql_ast.Ge -> Sql_ast.Le
       | op -> op
     in
-    match lookup i with Some st -> sel_cmp st op v | None -> default)
+    cmp_sel op i lhs
   | PInList (PCol i, items, negated) -> (
     match lookup i with
     | Some st ->
@@ -177,7 +244,7 @@ let resolve (srcs : src list) qualifier name : (src * int) option =
 
 let rec map_cols f = function
   | PCol v -> f v
-  | PLit v -> PLit v
+  | (PLit _ | PParam _) as e -> e
   | PBin (op, a, b) -> PBin (op, map_cols f a, map_cols f b)
   | PNeg a -> PNeg (map_cols f a)
   | PNot a -> PNot (map_cols f a)
@@ -218,6 +285,9 @@ let rec bind_expr env ~(srcs : src list) ~(outer : src list) (e : Sql_ast.expr)
           (match q with Some q -> q ^ "." | None -> "")
           name))
   | Sql_ast.Lit v -> PLit v
+  | Sql_ast.Param i ->
+    if i < Array.length env.params then PParam (i, ty_of_value env.params.(i))
+    else err "parameter $%d beyond supplied parameter list" (i + 1)
   | Sql_ast.Bin (op, a, b) -> PBin (op, recur a, recur b)
   | Sql_ast.Neg a -> PNeg (recur a)
   | Sql_ast.Not a -> PNot (recur a)
@@ -303,9 +373,31 @@ let comp_filter env (c : comp) (preds : pexpr list) : comp =
   | None -> c
   | Some pred ->
     let lookup = col_stats_of env c.origins in
+    (* During template planning, constants that feed estimates become
+       bind-time guards, named after the base column they filter. *)
+    let record =
+      Option.map
+        (fun f slot op col st sel ->
+          let g_col =
+            match
+              (if col >= 0 && col < Array.length c.origins then
+                 c.origins.(col)
+               else None)
+            with
+            | Some (tbl, ci) -> (
+              match Catalog.find_opt env.catalog tbl with
+              | Some tb when ci < Array.length tb.Catalog.rel.Relation.names ->
+                Printf.sprintf "%s.%s" tbl tb.Catalog.rel.Relation.names.(ci)
+              | _ -> Printf.sprintf "%s[%d]" tbl ci)
+            | None -> Printf.sprintf "col%d" col
+          in
+          f { g_slot = slot; g_op = op; g_col; g_stats = st; g_sel = sel })
+        env.on_guard
+    in
     let sel =
       List.fold_left
-        (fun acc p -> acc *. pred_selectivity lookup p)
+        (fun acc p ->
+          acc *. pred_selectivity ~params:env.params ?record lookup p)
         1. rewritten
     in
     let est = Float.max 1. (c.plan.est *. Float.max 1e-6 sel) in
@@ -896,6 +988,8 @@ and plan_select env ~outer (s : Sql_ast.select) : plan =
             | Sql_ast.Func (f, args) ->
               PFunc (String.lowercase_ascii f, List.map rewrite args)
             | Sql_ast.Lit v -> PLit v
+            | Sql_ast.Param i when i < Array.length env.params ->
+              PParam (i, ty_of_value env.params.(i))
             | Sql_ast.Cast (a, ty) -> PCast (rewrite a, ty)
             | Sql_ast.Like { arg; pattern; negated } ->
               PLike (rewrite arg, pattern, negated)
@@ -1368,14 +1462,51 @@ let rec push_filters (p : plan) : plan =
       end
     | _ -> keep_here ())
 
-let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
-  let env = { catalog; cte_schemas = []; cte_ests = [] } in
+let plan_with_env env (q : Sql_ast.query) : bound_query =
   let bq = inline_single_use_ctes (plan_query_inner env ~outer:[] q) in
   let bq =
     { ctes = List.map (fun (n, p) -> (n, push_filters p)) bq.ctes;
       main = push_filters bq.main }
   in
   Prune.prune_query bq
+
+let plan_query (catalog : Catalog.t) (q : Sql_ast.query) : bound_query =
+  plan_with_env
+    { catalog; cte_schemas = []; cte_ests = []; params = [||]; on_guard = None }
+    q
+
+(** Plan [q] (containing {!Sql_ast.Param} slots) as a reusable template.
+    Estimation resolves each slot to its value in [params] — the constants
+    of the query that missed the cache — and every estimate a slot fed is
+    returned as a {!plan_guard}. The template is a normal bound query with
+    {!Plan.PParam} holes: execute it via {!Plan.bind_query}. *)
+let plan_template (catalog : Catalog.t) ~(params : Value.t array)
+    (q : Sql_ast.query) : bound_query * plan_guard list =
+  let acc = ref [] in
+  let env =
+    { catalog;
+      cte_schemas = [];
+      cte_ests = [];
+      params;
+      on_guard = Some (fun g -> acc := g :: !acc) }
+  in
+  let bq = plan_with_env env q in
+  (* One guard per (slot, column, op): the same predicate may be estimated
+     again as filters are pushed around; duplicates add nothing to the
+     signature but noise to EXPLAIN. *)
+  let seen = Hashtbl.create 8 in
+  let guards =
+    List.filter
+      (fun g ->
+        let k = (g.g_slot, g.g_col, g.g_op) in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      (List.rev !acc)
+  in
+  (bq, guards)
 
 (* ------------------------------------------------------------------ *)
 (* Fusion gating                                                      *)

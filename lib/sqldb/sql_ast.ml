@@ -14,6 +14,7 @@ type agg_fn = Sum | Avg | Min | Max | Count | CountStar
 type expr =
   | Col of string option * string (* optional table qualifier *)
   | Lit of Value.t
+  | Param of int (* 0-based ordered parameter slot ($1 = slot 0) *)
   | Bin of binop * expr * expr
   | Neg of expr
   | Not of expr

@@ -347,6 +347,13 @@ and parse_call st name =
 
 and parse_primary st =
   match peek st with
+  | TOp "$" -> begin
+    (* positional parameter slot: $1, $2, ... (1-based in text) *)
+    advance st;
+    match peek st with
+    | TInt k when k >= 1 -> advance st; Param (k - 1)
+    | _ -> error st "expected parameter number after '$'"
+  end
   | TInt i -> advance st; Lit (Value.VInt i)
   | TFloat f -> advance st; Lit (Value.VFloat f)
   | TString s -> advance st; Lit (Value.VString s)

@@ -43,6 +43,7 @@ let rec expr_to_sql ?(d = duckdb) ?(outer_prec = 0) e =
   | Col (None, c) -> c
   | Col (Some t, c) -> t ^ "." ^ c
   | Lit v -> lit_to_sql v
+  | Param i -> Printf.sprintf "$%d" (i + 1)
   | Bin (op, a, b) ->
     let p = prec op in
     let s =

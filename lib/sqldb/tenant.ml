@@ -22,6 +22,10 @@ type policy = {
       (** max materialized views this tenant may register; [None] falls
           back to [cache_quota] — views are charged against the same
           per-tenant budget as cached results *)
+  plan_quota : int option;
+      (** max plan-cache templates attributable to this tenant; [None]
+          falls back to [cache_quota] — a tenant's cached plans share its
+          result-cache budget unless capped separately *)
   max_retries : int;
       (** additional attempts for fault-classified transient errors *)
   backoff_ms : float; (** base retry backoff; doubles per attempt, jittered *)
@@ -38,6 +42,7 @@ let default_policy =
     row_budget = None;
     cache_quota = None;
     view_quota = None;
+    plan_quota = None;
     max_retries = 2;
     backoff_ms = 2.;
     breaker_threshold = 5;
@@ -46,6 +51,10 @@ let default_policy =
 (** Effective view quota: explicit [view_quota], else the cache quota. *)
 let effective_view_quota p =
   match p.view_quota with Some q -> Some q | None -> p.cache_quota
+
+(** Effective plan quota: explicit [plan_quota], else the cache quota. *)
+let effective_plan_quota p =
+  match p.plan_quota with Some q -> Some q | None -> p.cache_quota
 
 type t = {
   name : string;

@@ -6,4 +6,5 @@ let () =
    @ Test_ir.suites @ Test_frontend.suites @ Test_tensor.suites
    @ Test_numpy_api.suites @ Test_pipeline.suites @ Test_errors.suites
    @ Test_faults.suites @ Test_stats.suites @ Test_radix.suites
-   @ Test_fused.suites @ Test_server.suites @ Test_matview.suites)
+   @ Test_fused.suites @ Test_server.suites @ Test_matview.suites
+   @ Test_plancache.suites)

@@ -399,9 +399,9 @@ let test_owner_counters_and_quota () =
        [ Helpers.floats [| 1.0 |]; Helpers.ints [| 1 |] ]);
   ignore (Db.execute ~owner:"t2" db grp_sql);
   if Matview.enabled () then begin
-    let _, _, _, vh, dr = Db.owner_stats db "t2" in
+    let _, _, _, vh, dr, _ = Db.owner_stats db "t2" in
     Alcotest.(check (pair int int)) "t2: one hit, one delta" (1, 1) (vh, dr);
-    let _, _, _, vh1, dr1 = Db.owner_stats db "t1" in
+    let _, _, _, vh1, dr1, _ = Db.owner_stats db "t1" in
     Alcotest.(check (pair int int)) "t1 never read" (0, 0) (vh1, dr1)
   end
 
