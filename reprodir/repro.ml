@@ -1,0 +1,5 @@
+let () =
+  let f = Sqldb.Sql_shape.fingerprint
+    "SELECT a, b FROM t ORDER BY CASE WHEN a = 1 THEN 0 ELSE 1 END, 2" in
+  Printf.printf "shape: %s\nparams: %s\n" f.Sqldb.Sql_shape.shape
+    (Sqldb.Sql_shape.render_params f.Sqldb.Sql_shape.params)
